@@ -1,0 +1,104 @@
+// Shared helpers for the figure-reproduction binaries. Each binary prints
+// the rows/series of one figure from the paper via drum::util::Table, in
+// both aligned and CSV form. Flags allow scaling run counts back up to the
+// paper's full 1000 runs/point.
+#pragma once
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "drum/harness/cluster.hpp"
+#include "drum/sim/engine.hpp"
+#include "drum/util/flags.hpp"
+#include "drum/util/table.hpp"
+
+namespace drum::bench {
+
+/// One simulated data point: mean/std propagation time to 99% of correct
+/// processes (and the attacked/non-attacked splits).
+inline sim::AggregateResult sim_point(sim::SimProtocol proto, std::size_t n,
+                                      double alpha, double x,
+                                      std::size_t runs, std::uint64_t seed,
+                                      std::size_t max_rounds = 600,
+                                      double crashed = 0.0,
+                                      double malicious = 0.1) {
+  sim::SimParams p;
+  p.protocol = proto;
+  p.n = n;
+  p.alpha = alpha;
+  p.x = x;
+  p.max_rounds = max_rounds;
+  p.crashed_fraction = crashed;
+  p.malicious_fraction = malicious;
+  return sim::simulate_many(p, runs, seed);
+}
+
+/// Summary of one measured (real-implementation) data point.
+struct MeasuredPoint {
+  double propagation_rounds_mean = 0;
+  double propagation_rounds_std = 0;
+  double throughput_msgs_per_sec = 0;
+  double throughput_msgs_per_round = 0;
+  double latency_ms_mean = 0;
+  std::vector<harness::ClusterMetrics::PerNode> per_node;
+  std::uint64_t completed = 0, sent = 0;
+};
+
+struct MeasureOpts {
+  std::size_t n = 50;
+  std::size_t rate = 40;           // msgs per round
+  double warmup_rounds = 5;
+  double measured_rounds = 30;
+  double drain_rounds = 15;
+  std::int64_t round_us = 100'000; // paper: 1 s; compressed (DESIGN.md §6)
+  bool verify_signatures = false;  // paper had 50 CPUs; see EXPERIMENTS.md
+  bool use_udp = false;
+  std::uint64_t seed = 1;
+  std::uint16_t udp_base_port = 21000;
+};
+
+inline MeasuredPoint measured_point(core::Variant variant, double alpha,
+                                    double x, const MeasureOpts& o) {
+  harness::ClusterConfig cfg;
+  cfg.variant = variant;
+  cfg.n = o.n;
+  cfg.alpha = alpha;
+  cfg.x = x;
+  cfg.rate = o.rate;
+  cfg.round_us = o.round_us;
+  cfg.verify_signatures = o.verify_signatures;
+  cfg.use_udp = o.use_udp;
+  cfg.seed = o.seed;
+  cfg.udp_base_port = o.udp_base_port;
+  harness::Cluster cluster(cfg);
+  cluster.run_rounds(o.warmup_rounds, true);
+  cluster.begin_measurement();
+  cluster.run_rounds(o.measured_rounds, true);
+  cluster.end_measurement();
+  cluster.run_rounds(o.drain_rounds, false);
+
+  const auto& m = cluster.metrics();
+  MeasuredPoint out;
+  // No message reached the 99% threshold inside the run: report NaN rather
+  // than a misleading 0 (happens for Push under the harshest attacks).
+  out.propagation_rounds_mean =
+      m.messages_completed ? m.propagation_rounds.mean()
+                           : std::numeric_limits<double>::quiet_NaN();
+  out.propagation_rounds_std = m.propagation_rounds.stddev();
+  out.throughput_msgs_per_sec = m.mean_throughput_msgs_per_sec();
+  out.throughput_msgs_per_round =
+      out.throughput_msgs_per_sec * static_cast<double>(o.round_us) / 1e6;
+  out.latency_ms_mean = m.mean_latency_ms();
+  out.per_node = m.nodes;
+  out.completed = m.messages_completed;
+  out.sent = m.messages_sent;
+  return out;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("#\n# %s — %s\n#\n", figure, description);
+}
+
+}  // namespace drum::bench

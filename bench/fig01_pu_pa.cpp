@@ -1,0 +1,37 @@
+// Figure 1 of the paper (numerical analysis, Appendix A):
+//  (a) p_u — the probability that a non-attacked process accepts a given
+//      valid message — as a function of the fan-out F. The paper shows
+//      p_u > 0.6 for every F (Lemma 8).
+//  (b) p_a — the same probability for a process attacked with x = 128
+//      fabricated messages per round — versus the coarse bound F/x.
+#include "bench_common.hpp"
+
+#include "drum/analysis/appendix_a.hpp"
+
+int main(int argc, char** argv) {
+  using namespace drum;
+  util::Flags flags(argc, argv);
+  auto n = static_cast<std::size_t>(
+      flags.get_int("n", 1000, "group size"));
+  auto x = flags.get_double("x", 128, "fabricated messages per round");
+  auto max_f = static_cast<std::size_t>(
+      flags.get_int("max-f", 16, "largest fan-out to evaluate"));
+  flags.done();
+
+  bench::print_header("Figure 1",
+                      "p_u and p_a vs fan-out F (Appendix A numerics)");
+
+  util::Table a({"F", "p_u"});
+  for (std::size_t f = 1; f <= max_f; ++f) {
+    a.add_row({static_cast<double>(f), analysis::p_u(n, f)});
+  }
+  a.print("Figure 1(a): p_u vs F (n=" + std::to_string(n) + ")");
+
+  util::Table b({"F", "p_a", "F/x (bound)"});
+  for (std::size_t f = 1; f <= max_f; ++f) {
+    b.add_row({static_cast<double>(f), analysis::p_a(n, f, x),
+               static_cast<double>(f) / x});
+  }
+  b.print("Figure 1(b): p_a vs F (x=" + util::fmt(x) + ")");
+  return 0;
+}

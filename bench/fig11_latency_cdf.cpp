@@ -1,0 +1,74 @@
+// Figure 11 of the paper (measurements): CDF over processes of the mean
+// delivery latency of successfully received messages, n = 50.
+//  (a) alpha=10%, x=128;  (b) alpha=40%, x=128.
+// Push is fastest to non-attacked processes but its attacked processes see
+// ~4x the latency; Pull is uniformly slow; Drum is nearly as fast as Push
+// with a small attacked/non-attacked gap.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace drum;
+  util::Flags flags(argc, argv);
+  auto rate = static_cast<std::size_t>(
+      flags.get_int("rate", 20, "source messages per round"));
+  auto rounds = flags.get_double("rounds", 40, "measured window in rounds");
+  bool verify = flags.get_bool("verify", false, "verify Ed25519 signatures");
+  auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1, "RNG seed"));
+  flags.done();
+
+  bench::print_header("Figure 11",
+                      "CDF over processes of mean delivery latency, n=50 "
+                      "(measurements; latency in rounds and virtual ms)");
+
+  bench::MeasureOpts mo;
+  mo.rate = rate;
+  mo.measured_rounds = rounds;
+  mo.verify_signatures = verify;
+  mo.seed = seed;
+
+  struct Config {
+    const char* title;
+    double alpha;
+  } configs[] = {{"Figure 11(a): alpha=10%, x=128", 0.1},
+                 {"Figure 11(b): alpha=40%, x=128", 0.4}};
+
+  int point = 0;
+  for (const auto& c : configs) {
+    // One sorted list of per-process mean latencies per protocol.
+    std::vector<std::vector<double>> sorted_ms(3);
+    std::vector<std::vector<char>> attacked(3);
+    const core::Variant variants[] = {core::Variant::kDrum,
+                                      core::Variant::kPush,
+                                      core::Variant::kPull};
+    for (int i = 0; i < 3; ++i) {
+      mo.udp_base_port = static_cast<std::uint16_t>(21000 + 200 * point++);
+      auto meas = bench::measured_point(variants[i], c.alpha, 128, mo);
+      std::vector<std::pair<double, char>> lat;
+      for (const auto& pn : meas.per_node) {
+        if (pn.latency_us.count() == 0) continue;
+        lat.emplace_back(pn.latency_us.mean() / 1000.0, pn.attacked ? 1 : 0);
+      }
+      std::sort(lat.begin(), lat.end());
+      for (auto& [ms, att] : lat) {
+        sorted_ms[i].push_back(ms);
+        attacked[i].push_back(att);
+      }
+    }
+    util::Table t({"% of processes", "drum ms", "push ms", "pull ms"});
+    std::size_t max_len = std::max(
+        {sorted_ms[0].size(), sorted_ms[1].size(), sorted_ms[2].size()});
+    for (std::size_t k = 0; k < max_len; ++k) {
+      std::vector<double> row{
+          100.0 * static_cast<double>(k + 1) / static_cast<double>(max_len)};
+      for (int i = 0; i < 3; ++i) {
+        row.push_back(k < sorted_ms[i].size() ? sorted_ms[i][k]
+                                              : sorted_ms[i].back());
+      }
+      t.add_row(row, 1);
+    }
+    t.print(c.title);
+  }
+  return 0;
+}

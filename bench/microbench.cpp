@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks of the hot paths: the crypto primitives
+// (what bounds a node's per-round CPU budget, and hence how expensive it is
+// for a victim to process fabricated messages), digest/buffer operations,
+// and one full simulated gossip round.
+#include <benchmark/benchmark.h>
+
+#include "drum/core/buffer.hpp"
+#include "drum/crypto/chacha20.hpp"
+#include "drum/crypto/ed25519.hpp"
+#include "drum/crypto/hmac.hpp"
+#include "drum/crypto/keys.hpp"
+#include "drum/crypto/portbox.hpp"
+#include "drum/crypto/sha256.hpp"
+#include "drum/crypto/x25519.hpp"
+#include "drum/sim/engine.hpp"
+#include "drum/util/rng.hpp"
+
+namespace {
+
+using namespace drum;
+
+util::Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  auto data = random_bytes(1024, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(util::ByteSpan(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_HmacSha256_64B(benchmark::State& state) {
+  auto key = random_bytes(32, 2);
+  auto data = random_bytes(64, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::hmac_sha256(util::ByteSpan(key), util::ByteSpan(data)));
+  }
+}
+BENCHMARK(BM_HmacSha256_64B);
+
+void BM_ChaCha20_1KiB(benchmark::State& state) {
+  auto key = random_bytes(32, 4);
+  auto nonce = random_bytes(12, 5);
+  auto data = random_bytes(1024, 6);
+  for (auto _ : state) {
+    crypto::ChaCha20 c{util::ByteSpan(key), util::ByteSpan(nonce)};
+    c.crypt(data.data(), data.size());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_ChaCha20_1KiB);
+
+void BM_X25519(benchmark::State& state) {
+  util::Rng rng(7);
+  crypto::X25519Key scalar{};
+  for (auto& b : scalar) b = static_cast<std::uint8_t>(rng.below(256));
+  auto pub = crypto::x25519_base(scalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::x25519(scalar, pub));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_Ed25519Sign_50B(benchmark::State& state) {
+  util::Rng rng(8);
+  auto id = crypto::Identity::generate(rng);
+  auto msg = random_bytes(50, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(id.sign(util::ByteSpan(msg)));
+  }
+}
+BENCHMARK(BM_Ed25519Sign_50B);
+
+void BM_Ed25519Verify_50B(benchmark::State& state) {
+  util::Rng rng(10);
+  auto id = crypto::Identity::generate(rng);
+  auto msg = random_bytes(50, 11);
+  auto sig = id.sign(util::ByteSpan(msg));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::verify(id.sign_public(), util::ByteSpan(msg), sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify_50B);
+
+void BM_PortBoxSealOpen(benchmark::State& state) {
+  util::Rng rng(12);
+  auto key = random_bytes(32, 13);
+  for (auto _ : state) {
+    auto box = crypto::portbox_seal_port(util::ByteSpan(key), 49152, rng);
+    benchmark::DoNotOptimize(
+        crypto::portbox_open_port(util::ByteSpan(key), util::ByteSpan(box)));
+  }
+}
+BENCHMARK(BM_PortBoxSealOpen);
+
+// Cost of the box-open attempt a victim pays per fabricated control message
+// — the unit of work a DoS flood forces.
+void BM_PortBoxOpenGarbage(benchmark::State& state) {
+  util::Rng rng(14);
+  auto key = random_bytes(32, 15);
+  auto garbage = random_bytes(crypto::kPortBoxOverhead + 2, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::portbox_open_port(
+        util::ByteSpan(key), util::ByteSpan(garbage)));
+  }
+}
+BENCHMARK(BM_PortBoxOpenGarbage);
+
+void BM_BufferSelectMissing(benchmark::State& state) {
+  core::MessageBuffer buf(10, 20);
+  util::Rng rng(17);
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    core::DataMessage m;
+    m.id = {1, i};
+    m.payload = random_bytes(50, i);
+    buf.insert(std::move(m), 0);
+  }
+  core::Digest peer = buf.digest();
+  peer.resize(peer.size() / 2);  // peer has half
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buf.select_missing(peer, 80, rng));
+  }
+}
+BENCHMARK(BM_BufferSelectMissing);
+
+void BM_SimRound(benchmark::State& state) {
+  // One full simulated run, n as parameter (drum, alpha=10%, x=128).
+  sim::SimParams p;
+  p.protocol = sim::SimProtocol::kDrum;
+  p.n = static_cast<std::size_t>(state.range(0));
+  p.alpha = 0.1;
+  p.x = 128;
+  util::Rng rng(18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_run(p, rng));
+  }
+}
+BENCHMARK(BM_SimRound)->Arg(120)->Arg(500)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Attack demo: stages the paper's targeted DoS attack against a live
+// 50-process group and shows, side by side, what happens to Drum and to the
+// push-only / pull-only baselines — the paper's story in one run.
+//
+//   ./build/examples/attack_demo                # defaults: alpha=10%, x=128
+//   ./build/examples/attack_demo --x 256 --alpha 0.2 --rate 30
+#include <cstdio>
+
+#include "drum/harness/cluster.hpp"
+#include "drum/util/flags.hpp"
+#include "drum/util/table.hpp"
+
+namespace {
+
+struct Outcome {
+  double throughput;  // msgs/round received on average
+  double rounds;      // propagation rounds per message (99% coverage)
+  double attacked_lat_ms, non_attacked_lat_ms;
+  std::uint64_t completed;
+};
+
+Outcome run(drum::core::Variant variant, double alpha, double x,
+            std::size_t rate) {
+  using namespace drum;
+  harness::ClusterConfig cfg;
+  cfg.variant = variant;
+  cfg.n = 50;
+  cfg.alpha = alpha;
+  cfg.x = x;
+  cfg.rate = rate;
+  cfg.verify_signatures = false;
+  cfg.seed = 7;
+  harness::Cluster cluster(cfg);
+  cluster.run_rounds(5, true);
+  cluster.begin_measurement();
+  cluster.run_rounds(30, true);
+  cluster.end_measurement();
+  cluster.run_rounds(30, false);
+
+  Outcome out{};
+  const auto& m = cluster.metrics();
+  out.throughput = m.mean_throughput_msgs_per_sec() *
+                   static_cast<double>(cfg.round_us) / 1e6;
+  out.rounds = m.propagation_rounds.mean();
+  util::RunningStats att, non;
+  for (const auto& pn : m.nodes) {
+    (pn.attacked ? att : non).merge(pn.latency_us);
+  }
+  out.attacked_lat_ms = att.mean() / 1000.0;
+  out.non_attacked_lat_ms = non.mean() / 1000.0;
+  out.completed = m.messages_completed;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace drum;
+  util::Flags flags(argc, argv);
+  double alpha = flags.get_double("alpha", 0.1, "attacked fraction");
+  double x = flags.get_double("x", 128, "fabricated msgs/round per victim");
+  auto rate = static_cast<std::size_t>(
+      flags.get_int("rate", 30, "source msgs per round"));
+  flags.done();
+
+  std::printf("Staging a DoS attack on a 50-process group:\n"
+              "  %.0f%% of the group flooded with %.0f fabricated messages "
+              "per round each\n"
+              "  (source attacked; 10%% of members malicious; source rate "
+              "%zu msgs/round)\n\n",
+              alpha * 100, x, rate);
+
+  util::Table t({"protocol", "throughput (msg/round)", "prop. time (rounds)",
+                 "latency attacked (ms)", "latency others (ms)"});
+  struct P {
+    const char* name;
+    core::Variant v;
+  } protos[] = {{"drum", core::Variant::kDrum},
+                {"push-only", core::Variant::kPush},
+                {"pull-only", core::Variant::kPull}};
+  for (const auto& p : protos) {
+    auto base = run(p.v, 0, 0, rate);
+    auto attacked = run(p.v, alpha, x, rate);
+    auto rounds_cell = [](const Outcome& o) {
+      // 0 completed messages means no message ever reached 99% of the
+      // group inside the run — report that rather than a misleading 0.
+      return o.completed ? util::fmt(o.rounds, 1) : std::string("never");
+    };
+    t.add_row({std::string(p.name) + " (no attack)",
+               util::fmt(base.throughput, 1), rounds_cell(base), "-",
+               util::fmt(base.non_attacked_lat_ms, 0)});
+    t.add_row({std::string(p.name) + " (attacked)",
+               util::fmt(attacked.throughput, 1), rounds_cell(attacked),
+               util::fmt(attacked.attacked_lat_ms, 0),
+               util::fmt(attacked.non_attacked_lat_ms, 0)});
+  }
+  t.print("Drum vs baselines under targeted DoS");
+
+  std::printf(
+      "Reading the table: Drum's throughput and latency barely move under\n"
+      "attack; pull-only collapses (the flooded source cannot serve pull\n"
+      "requests); push-only's attacked processes lag far behind the rest.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every result in EXPERIMENTS.md from scratch.
+#
+#   scripts/reproduce.sh           # default run counts (minutes)
+#   RUNS=1000 scripts/reproduce.sh # the paper's full Monte-Carlo depth
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-}"
+EXTRA=()
+if [[ -n "$RUNS" ]]; then EXTRA+=(--runs "$RUNS"); fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/fig* build/bench/asymptotics build/bench/ablations; do
+    echo "##### $(basename "$b")"
+    case "$b" in
+      # asymptotics takes no --runs flag
+      *asymptotics*) "$b" ;;
+      *) "$b" "${EXTRA[@]}" ;;
+    esac
+    echo
+  done
+  echo "##### microbench"
+  build/bench/microbench --benchmark_min_time=0.2
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,36 @@
+#include "drum/analysis/appendix_a.hpp"
+
+#include <algorithm>
+
+#include "drum/analysis/binomial.hpp"
+
+namespace drum::analysis {
+
+namespace {
+
+// E[min(1, F/(Y+x))] with Y = 1 + Bin(n-2, F/(n-1)).
+double accept_probability(std::size_t n, std::size_t f, double x) {
+  const double q =
+      static_cast<double>(f) / static_cast<double>(n - 1);
+  const std::size_t trials = n - 2;
+  auto pmf = binom_pmf_vector(trials, q);
+  double acc = 0.0;
+  for (std::size_t k = 0; k <= trials; ++k) {
+    double y = static_cast<double>(k + 1);  // our message counts too
+    double accept = std::min(1.0, static_cast<double>(f) / (y + x));
+    acc += pmf[k] * accept;
+  }
+  return acc;
+}
+
+}  // namespace
+
+double p_u(std::size_t n, std::size_t f) {
+  return accept_probability(n, f, 0.0);
+}
+
+double p_a(std::size_t n, std::size_t f, double x) {
+  return accept_probability(n, f, x);
+}
+
+}  // namespace drum::analysis

@@ -1,0 +1,27 @@
+// Appendix A of the paper: the probabilities p_u and p_a that a non-attacked
+// (resp. attacked) process accepts a valid incoming push or pull-request
+// message, in the synchronized-round model with fan-out F and per-round
+// acceptance bound F.
+//
+//   q   = F / (n-1)                       (prob. target is in sender's view)
+//   Y   = 1 + Bin(n-2, q)                 (valid messages arriving, incl. ours)
+//   p_u = E[ min(1, F / Y) ]
+//   p_a = E[ min(1, F / (Y + x)) ]        (x fabricated messages also arrive)
+//
+// The paper proves p_u > 0.6 for all F >= 1 (Lemma 8 / Fig. 1(a)) and
+// p_a < F/x (used throughout §6).
+#pragma once
+
+#include <cstddef>
+
+namespace drum::analysis {
+
+/// Probability that a non-attacked process accepts a given valid message.
+/// n = group size (>= 2), f = fan-out / acceptance bound.
+double p_u(std::size_t n, std::size_t f);
+
+/// Probability that a process attacked with x fabricated messages per round
+/// accepts a given valid message. x = 0 reduces to p_u.
+double p_a(std::size_t n, std::size_t f, double x);
+
+}  // namespace drum::analysis

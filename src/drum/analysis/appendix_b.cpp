@@ -1,0 +1,52 @@
+#include "drum/analysis/appendix_b.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "drum/analysis/binomial.hpp"
+
+namespace drum::analysis {
+
+double p_tilde(std::size_t n, std::size_t f, double x) {
+  const double q = static_cast<double>(f) / static_cast<double>(n - 1);
+  auto pmf = binom_pmf_vector(n - 1, q);
+  double acc = 0.0;
+  for (std::size_t y = 1; y <= n - 1; ++y) {  // y = 0: nothing valid to read
+    // P[no valid request among the F read] = Π_{i=0..F-1} (x-i)/(y+x-i).
+    // A factor with x - i <= 0 means the fabricated messages are exhausted,
+    // so some valid request is necessarily read (miss = 0).
+    double miss = 1.0;
+    for (std::size_t i = 0; i < f; ++i) {
+      double num = x - static_cast<double>(i);
+      double den = static_cast<double>(y) + x - static_cast<double>(i);
+      if (num <= 0.0 || den <= 0.0) {
+        miss = 0.0;
+        break;
+      }
+      miss *= num / den;
+    }
+    acc += pmf[y] * (1.0 - miss);
+  }
+  return acc;
+}
+
+double pull_expected_rounds_to_leave_source(std::size_t n, std::size_t f,
+                                            double x) {
+  double p = p_tilde(n, f, x);
+  return p > 0 ? 1.0 / p : std::numeric_limits<double>::infinity();
+}
+
+double pull_std_rounds_to_leave_source(std::size_t n, std::size_t f,
+                                       double x) {
+  double p = p_tilde(n, f, x);
+  return p > 0 ? std::sqrt(1.0 - p) / p
+               : std::numeric_limits<double>::infinity();
+}
+
+double pull_stuck_probability(std::size_t n, std::size_t f, double x,
+                              std::size_t rounds) {
+  double p = p_tilde(n, f, x);
+  return std::pow(1.0 - p, static_cast<double>(rounds));
+}
+
+}  // namespace drum::analysis

@@ -1,0 +1,34 @@
+// Appendix B of the paper: p̃, the probability that message M leaves an
+// attacked source in one round of the Pull protocol.
+//
+//   Y  = Bin(n-1, F/(n-1))   valid pull-requests arriving at the source
+//   x  fabricated pull-requests also arrive (x >= 0)
+//   The source reads F requests uniformly at random out of Y + x;
+//   M propagates iff at least one of the Y valid requests is read:
+//     p_Y = 1 - Π_{i=0..F-1} (x - i)/(Y + x - i)      (for x >= F)
+//         = 1 - C(x, F) / C(Y+x, F)                   in general
+//
+// The number of rounds for M to leave the source is Geometric(p̃), which
+// explains Pull's large propagation-time STD (paper §7.2, Fig. 4).
+#pragma once
+
+#include <cstddef>
+
+namespace drum::analysis {
+
+/// p̃ as a function of group size n, fan-out f, and attack intensity x
+/// (fabricated pull-requests per round at the source).
+double p_tilde(std::size_t n, std::size_t f, double x);
+
+/// Expected rounds for M to leave the source in Pull: 1 / p̃.
+double pull_expected_rounds_to_leave_source(std::size_t n, std::size_t f,
+                                            double x);
+
+/// STD of the above geometric distribution: sqrt(1 - p̃) / p̃.
+double pull_std_rounds_to_leave_source(std::size_t n, std::size_t f, double x);
+
+/// P[M has not left the source after r rounds] = (1 - p̃)^r.
+double pull_stuck_probability(std::size_t n, std::size_t f, double x,
+                              std::size_t rounds);
+
+}  // namespace drum::analysis

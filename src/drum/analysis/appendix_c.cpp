@@ -1,0 +1,321 @@
+#include "drum/analysis/appendix_c.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "drum/analysis/binomial.hpp"
+
+namespace drum::analysis {
+
+namespace {
+
+// Probabilities below this are pruned from the state distribution; keeps the
+// two-population recursion fast without visible effect on the curves.
+constexpr double kPrune = 1e-13;
+
+struct OpConfig {
+  std::size_t view = 0;  // |view| for this operation
+  std::size_t fin = 0;   // per-round acceptance bound F_in
+  double x = 0.0;        // fabricated messages per round on this channel
+};
+
+// Distribution of Y = number of valid messages received on one channel in a
+// round by a given target, conditioned on a specific sender having chosen the
+// target and its message having arrived (paper §C.2.1). Index y in
+// [1, n-b-1]; element [0] unused.
+std::vector<double> valid_arrivals_pmf(std::size_t n, std::size_t b,
+                                       double loss, std::size_t view) {
+  const std::size_t correct = n - b;
+  std::vector<double> pr_y(correct, 0.0);
+  const double q_choose =
+      static_cast<double>(view) / static_cast<double>(n - 1);
+  // z = number of correct processes that chose the target (incl. our sender).
+  for (std::size_t z = 1; z <= correct - 1; ++z) {
+    double pz = binom_pmf(correct - 2, z - 1, q_choose);
+    if (pz < kPrune) continue;
+    // y - 1 of the other z - 1 messages survive loss.
+    for (std::size_t y = 1; y <= z; ++y) {
+      pr_y[y] += pz * binom_pmf(z - 1, y - 1, 1.0 - loss);
+    }
+  }
+  return pr_y;
+}
+
+// Discard probability d for one operation (push or pull-request reception):
+// the probability that our sender's already-arrived message is dropped by the
+// bounded random selection of F_in messages, optionally under x fabricated
+// messages per round (§C.2.2). Fabricated messages experience loss too.
+double discard_probability(std::size_t n, std::size_t b, double loss,
+                           const OpConfig& op, bool attacked) {
+  auto pr_y = valid_arrivals_pmf(n, b, loss, op.view);
+  const std::size_t correct = n - b;
+  const auto fin = static_cast<double>(op.fin);
+
+  if (!attacked || op.x <= 0.0) {
+    double d = 0.0;
+    for (std::size_t y = op.fin + 1; y <= correct - 1; ++y) {
+      d += pr_y[y] * (static_cast<double>(y) - fin) / static_cast<double>(y);
+    }
+    return d;
+  }
+
+  const auto x = static_cast<std::size_t>(std::llround(op.x));
+  auto pr_xhat = binom_pmf_vector(x, 1.0 - loss);
+  double d = 0.0;
+  for (std::size_t y = 1; y <= correct - 1; ++y) {
+    if (pr_y[y] < kPrune) continue;
+    double inner = 0.0;
+    for (std::size_t xh = 0; xh <= x; ++xh) {
+      double total = static_cast<double>(y + xh);
+      double drop = total > fin ? (total - fin) / total : 0.0;
+      inner += pr_xhat[xh] * drop;
+    }
+    d += pr_y[y] * inner;
+  }
+  return d;
+}
+
+OpConfig push_config(const DetailedParams& p) {
+  switch (p.protocol) {
+    case Protocol::kDrum:
+      return {p.fanout / 2, p.fanout / 2, p.x / 2};
+    case Protocol::kPush:
+      return {p.fanout, p.fanout, p.x};
+    case Protocol::kPull:
+      return {0, 0, 0.0};
+  }
+  throw std::logic_error("bad protocol");
+}
+
+OpConfig pull_config(const DetailedParams& p) {
+  switch (p.protocol) {
+    case Protocol::kDrum:
+      return {p.fanout / 2, p.fanout / 2, p.x / 2};
+    case Protocol::kPull:
+      return {p.fanout, p.fanout, p.x};
+    case Protocol::kPush:
+      return {0, 0, 0.0};
+  }
+  throw std::logic_error("bad protocol");
+}
+
+// One-step evolution of a probability distribution over "number of holders"
+// in a single population of size `pop`, where each non-holder independently
+// stays empty with probability `q_star(i)` given i holders.
+// dist[i] = P[S = i]. Generic helper for the no-attack recursion.
+std::vector<double> evolve_single(const std::vector<double>& dist,
+                                  std::size_t pop,
+                                  const std::vector<double>& q_star_by_i) {
+  std::vector<double> next(pop + 1, 0.0);
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    double pi = dist[i];
+    if (pi < kPrune) continue;
+    double succ = 1.0 - q_star_by_i[i];
+    std::size_t holes = pop - i;
+    auto gains = binom_pmf_vector(holes, succ);
+    for (std::size_t g = 0; g <= holes; ++g) {
+      next[i + g] += pi * gains[g];
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+// Defined below; shared by expected_coverage and expected_coverage_split.
+static std::vector<std::pair<double, double>> two_population_expectations(
+    const DetailedParams& p, const ChannelProbabilities& probs,
+    std::size_t attacked_count, std::size_t rounds);
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kDrum: return "drum";
+    case Protocol::kPush: return "push";
+    case Protocol::kPull: return "pull";
+  }
+  return "?";
+}
+
+ChannelProbabilities channel_probabilities(const DetailedParams& p) {
+  if (p.n < 3) throw std::invalid_argument("n too small");
+  if (p.b >= p.n) throw std::invalid_argument("b >= n");
+  ChannelProbabilities out;
+  const double frac = 1.0 / static_cast<double>(p.n - 1);
+  const double ok1 = 1.0 - p.loss;        // one traversal (push data)
+  const double ok2 = ok1 * ok1;           // request + reply traversal (pull)
+
+  OpConfig push = push_config(p);
+  if (push.view > 0) {
+    out.d_push_u = discard_probability(p.n, p.b, p.loss, push, false);
+    out.d_push_a = discard_probability(p.n, p.b, p.loss, push, true);
+    out.p_push_u = static_cast<double>(push.view) * frac * ok1 * (1.0 - out.d_push_u);
+    out.p_push_a = static_cast<double>(push.view) * frac * ok1 * (1.0 - out.d_push_a);
+  }
+  OpConfig pull = pull_config(p);
+  if (pull.view > 0) {
+    out.d_pull_u = discard_probability(p.n, p.b, p.loss, pull, false);
+    out.d_pull_a = discard_probability(p.n, p.b, p.loss, pull, true);
+    out.p_pull_u = static_cast<double>(pull.view) * frac * ok2 * (1.0 - out.d_pull_u);
+    out.p_pull_a = static_cast<double>(pull.view) * frac * ok2 * (1.0 - out.d_pull_a);
+  }
+  return out;
+}
+
+std::vector<double> expected_coverage(const DetailedParams& p,
+                                      std::size_t rounds) {
+  const std::size_t correct = p.n - p.b;
+  const auto probs = channel_probabilities(p);
+  std::vector<double> coverage;
+  coverage.reserve(rounds + 1);
+
+  const auto attacked_count = static_cast<std::size_t>(
+      std::llround(p.alpha * static_cast<double>(p.n)));
+  const bool under_attack = p.x > 0 && attacked_count > 0;
+
+  if (!under_attack) {
+    // §C.2.1 single-population recursion. Per-pair delivery probability:
+    double pp;
+    switch (p.protocol) {
+      case Protocol::kPush: pp = probs.p_push_u; break;
+      case Protocol::kPull: pp = probs.p_pull_u; break;
+      case Protocol::kDrum:
+        pp = 1.0 - (1.0 - probs.p_push_u) * (1.0 - probs.p_pull_u);
+        break;
+      default: throw std::logic_error("bad protocol");
+    }
+    const double q = 1.0 - pp;
+    // q_star(i) = q^i: probability a given non-holder gets nothing from i
+    // holders.
+    std::vector<double> q_star(correct + 1, 1.0);
+    for (std::size_t i = 1; i <= correct; ++i) q_star[i] = q_star[i - 1] * q;
+
+    std::vector<double> dist(correct + 1, 0.0);
+    dist[1] = 1.0;  // only the source holds M
+    for (std::size_t r = 0; r <= rounds; ++r) {
+      double e = 0.0;
+      for (std::size_t i = 0; i < dist.size(); ++i) {
+        e += dist[i] * static_cast<double>(i);
+      }
+      coverage.push_back(e / static_cast<double>(correct));
+      if (r < rounds) dist = evolve_single(dist, correct, q_star);
+    }
+    return coverage;
+  }
+
+  auto expectations =
+      two_population_expectations(p, probs, attacked_count, rounds);
+  for (const auto& [eu, ea] : expectations) {
+    coverage.push_back((eu + ea) / static_cast<double>(correct));
+  }
+  return coverage;
+}
+
+SplitCoverage expected_coverage_split(const DetailedParams& p,
+                                      std::size_t rounds) {
+  const auto attacked_count = static_cast<std::size_t>(
+      std::llround(p.alpha * static_cast<double>(p.n)));
+  if (p.x <= 0 || attacked_count == 0) {
+    throw std::invalid_argument("split coverage requires an active attack");
+  }
+  const auto probs = channel_probabilities(p);
+  auto expectations =
+      two_population_expectations(p, probs, attacked_count, rounds);
+  const std::size_t correct = p.n - p.b;
+  const std::size_t na = attacked_count;
+  const std::size_t nu = correct - na;
+  SplitCoverage out;
+  for (const auto& [eu, ea] : expectations) {
+    out.non_attacked.push_back(nu ? eu / static_cast<double>(nu) : 0.0);
+    out.attacked.push_back(ea / static_cast<double>(na));
+  }
+  return out;
+}
+
+// §C.2.2 two-population recursion: E[S^u_r], E[S^a_r] for r = 0..rounds.
+static std::vector<std::pair<double, double>> two_population_expectations(
+    const DetailedParams& p, const ChannelProbabilities& probs,
+    std::size_t attacked_count, std::size_t rounds) {
+  const std::size_t correct = p.n - p.b;
+  if (attacked_count > correct) {
+    throw std::invalid_argument("attacked processes exceed correct processes");
+  }
+  std::vector<std::pair<double, double>> expectations;
+  expectations.reserve(rounds + 1);
+  const std::size_t na = attacked_count;   // attacked correct processes
+  const std::size_t nu = correct - na;     // non-attacked correct processes
+
+  // Joint distribution P[S^u = i_u, S^a = i_a], flattened (i_u * (na+1) + i_a).
+  std::vector<double> dist((nu + 1) * (na + 1), 0.0);
+  dist[1] = 1.0;  // i_u = 0, i_a = 1: the attacked source
+
+  auto idx = [na](std::size_t iu, std::size_t ia) {
+    return iu * (na + 1) + ia;
+  };
+
+  for (std::size_t r = 0; r <= rounds; ++r) {
+    double eu = 0.0, ea = 0.0;
+    for (std::size_t iu = 0; iu <= nu; ++iu) {
+      for (std::size_t ia = 0; ia <= na; ++ia) {
+        eu += dist[idx(iu, ia)] * static_cast<double>(iu);
+        ea += dist[idx(iu, ia)] * static_cast<double>(ia);
+      }
+    }
+    expectations.emplace_back(eu, ea);
+    if (r == rounds) break;
+
+    std::vector<double> next((nu + 1) * (na + 1), 0.0);
+    for (std::size_t iu = 0; iu <= nu; ++iu) {
+      for (std::size_t ia = 0; ia <= na; ++ia) {
+        double pi = dist[idx(iu, ia)];
+        if (pi < kPrune) continue;
+        // q*_u / q*_a: probability that a given non-holding non-attacked /
+        // attacked process receives nothing this round (§C.2.2).
+        auto pw = [](double base, std::size_t e_) {
+          return std::pow(base, static_cast<double>(e_));
+        };
+        double qu, qa;
+        switch (p.protocol) {
+          case Protocol::kPush:
+            qu = pw(1.0 - probs.p_push_u, iu + ia);
+            qa = pw(1.0 - probs.p_push_a, iu + ia);
+            break;
+          case Protocol::kPull:
+            qu = qa = pw(1.0 - probs.p_pull_u, iu) *
+                      pw(1.0 - probs.p_pull_a, ia);
+            break;
+          case Protocol::kDrum:
+            qu = pw(1.0 - probs.p_push_u, iu + ia) *
+                 pw(1.0 - probs.p_pull_u, iu) * pw(1.0 - probs.p_pull_a, ia);
+            qa = pw(1.0 - probs.p_push_a, iu + ia) *
+                 pw(1.0 - probs.p_pull_u, iu) * pw(1.0 - probs.p_pull_a, ia);
+            break;
+          default:
+            throw std::logic_error("bad protocol");
+        }
+        auto gains_u = binom_pmf_vector(nu - iu, 1.0 - qu);
+        auto gains_a = binom_pmf_vector(na - ia, 1.0 - qa);
+        for (std::size_t gu = 0; gu <= nu - iu; ++gu) {
+          double pu_g = pi * gains_u[gu];
+          if (pu_g < kPrune) continue;
+          for (std::size_t ga = 0; ga <= na - ia; ++ga) {
+            next[idx(iu + gu, ia + ga)] += pu_g * gains_a[ga];
+          }
+        }
+      }
+    }
+    dist.swap(next);
+  }
+  return expectations;
+}
+
+std::size_t rounds_to_coverage(const DetailedParams& p, double threshold,
+                               std::size_t max_rounds) {
+  auto curve = expected_coverage(p, max_rounds);
+  for (std::size_t r = 0; r < curve.size(); ++r) {
+    if (curve[r] >= threshold) return r;
+  }
+  return max_rounds + 1;
+}
+
+}  // namespace drum::analysis

@@ -1,0 +1,70 @@
+// Appendix C of the paper: the detailed (non-asymptotic) numerical analysis
+// of Drum / Push / Pull, with link loss, crashed processes, and DoS attacks.
+//
+// The model tracks the number of correct processes holding message M as a
+// Markov chain. Without an attack it is the single-population recursion of
+// §C.2.1 (after [lpbcast]); under attack it is the two-population
+// (attacked / non-attacked) recursion of §C.2.2. The output is the expected
+// fraction of correct processes holding M at the beginning of each round —
+// exactly the curves plotted in the paper's Figures 13 and 14 against the
+// simulation results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace drum::analysis {
+
+enum class Protocol { kDrum, kPush, kPull };
+
+const char* protocol_name(Protocol p);
+
+struct DetailedParams {
+  Protocol protocol = Protocol::kDrum;
+  std::size_t n = 120;     ///< group size
+  std::size_t b = 0;       ///< faulty processes (crashed or malicious)
+  double loss = 0.01;      ///< link-loss probability ε
+  std::size_t fanout = 4;  ///< total fan-out F (Drum splits F/2 push + F/2 pull)
+  /// Attack: number of attacked correct processes is round(alpha * n)
+  /// (the paper's α is a fraction of the whole group; all attacked
+  /// processes are correct, and the source is attacked).
+  double alpha = 0.0;
+  /// Fabricated messages per round per attacked process (Drum splits x/2
+  /// push + x/2 pull-requests). 0 disables the attack.
+  double x = 0.0;
+};
+
+/// Per-operation message-discard and delivery probabilities (§C.2).
+struct ChannelProbabilities {
+  double d_push_u = 0, d_push_a = 0;  ///< discard prob at non-attacked/attacked target
+  double d_pull_u = 0, d_pull_a = 0;
+  double p_push_u = 0, p_push_a = 0;  ///< per-pair delivery prob via push
+  double p_pull_u = 0, p_pull_a = 0;  ///< per-pair delivery prob via pull
+};
+
+/// Computes all §C.2 channel probabilities for the given parameters.
+ChannelProbabilities channel_probabilities(const DetailedParams& p);
+
+/// Expected fraction of correct processes holding M at the *beginning* of
+/// rounds 0..rounds (inclusive), starting from only the source. Element 0 is
+/// 1/(n-b).
+std::vector<double> expected_coverage(const DetailedParams& p,
+                                      std::size_t rounds);
+
+/// First round r such that expected coverage >= threshold (e.g. 0.99);
+/// returns `rounds`+1 if never reached within the horizon.
+std::size_t rounds_to_coverage(const DetailedParams& p, double threshold,
+                               std::size_t max_rounds);
+
+/// Per-population coverage under attack (paper Fig. 6's split): expected
+/// fraction of the NON-ATTACKED and of the ATTACKED correct processes
+/// holding M at the beginning of each round. Requires an active attack
+/// (x > 0, alpha > 0); throws std::invalid_argument otherwise.
+struct SplitCoverage {
+  std::vector<double> non_attacked;
+  std::vector<double> attacked;
+};
+SplitCoverage expected_coverage_split(const DetailedParams& p,
+                                      std::size_t rounds);
+
+}  // namespace drum::analysis

@@ -1,0 +1,40 @@
+#include "drum/analysis/asymptotics.hpp"
+
+#include <cmath>
+
+#include "drum/analysis/appendix_a.hpp"
+#include "drum/analysis/appendix_b.hpp"
+
+namespace drum::analysis {
+
+DrumFans drum_effective_fans(std::size_t n, std::size_t f, double alpha,
+                             double x) {
+  // In Drum, F is split evenly: each half-channel sees x/2 fabricated
+  // messages with an acceptance bound of F/2. The paper's equations use the
+  // aggregated p_a/p_u; we evaluate them at the per-channel operating point,
+  // which preserves the F/2 : x/2 ratio the bounds depend on.
+  const double pa = p_a(n, f / 2 == 0 ? 1 : f / 2, x / 2);
+  const double pu = p_u(n, f / 2 == 0 ? 1 : f / 2);
+  const auto fd = static_cast<double>(f);
+  DrumFans fans;
+  // Eq. (6):  O^a = I^a = F * ((alpha+1)/2 * p_a + (1-alpha)/2 * p_u)
+  fans.attacked = fd * ((alpha + 1) / 2 * pa + (1 - alpha) / 2 * pu);
+  // Eq. (7):  O^u = I^u = F * (alpha/2 * p_a + (2-alpha)/2 * p_u)
+  fans.non_attacked = fd * (alpha / 2 * pa + (2 - alpha) / 2 * pu);
+  return fans;
+}
+
+double push_propagation_lower_bound(std::size_t n, std::size_t f, double alpha,
+                                    double x) {
+  const double pa = p_a(n, f, x);
+  const auto nd = static_cast<double>(n);
+  double numerator = std::log(nd) - std::log((1 - alpha) * nd + 1);
+  double denominator = std::log(1 + static_cast<double>(f) * alpha * pa);
+  return numerator / denominator;
+}
+
+double pull_source_escape_rounds(std::size_t n, std::size_t f, double x) {
+  return pull_expected_rounds_to_leave_source(n, f, x);
+}
+
+}  // namespace drum::analysis

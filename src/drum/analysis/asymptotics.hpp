@@ -1,0 +1,32 @@
+// Section 6 of the paper: closed-form asymptotic quantities.
+//
+//  * Drum's effective expected fan-in/out for attacked and non-attacked
+//    processes (Equations (1)-(7)) — these are what prove Lemma 1 (bounded
+//    propagation time in x) and Lemma 2 (an attacker should spread out).
+//  * Push's lower bound on propagation time (Lemma 4) — linear in x.
+//  * Pull's expected rounds-to-leave-source (Lemma 6) — linear in x.
+#pragma once
+
+#include <cstddef>
+
+namespace drum::analysis {
+
+/// Effective fan-in/out of Drum under an attack on a fraction alpha of the
+/// processes with x fabricated messages each per round (Equations (6)-(7)).
+struct DrumFans {
+  double attacked;      ///< O^a = I^a
+  double non_attacked;  ///< O^u = I^u
+};
+DrumFans drum_effective_fans(std::size_t n, std::size_t f, double alpha,
+                             double x);
+
+/// Lemma 4: lower bound on Push's expected propagation time to all
+/// processes: (ln n - ln((1-alpha)n + 1)) / ln(1 + F*alpha*p_a).
+double push_propagation_lower_bound(std::size_t n, std::size_t f, double alpha,
+                                    double x);
+
+/// Lemma 6 (via Appendix B): expected rounds for M to leave the source in
+/// Pull under an attack of x fabricated pull-requests per round.
+double pull_source_escape_rounds(std::size_t n, std::size_t f, double x);
+
+}  // namespace drum::analysis

@@ -1,0 +1,28 @@
+#include "drum/analysis/binomial.hpp"
+
+#include <cmath>
+
+namespace drum::analysis {
+
+double log_choose(std::size_t n, std::size_t k) {
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+double binom_pmf(std::size_t n, std::size_t k, double p) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  double lp = log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+              static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(lp);
+}
+
+std::vector<double> binom_pmf_vector(std::size_t n, double p) {
+  std::vector<double> out(n + 1);
+  for (std::size_t k = 0; k <= n; ++k) out[k] = binom_pmf(n, k, p);
+  return out;
+}
+
+}  // namespace drum::analysis

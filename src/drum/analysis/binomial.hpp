@@ -1,0 +1,21 @@
+// Numerically stable binomial probability helpers shared by the Appendix
+// A/B/C computations. Everything is done in log space via lgamma so that
+// n = 1000-scale binomials neither overflow nor underflow.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace drum::analysis {
+
+/// log C(n, k); requires 0 <= k <= n.
+double log_choose(std::size_t n, std::size_t k);
+
+/// Binomial pmf: P[Bin(n, p) = k].
+double binom_pmf(std::size_t n, std::size_t k, double p);
+
+/// Full pmf vector P[Bin(n, p) = k] for k = 0..n. Computed with one lgamma
+/// evaluation per term; exact enough for our n (<= a few thousand).
+std::vector<double> binom_pmf_vector(std::size_t n, double p);
+
+}  // namespace drum::analysis

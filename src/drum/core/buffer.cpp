@@ -1,0 +1,70 @@
+#include "drum/core/buffer.hpp"
+
+#include <algorithm>
+
+namespace drum::core {
+
+MessageBuffer::MessageBuffer(std::size_t buffer_rounds,
+                             std::size_t seen_rounds)
+    : buffer_rounds_(buffer_rounds),
+      seen_rounds_(std::max(seen_rounds, buffer_rounds)) {}
+
+bool MessageBuffer::insert(DataMessage msg, std::uint64_t current_round) {
+  if (seen(msg.id)) return false;
+  seen_[msg.id] = current_round + seen_rounds_;
+  MessageId id = msg.id;
+  buffer_.emplace(id, Entry{std::move(msg), current_round + buffer_rounds_});
+  return true;
+}
+
+bool MessageBuffer::seen(const MessageId& id) const {
+  return seen_.contains(id);
+}
+
+void MessageBuffer::on_round(std::uint64_t current_round) {
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (it->second.expires <= current_round) {
+      it = buffer_.erase(it);
+    } else {
+      ++it->second.msg.round_counter;
+      ++it;
+    }
+  }
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    if (it->second <= current_round) {
+      it = seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Digest MessageBuffer::digest() const {
+  Digest d;
+  d.reserve(buffer_.size());
+  for (const auto& [id, entry] : buffer_) d.push_back(id);
+  return d;
+}
+
+std::vector<DataMessage> MessageBuffer::select_missing(
+    const Digest& peer_digest, std::size_t max_count, util::Rng& rng) const {
+  std::unordered_set<MessageId, MessageIdHash> have(peer_digest.begin(),
+                                                    peer_digest.end());
+  std::vector<const Entry*> candidates;
+  candidates.reserve(buffer_.size());
+  for (const auto& [id, entry] : buffer_) {
+    if (!have.contains(id)) candidates.push_back(&entry);
+  }
+  // Random subset (partial Fisher-Yates).
+  std::vector<DataMessage> out;
+  std::size_t take = std::min(max_count, candidates.size());
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    std::size_t j = i + rng.below(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+    out.push_back(candidates[i]->msg);
+  }
+  return out;
+}
+
+}  // namespace drum::core

@@ -1,0 +1,55 @@
+// The node's message buffer (paper §4, §8.2): received messages are kept for
+// a fixed number of rounds and gossiped while buffered; old messages are
+// purged. A longer-lived "seen" set prevents purged messages that come back
+// from being re-delivered to the application.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "drum/core/message.hpp"
+#include "drum/util/rng.hpp"
+
+namespace drum::core {
+
+class MessageBuffer {
+ public:
+  /// `buffer_rounds`: rounds a message stays gossip-able.
+  /// `seen_rounds`: rounds a message id stays in the dedup set (>= buffer).
+  MessageBuffer(std::size_t buffer_rounds, std::size_t seen_rounds);
+
+  /// Inserts a new message. Returns false (and does nothing) if the id was
+  /// already seen — the dedup step of the paper's "sanity checks".
+  bool insert(DataMessage msg, std::uint64_t current_round);
+
+  [[nodiscard]] bool seen(const MessageId& id) const;
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+  /// Called once per local round: increments every buffered message's round
+  /// counter (paper §8.1) and purges expired entries / seen ids.
+  void on_round(std::uint64_t current_round);
+
+  /// Digest of all currently buffered message ids.
+  [[nodiscard]] Digest digest() const;
+
+  /// Up to `max_count` random buffered messages whose ids are NOT in
+  /// `peer_digest` — the "random subset of missing messages" both push and
+  /// pull responses send.
+  [[nodiscard]] std::vector<DataMessage> select_missing(
+      const Digest& peer_digest, std::size_t max_count, util::Rng& rng) const;
+
+ private:
+  struct Entry {
+    DataMessage msg;
+    std::uint64_t expires;  // round at which the entry is purged
+  };
+
+  std::size_t buffer_rounds_;
+  std::size_t seen_rounds_;
+  std::unordered_map<MessageId, Entry, MessageIdHash> buffer_;
+  std::unordered_map<MessageId, std::uint64_t, MessageIdHash> seen_;
+};
+
+}  // namespace drum::core

@@ -1,0 +1,100 @@
+#include "drum/core/groupfile.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "drum/net/udp_transport.hpp"
+#include "drum/util/bytes.hpp"
+
+namespace drum::core {
+
+namespace {
+
+std::string ipv4_to_string(std::uint32_t host) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (host >> 24) & 0xFF,
+                (host >> 16) & 0xFF, (host >> 8) & 0xFF, host & 0xFF);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_group_file(const std::vector<Peer>& peers) {
+  std::ostringstream os;
+  os << "# drum group file v1\n"
+     << "# id host wk_pull wk_offer sign_pub dh_pub\n";
+  for (const auto& p : peers) {
+    if (!p.present) continue;
+    os << p.id << ' ' << ipv4_to_string(p.host) << ' ' << p.wk_pull_port
+       << ' ' << p.wk_offer_port << ' '
+       << util::to_hex(util::ByteSpan(p.sign_pub.data(), p.sign_pub.size()))
+       << ' '
+       << util::to_hex(util::ByteSpan(p.dh_pub.data(), p.dh_pub.size()))
+       << '\n';
+  }
+  return os.str();
+}
+
+std::optional<std::vector<Peer>> parse_group_file(const std::string& text,
+                                                  std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<std::vector<Peer>> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+  std::vector<Peer> entries;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint32_t id;
+    std::string host_s, sign_hex, dh_hex;
+    std::uint32_t pull, offer;
+    if (!(ls >> id)) continue;  // blank / comment-only line
+    if (!(ls >> host_s >> pull >> offer >> sign_hex >> dh_hex)) {
+      return fail("line " + std::to_string(line_no) + ": missing fields");
+    }
+    if (pull > 65535 || offer > 65535) {
+      return fail("line " + std::to_string(line_no) + ": bad port");
+    }
+    Peer p;
+    p.id = id;
+    p.host = net::parse_ipv4(host_s.c_str());
+    if (p.host == 0) {
+      return fail("line " + std::to_string(line_no) + ": bad host");
+    }
+    p.wk_pull_port = static_cast<std::uint16_t>(pull);
+    p.wk_offer_port = static_cast<std::uint16_t>(offer);
+    auto sign = util::from_hex(sign_hex);
+    auto dh = util::from_hex(dh_hex);
+    if (!sign || sign->size() != p.sign_pub.size() || !dh ||
+        dh->size() != p.dh_pub.size()) {
+      return fail("line " + std::to_string(line_no) + ": bad key");
+    }
+    std::copy(sign->begin(), sign->end(), p.sign_pub.begin());
+    std::copy(dh->begin(), dh->end(), p.dh_pub.begin());
+    p.present = true;
+    entries.push_back(p);
+  }
+  if (entries.empty()) return fail("no members");
+  std::uint32_t max_id = 0;
+  for (const auto& p : entries) max_id = std::max(max_id, p.id);
+  std::vector<Peer> dir(max_id + 1);
+  for (std::uint32_t i = 0; i <= max_id; ++i) {
+    dir[i].id = i;
+    dir[i].present = false;
+  }
+  for (const auto& p : entries) {
+    if (dir[p.id].present) {
+      return fail("duplicate id " + std::to_string(p.id));
+    }
+    dir[p.id] = p;
+  }
+  return dir;
+}
+
+}  // namespace drum::core

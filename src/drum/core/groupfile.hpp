@@ -1,0 +1,28 @@
+// Group files: the on-disk peer directory for real multi-process
+// deployments (examples/drum_node). Plain text, one member per line:
+//
+//   # comments and blank lines allowed
+//   <id> <host-ipv4> <wk_pull_port> <wk_offer_port> <sign_pub_hex> <dh_pub_hex>
+//
+// The file carries only PUBLIC material; secret keys live in separate
+// per-node key files (crypto::Identity::serialize_secret).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "drum/core/node.hpp"
+
+namespace drum::core {
+
+/// Renders a directory as a group file.
+std::string format_group_file(const std::vector<Peer>& peers);
+
+/// Parses a group file into an id-indexed directory (holes marked
+/// !present). Returns nullopt on any malformed line; `error` (optional)
+/// receives a human-readable reason.
+std::optional<std::vector<Peer>> parse_group_file(const std::string& text,
+                                                  std::string* error = nullptr);
+
+}  // namespace drum::core

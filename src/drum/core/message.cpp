@@ -1,0 +1,189 @@
+#include "drum/core/message.hpp"
+
+namespace drum::core {
+
+namespace {
+
+void write_digest(util::ByteWriter& w, const Digest& d) {
+  w.u32(static_cast<std::uint32_t>(d.size()));
+  for (const auto& id : d) {
+    w.u32(id.source);
+    w.u64(id.seqno);
+  }
+}
+
+Digest read_digest(util::ByteReader& r, std::size_t max_digest) {
+  std::uint32_t count = r.u32();
+  if (count > max_digest) throw util::DecodeError("digest too large");
+  Digest d;
+  d.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MessageId id;
+    id.source = r.u32();
+    id.seqno = r.u64();
+    d.push_back(id);
+  }
+  return d;
+}
+
+void write_message(util::ByteWriter& w, const DataMessage& m) {
+  w.u32(m.id.source);
+  w.u64(m.id.seqno);
+  w.u32(m.round_counter);
+  w.bytes(util::ByteSpan(m.payload));
+  w.bytes(util::ByteSpan(m.cert));
+  w.raw(util::ByteSpan(m.signature.data(), m.signature.size()));
+}
+
+DataMessage read_message(util::ByteReader& r, std::size_t max_payload) {
+  DataMessage m;
+  m.id.source = r.u32();
+  m.id.seqno = r.u64();
+  m.round_counter = r.u32();
+  m.payload = r.bytes();
+  if (m.payload.size() > max_payload) {
+    throw util::DecodeError("payload too large");
+  }
+  m.cert = r.bytes();
+  if (m.cert.size() > 1024) throw util::DecodeError("certificate too large");
+  auto sig = r.raw(m.signature.size());
+  std::copy(sig.begin(), sig.end(), m.signature.begin());
+  return m;
+}
+
+std::vector<DataMessage> read_messages(util::ByteReader& r,
+                                       std::size_t max_messages,
+                                       std::size_t max_payload) {
+  std::uint32_t count = r.u32();
+  if (count > max_messages) throw util::DecodeError("too many data messages");
+  std::vector<DataMessage> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(read_message(r, max_payload));
+  }
+  return out;
+}
+
+util::ByteReader begin_decode(util::ByteSpan wire, MsgType expected) {
+  util::ByteReader r(wire);
+  if (r.u8() != static_cast<std::uint8_t>(expected)) {
+    throw util::DecodeError("unexpected message type");
+  }
+  return r;
+}
+
+}  // namespace
+
+util::Bytes DataMessage::signed_bytes() const {
+  util::ByteWriter w;
+  w.u32(id.source);
+  w.u64(id.seqno);
+  w.bytes(util::ByteSpan(payload));
+  return w.take();
+}
+
+util::Bytes encode(const PullRequest& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPullRequest));
+  w.u32(m.sender);
+  write_digest(w, m.digest);
+  w.bytes(util::ByteSpan(m.boxed_reply_port));
+  w.bytes(util::ByteSpan(m.cert));
+  return w.take();
+}
+
+util::Bytes encode(const PullReply& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPullReply));
+  w.u32(m.sender);
+  w.u32(static_cast<std::uint32_t>(m.messages.size()));
+  for (const auto& msg : m.messages) write_message(w, msg);
+  return w.take();
+}
+
+util::Bytes encode(const PushOffer& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPushOffer));
+  w.u32(m.sender);
+  w.bytes(util::ByteSpan(m.boxed_reply_port));
+  w.bytes(util::ByteSpan(m.cert));
+  return w.take();
+}
+
+util::Bytes encode(const PushReply& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPushReply));
+  w.u32(m.sender);
+  write_digest(w, m.digest);
+  w.bytes(util::ByteSpan(m.boxed_data_port));
+  return w.take();
+}
+
+util::Bytes encode(const PushData& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPushData));
+  w.u32(m.sender);
+  w.u32(static_cast<std::uint32_t>(m.messages.size()));
+  for (const auto& msg : m.messages) write_message(w, msg);
+  return w.take();
+}
+
+MsgType peek_type(util::ByteSpan wire) {
+  if (wire.empty()) throw util::DecodeError("empty datagram");
+  return static_cast<MsgType>(wire[0]);
+}
+
+PullRequest decode_pull_request(util::ByteSpan wire, std::size_t max_digest) {
+  auto r = begin_decode(wire, MsgType::kPullRequest);
+  PullRequest m;
+  m.sender = r.u32();
+  m.digest = read_digest(r, max_digest);
+  m.boxed_reply_port = r.bytes();
+  m.cert = r.bytes();
+  if (m.cert.size() > 1024) throw util::DecodeError("certificate too large");
+  r.expect_done();
+  return m;
+}
+
+PullReply decode_pull_reply(util::ByteSpan wire, std::size_t max_messages,
+                            std::size_t max_payload) {
+  auto r = begin_decode(wire, MsgType::kPullReply);
+  PullReply m;
+  m.sender = r.u32();
+  m.messages = read_messages(r, max_messages, max_payload);
+  r.expect_done();
+  return m;
+}
+
+PushOffer decode_push_offer(util::ByteSpan wire) {
+  auto r = begin_decode(wire, MsgType::kPushOffer);
+  PushOffer m;
+  m.sender = r.u32();
+  m.boxed_reply_port = r.bytes();
+  m.cert = r.bytes();
+  if (m.cert.size() > 1024) throw util::DecodeError("certificate too large");
+  r.expect_done();
+  return m;
+}
+
+PushReply decode_push_reply(util::ByteSpan wire, std::size_t max_digest) {
+  auto r = begin_decode(wire, MsgType::kPushReply);
+  PushReply m;
+  m.sender = r.u32();
+  m.digest = read_digest(r, max_digest);
+  m.boxed_data_port = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+PushData decode_push_data(util::ByteSpan wire, std::size_t max_messages,
+                          std::size_t max_payload) {
+  auto r = begin_decode(wire, MsgType::kPushData);
+  PushData m;
+  m.sender = r.u32();
+  m.messages = read_messages(r, max_messages, max_payload);
+  r.expect_done();
+  return m;
+}
+
+}  // namespace drum::core

@@ -1,0 +1,123 @@
+// Wire formats of the real Drum protocol (paper §4):
+//
+//   PullRequest  -> target's well-known pull port:
+//                   digest + encrypted random port awaiting the reply
+//   PullReply    -> requester's (decrypted) random port: data messages
+//   PushOffer    -> target's well-known offer port:
+//                   encrypted random port awaiting the push-reply
+//   PushReply    -> offerer's random port: digest + encrypted random data port
+//   PushData     -> target's (decrypted) random data port: data messages
+//
+// Every data message is signed by its source (Ed25519) over
+// (source, seqno, payload); the per-hop round counter used for latency
+// accounting (paper §8.1) is *outside* the signature because every holder
+// increments it each round.
+//
+// All encode/decode is little-endian via drum::util::ByteWriter/Reader;
+// decode throws util::DecodeError on malformed input (fabricated packets do
+// this all the time — the node counts and drops them).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "drum/crypto/ed25519.hpp"
+#include "drum/util/bytes.hpp"
+
+namespace drum::core {
+
+/// Globally unique message identity: (source id, per-source sequence number).
+struct MessageId {
+  std::uint32_t source = 0;
+  std::uint64_t seqno = 0;
+
+  auto operator<=>(const MessageId&) const = default;
+};
+
+struct MessageIdHash {
+  std::size_t operator()(const MessageId& id) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.source) << 40) ^ id.seqno);
+  }
+};
+
+/// An application multicast message as carried on the wire.
+struct DataMessage {
+  MessageId id;
+  /// Paper §8.1 round counter: 0 at creation, incremented once per local
+  /// round by every process holding the message; receivers log it as the
+  /// message's propagation time in rounds.
+  std::uint32_t round_counter = 0;
+  util::Bytes payload;
+  /// Paper §10 certificate piggybacking: optionally, the source's CA-signed
+  /// certificate rides along with the message (empty = none), letting
+  /// receivers with incomplete membership databases authenticate unknown
+  /// sources. Self-authenticating (CA signature inside), so it is outside
+  /// the source's own signature and travels with every forwarded copy.
+  util::Bytes cert;
+  crypto::Ed25519Signature signature{};
+
+  /// The bytes the source signs (excludes round_counter and cert).
+  [[nodiscard]] util::Bytes signed_bytes() const;
+};
+
+using Digest = std::vector<MessageId>;
+
+enum class MsgType : std::uint8_t {
+  kPullRequest = 1,
+  kPullReply = 2,
+  kPushOffer = 3,
+  kPushReply = 4,
+  kPushData = 5,
+};
+
+struct PullRequest {
+  std::uint32_t sender = 0;
+  Digest digest;
+  util::Bytes boxed_reply_port;  ///< portbox under the pair key
+  util::Bytes cert;              ///< §10 piggybacked certificate (optional)
+};
+
+struct PullReply {
+  std::uint32_t sender = 0;
+  std::vector<DataMessage> messages;
+};
+
+struct PushOffer {
+  std::uint32_t sender = 0;
+  util::Bytes boxed_reply_port;
+  util::Bytes cert;  ///< §10 piggybacked certificate (optional)
+};
+
+struct PushReply {
+  std::uint32_t sender = 0;
+  Digest digest;
+  util::Bytes boxed_data_port;
+};
+
+struct PushData {
+  std::uint32_t sender = 0;
+  std::vector<DataMessage> messages;
+};
+
+util::Bytes encode(const PullRequest& m);
+util::Bytes encode(const PullReply& m);
+util::Bytes encode(const PushOffer& m);
+util::Bytes encode(const PushReply& m);
+util::Bytes encode(const PushData& m);
+
+/// Peeks at the type byte; throws DecodeError on empty input.
+MsgType peek_type(util::ByteSpan wire);
+
+/// Each decode_* checks the type byte and full consumption; throws
+/// util::DecodeError otherwise. `max_*` caps guard against memory-
+/// amplification from fabricated packets.
+PullRequest decode_pull_request(util::ByteSpan wire, std::size_t max_digest);
+PullReply decode_pull_reply(util::ByteSpan wire, std::size_t max_messages,
+                            std::size_t max_payload);
+PushOffer decode_push_offer(util::ByteSpan wire);
+PushReply decode_push_reply(util::ByteSpan wire, std::size_t max_digest);
+PushData decode_push_data(util::ByteSpan wire, std::size_t max_messages,
+                          std::size_t max_payload);
+
+}  // namespace drum::core

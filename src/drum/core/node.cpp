@@ -1,0 +1,387 @@
+#include "drum/core/node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "drum/crypto/portbox.hpp"
+#include "drum/util/log.hpp"
+
+namespace drum::core {
+
+Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
+           net::Transport& transport, std::uint64_t rng_seed,
+           DeliverFn on_deliver)
+    : cfg_(cfg),
+      identity_(std::move(identity)),
+      peers_(std::move(peers)),
+      transport_(transport),
+      rng_(rng_seed),
+      on_deliver_(std::move(on_deliver)),
+      buffer_(cfg.buffer_rounds, cfg.seen_rounds) {
+  if (cfg_.id >= peers_.size() || peers_[cfg_.id].id != cfg_.id) {
+    throw std::invalid_argument("peer directory must be indexed by id");
+  }
+  auto bind_wk = [&](std::uint16_t port, Channel ch) {
+    auto sock = transport_.bind(port);
+    if (!sock) throw std::runtime_error("failed to bind well-known port");
+    sockets_.push_back(BoundSocket{std::move(sock), ch, 0, true});
+  };
+  if (cfg_.pull_enabled()) bind_wk(cfg_.wk_pull_port, Channel::kPullReq);
+  if (cfg_.push_enabled()) bind_wk(cfg_.wk_offer_port, Channel::kOffer);
+  if (cfg_.variant == Variant::kDrumWkPorts) {
+    bind_wk(cfg_.wk_pull_reply_port, Channel::kPullData);
+    cur_pull_reply_port_ = cfg_.wk_pull_reply_port;
+  }
+  rotate_random_ports();
+  send_gossip();
+}
+
+const Peer* Node::find_peer(std::uint32_t id) const {
+  if (id >= peers_.size() || !peers_[id].present) return nullptr;
+  return &peers_[id];
+}
+
+// Looks up the sender; if unknown, tries to admit it via a piggybacked
+// CA-signed certificate (paper §10). Returns nullptr when the sender stays
+// unknown; increments the unknown_sender stat in that case.
+const Peer* Node::resolve_sender(std::uint32_t id, const util::Bytes& cert) {
+  if (id == cfg_.id) {
+    ++stats_.unknown_sender;
+    return nullptr;
+  }
+  if (const Peer* p = find_peer(id)) return p;
+  std::optional<Peer> admitted;
+  if (!cert.empty() && cert_validator_) {
+    admitted = cert_validator_(util::ByteSpan(cert));
+  }
+  if (!admitted || admitted->id != id) {
+    ++stats_.unknown_sender;
+    return nullptr;
+  }
+  if (admitted->id >= peers_.size()) {
+    std::size_t old = peers_.size();
+    peers_.resize(admitted->id + 1);
+    for (std::size_t i = old; i < peers_.size(); ++i) {
+      peers_[i].id = static_cast<std::uint32_t>(i);
+      peers_[i].present = false;
+    }
+  }
+  peers_[admitted->id] = *admitted;
+  ++stats_.certs_admitted;
+  return &peers_[id];
+}
+
+void Node::update_peers(std::vector<Peer> peers) {
+  if (cfg_.id >= peers.size() || !peers[cfg_.id].present) {
+    throw std::invalid_argument("own entry missing from new directory");
+  }
+  for (std::uint32_t id = 0; id < peers.size(); ++id) {
+    if (peers[id].present && peers[id].id != id) {
+      throw std::invalid_argument("peer directory must be indexed by id");
+    }
+  }
+  // Drop cached pair keys for entries whose DH key changed or vanished.
+  for (auto it = pair_keys_.begin(); it != pair_keys_.end();) {
+    std::uint32_t id = it->first;
+    bool keep = id < peers.size() && peers[id].present &&
+                id < peers_.size() && peers_[id].present &&
+                peers[id].dh_pub == peers_[id].dh_pub;
+    it = keep ? std::next(it) : pair_keys_.erase(it);
+  }
+  peers_ = std::move(peers);
+}
+
+util::ByteSpan Node::pair_key(std::uint32_t peer_id) {
+  auto it = pair_keys_.find(peer_id);
+  if (it == pair_keys_.end()) {
+    it = pair_keys_
+             .emplace(peer_id,
+                      identity_.derive_pair_key(peers_[peer_id].dh_pub))
+             .first;
+  }
+  return util::ByteSpan(it->second);
+}
+
+std::size_t Node::channel_budget(Channel c) const {
+  switch (c) {
+    case Channel::kOffer: return cfg_.offer_budget();
+    case Channel::kPullReq: return cfg_.pull_request_budget();
+    case Channel::kPushReply: return cfg_.push_reply_budget();
+    case Channel::kPullData: return cfg_.pull_data_budget();
+    case Channel::kPushData: return cfg_.push_data_budget();
+  }
+  return 0;
+}
+
+bool Node::budget_available(Channel c) const {
+  const bool control = c == Channel::kOffer || c == Channel::kPullReq ||
+                       c == Channel::kPushReply;
+  if (cfg_.variant == Variant::kDrumSharedBounds && control) {
+    return shared_control_used_ < cfg_.shared_control_budget();
+  }
+  auto it = used_.find(static_cast<int>(c));
+  std::size_t used = it == used_.end() ? 0 : it->second;
+  return used < channel_budget(c);
+}
+
+void Node::consume_budget(Channel c) {
+  const bool control = c == Channel::kOffer || c == Channel::kPullReq ||
+                       c == Channel::kPushReply;
+  if (cfg_.variant == Variant::kDrumSharedBounds && control) {
+    ++shared_control_used_;
+  } else {
+    ++used_[static_cast<int>(c)];
+  }
+}
+
+void Node::poll() {
+  for (auto& bs : sockets_) {
+    while (budget_available(bs.channel)) {
+      auto dgram = bs.sock->recv();
+      if (!dgram) break;
+      // Reading a datagram consumes the channel's budget *regardless of its
+      // validity* — processing bogus requests is precisely the resource a
+      // DoS attack burns (paper §1, §4).
+      consume_budget(bs.channel);
+      ++stats_.datagrams_read;
+      try {
+        process(bs, *dgram);
+      } catch (const util::DecodeError&) {
+        ++stats_.decode_errors;
+      }
+    }
+  }
+}
+
+void Node::process(const BoundSocket& bs, const net::Datagram& dgram) {
+  util::ByteSpan wire(dgram.payload);
+  switch (bs.channel) {
+    case Channel::kPullReq:
+      handle_pull_request(dgram);
+      break;
+    case Channel::kOffer:
+      handle_push_offer(dgram);
+      break;
+    case Channel::kPushReply:
+      handle_push_reply(dgram);
+      break;
+    case Channel::kPullData:
+      handle_data(wire, /*is_pull_reply=*/true);
+      break;
+    case Channel::kPushData:
+      handle_data(wire, /*is_pull_reply=*/false);
+      break;
+  }
+}
+
+void Node::handle_pull_request(const net::Datagram& dgram) {
+  auto req = decode_pull_request(util::ByteSpan(dgram.payload), cfg_.max_digest);
+  const Peer* peer = resolve_sender(req.sender, req.cert);
+  if (!peer) return;
+  auto port = crypto::portbox_open_port(pair_key(req.sender),
+                                        util::ByteSpan(req.boxed_reply_port));
+  if (!port) {
+    ++stats_.box_failures;  // fabricated or corrupted request
+    return;
+  }
+  auto msgs = buffer_.select_missing(req.digest, cfg_.max_msgs_per_gossip, rng_);
+  ++stats_.pull_requests_served;
+  if (msgs.empty()) return;
+  PullReply reply{cfg_.id, std::move(msgs)};
+  // The reply goes to the requester's random (boxed) port. We send from our
+  // own ephemeral data socket so nothing about our well-known ports leaks
+  // extra traffic; any socket may send in UDP.
+  sockets_.front().sock->send(net::Address{peer->host, *port},
+                              util::ByteSpan(encode(reply)));
+}
+
+void Node::handle_push_offer(const net::Datagram& dgram) {
+  auto offer = decode_push_offer(util::ByteSpan(dgram.payload));
+  const Peer* peer = resolve_sender(offer.sender, offer.cert);
+  if (!peer) return;
+  auto port = crypto::portbox_open_port(pair_key(offer.sender),
+                                        util::ByteSpan(offer.boxed_reply_port));
+  if (!port) {
+    ++stats_.box_failures;
+    return;
+  }
+  ++stats_.push_offers_answered;
+  PushReply reply;
+  reply.sender = cfg_.id;
+  reply.digest = buffer_.digest();
+  reply.boxed_data_port = crypto::portbox_seal_port(
+      pair_key(offer.sender), cur_push_data_port_, rng_);
+  sockets_.front().sock->send(net::Address{peer->host, *port},
+                              util::ByteSpan(encode(reply)));
+}
+
+void Node::handle_push_reply(const net::Datagram& dgram) {
+  auto reply = decode_push_reply(util::ByteSpan(dgram.payload), cfg_.max_digest);
+  const Peer* peer = find_peer(reply.sender);
+  if (!peer || reply.sender == cfg_.id) {
+    ++stats_.unknown_sender;
+    return;
+  }
+  auto port = crypto::portbox_open_port(pair_key(reply.sender),
+                                        util::ByteSpan(reply.boxed_data_port));
+  if (!port) {
+    ++stats_.box_failures;
+    return;
+  }
+  auto msgs =
+      buffer_.select_missing(reply.digest, cfg_.max_msgs_per_gossip, rng_);
+  ++stats_.push_replies_acted;
+  if (msgs.empty()) return;
+  PushData data{cfg_.id, std::move(msgs)};
+  sockets_.front().sock->send(net::Address{peer->host, *port},
+                              util::ByteSpan(encode(data)));
+}
+
+void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {
+  std::vector<DataMessage> msgs;
+  if (is_pull_reply) {
+    msgs = decode_pull_reply(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload)
+               .messages;
+  } else {
+    msgs = decode_push_data(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload)
+               .messages;
+  }
+  for (auto& msg : msgs) {
+    if (buffer_.seen(msg.id)) {
+      ++stats_.duplicates;
+      continue;
+    }
+    // Sanity checks (paper §4): known source (possibly admitted via its
+    // §10 piggybacked certificate) + valid source signature.
+    const Peer* source = msg.id.source == cfg_.id
+                             ? find_peer(msg.id.source)
+                             : resolve_sender(msg.id.source, msg.cert);
+    if (!source) continue;
+    if (cfg_.verify_signatures &&
+        !crypto::verify(source->sign_pub, util::ByteSpan(msg.signed_bytes()),
+                        msg.signature)) {
+      ++stats_.sig_failures;
+      continue;
+    }
+    Delivery delivery{msg, msg.round_counter};
+    buffer_.insert(std::move(msg), round_);
+    ++stats_.delivered;
+    if (on_deliver_) on_deliver_(delivery);
+  }
+}
+
+void Node::rotate_random_ports() {
+  // Retire expired random sockets.
+  std::erase_if(sockets_, [&](const BoundSocket& bs) {
+    return !bs.well_known &&
+           bs.created_round + cfg_.port_lifetime_rounds <= round_;
+  });
+  auto bind_random = [&](Channel ch) -> std::uint16_t {
+    auto sock = transport_.bind(0);
+    if (!sock) return 0;
+    std::uint16_t port = sock->local().port;
+    sockets_.push_back(BoundSocket{std::move(sock), ch, round_, false});
+    return port;
+  };
+  if (cfg_.pull_enabled() && cfg_.variant != Variant::kDrumWkPorts) {
+    cur_pull_reply_port_ = bind_random(Channel::kPullData);
+  }
+  if (cfg_.push_enabled()) {
+    cur_push_reply_port_ = bind_random(Channel::kPushReply);
+    cur_push_data_port_ = bind_random(Channel::kPushData);
+  }
+}
+
+void Node::send_gossip() {
+  // Candidate gossip partners: present peers other than ourselves.
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(peers_.size());
+  for (const auto& p : peers_) {
+    if (p.present && p.id != cfg_.id) candidates.push_back(p.id);
+  }
+  if (candidates.empty()) return;
+  const auto nc = static_cast<std::uint32_t>(candidates.size());
+
+  if (cfg_.pull_enabled()) {
+    auto view = rng_.sample(nc, static_cast<std::uint32_t>(cfg_.view_pull()),
+                            nc);
+    Digest digest = buffer_.digest();
+    for (auto idx : view) {
+      std::uint32_t t = candidates[idx];
+      PullRequest req;
+      req.sender = cfg_.id;
+      req.digest = digest;
+      req.cert = own_cert_;
+      req.boxed_reply_port =
+          crypto::portbox_seal_port(pair_key(t), cur_pull_reply_port_, rng_);
+      sockets_.front().sock->send(
+          net::Address{peers_[t].host, peers_[t].wk_pull_port},
+          util::ByteSpan(encode(req)));
+    }
+  }
+  if (cfg_.push_enabled()) {
+    auto view = rng_.sample(nc, static_cast<std::uint32_t>(cfg_.view_push()),
+                            nc);
+    for (auto idx : view) {
+      std::uint32_t t = candidates[idx];
+      PushOffer offer;
+      offer.sender = cfg_.id;
+      offer.cert = own_cert_;
+      offer.boxed_reply_port =
+          crypto::portbox_seal_port(pair_key(t), cur_push_reply_port_, rng_);
+      sockets_.front().sock->send(
+          net::Address{peers_[t].host, peers_[t].wk_offer_port},
+          util::ByteSpan(encode(offer)));
+    }
+  }
+}
+
+void Node::on_round() {
+  // Final processing pass for the ending round: anything that arrived since
+  // the last poll() is still "this round's" input and deserves its shot at
+  // the remaining budgets (the Java implementation reads continuously; this
+  // keeps coarse drivers that poll rarely faithful to that).
+  poll();
+
+  ++round_;
+  ++stats_.rounds;
+
+  // Discard all unread messages from the incoming buffers (paper §4) —
+  // anything beyond this round's budgets, i.e. mostly the flood. (The
+  // discard_unread=false ablation keeps the backlog instead; see config.)
+  if (cfg_.discard_unread) {
+    for (auto& bs : sockets_) {
+      while (auto d = bs.sock->recv()) {
+        ++stats_.flushed_unread;
+      }
+    }
+  }
+  used_.clear();
+  shared_control_used_ = 0;
+
+  buffer_.on_round(round_);
+  rotate_random_ports();
+  send_gossip();
+}
+
+void Node::set_own_certificate(util::Bytes own_cert) {
+  own_cert_ = std::move(own_cert);
+}
+
+void Node::set_cert_validator(CertValidator validator) {
+  cert_validator_ = std::move(validator);
+}
+
+MessageId Node::multicast(util::ByteSpan payload) {
+  DataMessage msg;
+  msg.id = MessageId{cfg_.id, next_seqno_++};
+  msg.payload.assign(payload.begin(), payload.end());
+  msg.cert = own_cert_;  // §10 piggybacking (empty when not enabled)
+  msg.signature = identity_.sign(util::ByteSpan(msg.signed_bytes()));
+  // Paper §8.1: the source logs 0 and immediately advances the counter to 1.
+  msg.round_counter = 1;
+  buffer_.insert(std::move(msg), round_);
+  return MessageId{cfg_.id, next_seqno_ - 1};
+}
+
+}  // namespace drum::core

@@ -1,0 +1,183 @@
+// The real Drum protocol node (paper §4, §8) and its variants.
+//
+// A Node is a passive, single-threaded object driven by its runner:
+//   poll()      — drain sockets, processing datagrams within per-round,
+//                 per-channel budgets (excess stays queued and is discarded
+//                 at the end of the round, exactly as the paper prescribes);
+//   on_round()  — the local gossip round tick: purge + age the buffer,
+//                 flush unread queues, rotate random ports, reset budgets,
+//                 then send this round's pull-requests and push-offers;
+//   multicast() — originate a signed application message.
+//
+// Rounds are *local*: each runner jitters its tick, so rounds are
+// unsynchronized across nodes (paper §8). The five reception channels and
+// their budgets:
+//
+//   channel            port            budget (defaults, Drum)
+//   push-offer         well-known      |view_push| (2)
+//   pull-request       well-known      send_capacity/2 (2)
+//   push-reply         random, boxed   send_capacity/2 (2)
+//   pull-reply data    random, boxed   recv_data_capacity/2 (4)
+//   push data          random, boxed   recv_data_capacity/2 (4)
+//
+// kDrumSharedBounds merges the three control budgets into one joint budget
+// (§9); kDrumWkPorts replaces the random pull-reply port with a fixed,
+// attackable one (§9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "drum/core/buffer.hpp"
+#include "drum/core/config.hpp"
+#include "drum/core/message.hpp"
+#include "drum/crypto/keys.hpp"
+#include "drum/net/transport.hpp"
+#include "drum/util/rng.hpp"
+
+namespace drum::core {
+
+/// Directory entry for a group member: identity keys plus the well-known
+/// ports an attacker also knows. Produced by the membership layer (static in
+/// §8's experiments; dynamic in drum::membership).
+struct Peer {
+  std::uint32_t id = 0;
+  std::uint32_t host = 0;
+  std::uint16_t wk_pull_port = 0;
+  std::uint16_t wk_offer_port = 0;
+  std::uint16_t wk_pull_reply_port = 0;  ///< kDrumWkPorts only
+  crypto::Ed25519PublicKey sign_pub{};
+  crypto::X25519Key dh_pub{};
+  /// False marks a hole in the directory (left/expelled/suspected member).
+  /// Absent members are never gossiped with and their messages are dropped.
+  bool present = true;
+};
+
+struct NodeStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t delivered = 0;    ///< new messages handed to the application
+  std::uint64_t duplicates = 0;
+  std::uint64_t datagrams_read = 0;
+  std::uint64_t flushed_unread = 0;  ///< discarded at end of round (incl. flood)
+  std::uint64_t decode_errors = 0;   ///< malformed (usually fabricated) input
+  std::uint64_t box_failures = 0;    ///< port boxes that failed to open
+  std::uint64_t sig_failures = 0;
+  std::uint64_t unknown_sender = 0;
+  std::uint64_t certs_admitted = 0;  ///< unknown sources authenticated via
+                                     ///< piggybacked certificates (§10)
+  std::uint64_t pull_requests_served = 0;
+  std::uint64_t push_offers_answered = 0;
+  std::uint64_t push_replies_acted = 0;
+};
+
+class Node {
+ public:
+  struct Delivery {
+    DataMessage msg;
+    /// The message's round counter at reception — its propagation time in
+    /// rounds (paper §8.1).
+    std::uint32_t hops = 0;
+  };
+  using DeliverFn = std::function<void(const Delivery&)>;
+
+  /// `peers` must contain one entry per group member including this node
+  /// (index == id). Binds the node's well-known ports on `transport`
+  /// immediately; throws std::runtime_error if they are taken.
+  Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
+       net::Transport& transport, std::uint64_t rng_seed,
+       DeliverFn on_deliver);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Drains sockets, processing within this round's remaining budgets.
+  void poll();
+
+  /// Local gossip round tick.
+  void on_round();
+
+  /// Originates a signed multicast message (this node is its source).
+  /// Returns the assigned message id.
+  MessageId multicast(util::ByteSpan payload);
+
+  /// Replaces the peer directory (dynamic membership, paper §10). The new
+  /// directory must still be indexed by id (use Peer::present = false for
+  /// holes) and must keep this node's own entry present.
+  void update_peers(std::vector<Peer> peers);
+
+  /// §10 certificate piggybacking. `own_cert` (an encoded, CA-signed
+  /// certificate) is attached to every message this node originates and
+  /// travels with forwarded copies. `validator` is consulted for data
+  /// messages from sources missing from the directory: given the attached
+  /// certificate bytes it returns the authenticated Peer (or nullopt); on
+  /// success the node admits the source into its directory and processes
+  /// the message normally. The membership layer installs both.
+  using CertValidator =
+      std::function<std::optional<Peer>(util::ByteSpan cert)>;
+  void set_own_certificate(util::Bytes own_cert);
+  void set_cert_validator(CertValidator validator);
+
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] const NodeConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] bool has_message(const MessageId& id) const {
+    return buffer_.seen(id);
+  }
+
+ private:
+  enum class Channel { kOffer, kPullReq, kPushReply, kPullData, kPushData };
+
+  struct BoundSocket {
+    std::unique_ptr<net::Socket> sock;
+    Channel channel;
+    std::uint64_t created_round = 0;
+    bool well_known = false;
+  };
+
+  void process(const BoundSocket& bs, const net::Datagram& dgram);
+  void handle_pull_request(const net::Datagram& dgram);
+  void handle_push_offer(const net::Datagram& dgram);
+  void handle_push_reply(const net::Datagram& dgram);
+  void handle_data(util::ByteSpan wire, bool is_pull_reply);
+
+  bool budget_available(Channel c) const;
+  void consume_budget(Channel c);
+  std::size_t channel_budget(Channel c) const;
+
+  const Peer* find_peer(std::uint32_t id) const;
+  const Peer* resolve_sender(std::uint32_t id, const util::Bytes& cert);
+  util::ByteSpan pair_key(std::uint32_t peer_id);
+  void rotate_random_ports();
+  void send_gossip();
+
+  NodeConfig cfg_;
+  crypto::Identity identity_;
+  std::vector<Peer> peers_;
+  net::Transport& transport_;
+  util::Rng rng_;
+  DeliverFn on_deliver_;
+
+  MessageBuffer buffer_;
+  std::uint64_t round_ = 0;
+  std::uint64_t next_seqno_ = 0;
+
+  std::vector<BoundSocket> sockets_;  // well-known first, then rotating
+  std::uint16_t cur_pull_reply_port_ = 0;
+  std::uint16_t cur_push_reply_port_ = 0;
+  std::uint16_t cur_push_data_port_ = 0;
+
+  // Per-round budget usage.
+  std::unordered_map<int, std::size_t> used_;
+  std::size_t shared_control_used_ = 0;
+
+  std::unordered_map<std::uint32_t, util::Bytes> pair_keys_;
+  util::Bytes own_cert_;
+  CertValidator cert_validator_;
+  NodeStats stats_;
+};
+
+}  // namespace drum::core

@@ -1,0 +1,52 @@
+#include "drum/core/ordered.hpp"
+
+namespace drum::core {
+
+FifoOrderer::FifoOrderer(DeliverFn deliver, GapFn on_gap,
+                         std::uint64_t gap_timeout_rounds)
+    : deliver_(std::move(deliver)),
+      on_gap_(std::move(on_gap)),
+      gap_timeout_(gap_timeout_rounds) {}
+
+void FifoOrderer::drain(std::uint32_t source, SourceState& st) {
+  (void)source;
+  while (true) {
+    auto it = st.holdback.find(st.next_seq);
+    if (it == st.holdback.end()) break;
+    if (deliver_) deliver_(it->second);
+    st.holdback.erase(it);
+    ++st.next_seq;
+  }
+  st.blocked = !st.holdback.empty();
+}
+
+void FifoOrderer::on_delivery(const DataMessage& msg, std::uint64_t round) {
+  auto& st = sources_[msg.id.source];
+  if (msg.id.seqno < st.next_seq) return;  // stale (already skipped past)
+  bool was_blocked = st.blocked;
+  st.holdback.emplace(msg.id.seqno, msg);
+  drain(msg.id.source, st);
+  if (st.blocked && !was_blocked) st.blocked_since = round;
+}
+
+void FifoOrderer::on_round(std::uint64_t round) {
+  for (auto& [source, st] : sources_) {
+    if (!st.blocked) continue;
+    if (round - st.blocked_since < gap_timeout_) continue;
+    // Head-of-line gap expired: skip to the earliest held message.
+    std::uint64_t first_missing = st.next_seq;
+    std::uint64_t next_held = st.holdback.begin()->first;
+    if (on_gap_) on_gap_(source, first_missing, next_held - first_missing);
+    st.next_seq = next_held;
+    drain(source, st);
+    if (st.blocked) st.blocked_since = round;  // a further gap starts now
+  }
+}
+
+std::size_t FifoOrderer::held() const {
+  std::size_t total = 0;
+  for (const auto& [source, st] : sources_) total += st.holdback.size();
+  return total;
+}
+
+}  // namespace drum::core

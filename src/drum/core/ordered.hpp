@@ -1,0 +1,55 @@
+// Per-source FIFO ordering on top of Drum's unordered probabilistic
+// delivery. Gossip delivers each message at most once but in arbitrary
+// order, and a message can be lost outright if it purges everywhere before
+// reaching some receiver — so a FIFO layer must both hold back out-of-order
+// arrivals and eventually *skip* permanent gaps to avoid head-of-line
+// deadlock. Skips are surfaced to the application.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "drum/core/message.hpp"
+
+namespace drum::core {
+
+class FifoOrderer {
+ public:
+  using DeliverFn = std::function<void(const DataMessage&)>;
+  /// Called when a gap is skipped: (source, first_missing, count).
+  using GapFn =
+      std::function<void(std::uint32_t, std::uint64_t, std::uint64_t)>;
+
+  /// `gap_timeout_rounds`: how long the head-of-line may block on a missing
+  /// seqno before the gap is declared lost and skipped.
+  FifoOrderer(DeliverFn deliver, GapFn on_gap = nullptr,
+              std::uint64_t gap_timeout_rounds = 20);
+
+  /// Feed every raw delivery (any order; duplicates must already be
+  /// filtered, as drum::core::Node does).
+  void on_delivery(const DataMessage& msg, std::uint64_t round);
+
+  /// Call once per round: expires blocked gaps.
+  void on_round(std::uint64_t round);
+
+  /// Messages currently held back (all sources).
+  [[nodiscard]] std::size_t held() const;
+
+ private:
+  struct SourceState {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, DataMessage> holdback;
+    std::uint64_t blocked_since = 0;
+    bool blocked = false;
+  };
+
+  void drain(std::uint32_t source, SourceState& st);
+
+  DeliverFn deliver_;
+  GapFn on_gap_;
+  std::uint64_t gap_timeout_;
+  std::map<std::uint32_t, SourceState> sources_;
+};
+
+}  // namespace drum::core

@@ -1,0 +1,187 @@
+#include "drum/crypto/bigint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drum::crypto {
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes_le(util::ByteSpan bytes) {
+  BigInt out;
+  out.limbs_.resize((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out.limbs_[i / 4] |= static_cast<std::uint32_t>(bytes[i]) << (8 * (i % 4));
+  }
+  out.trim();
+  return out;
+}
+
+util::Bytes BigInt::to_bytes_le(std::size_t n) const {
+  util::Bytes out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t limb = i / 4;
+    if (limb >= limbs_.size()) break;
+    out[i] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (i % 4)));
+  }
+  // Check the value actually fits in n bytes.
+  for (std::size_t i = n * 8; i < limbs_.size() * 32; ++i) {
+    if (bit(i)) throw std::overflow_error("BigInt::to_bytes_le overflow");
+  }
+  return out;
+}
+
+BigInt BigInt::from_hex(const std::string& hex) {
+  BigInt out;
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else throw std::invalid_argument("BigInt::from_hex: bad digit");
+    out = (out << 4) + BigInt(static_cast<std::uint64_t>(v));
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(*it >> shift) & 0xF]);
+    }
+  }
+  auto first = out.find_first_not_of('0');
+  return first == std::string::npos ? "0" : out.substr(first);
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  BigInt out;
+  std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const {
+  if (*this < rhs) throw std::underflow_error("BigInt subtraction underflow");
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow -
+                        (i < rhs.limbs_.size() ? rhs.limbs_[i] : 0);
+    if (diff < 0) {
+      diff += 1LL << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]) * rhs.limbs_[j] +
+                          out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + rhs.limbs_.size()] += static_cast<std::uint32_t>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator%(const BigInt& m) const {
+  if (m.is_zero()) throw std::domain_error("BigInt modulo by zero");
+  if (*this < m) return *this;
+  // Shift-and-subtract long division (keeps only the remainder).
+  BigInt rem;
+  for (std::size_t i = bit_length(); i-- > 0;) {
+    rem = rem << 1;
+    if (bit(i)) rem = rem + BigInt(1);
+    if (rem >= m) rem = rem - m;
+  }
+  return rem;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return BigInt();
+  std::size_t limb_shift = bits / 32;
+  std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& rhs) const {
+  if (limbs_.size() != rhs.limbs_.size()) {
+    return limbs_.size() <=> rhs.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+bool BigInt::operator==(const BigInt& rhs) const {
+  return limbs_ == rhs.limbs_;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+const BigInt& ed25519_order() {
+  static const BigInt kL = BigInt::from_hex(
+      "1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed");
+  return kL;
+}
+
+}  // namespace drum::crypto

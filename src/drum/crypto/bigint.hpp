@@ -1,0 +1,51 @@
+// Minimal arbitrary-precision unsigned integer on 32-bit limbs.
+// Only what Ed25519 scalar arithmetic mod L needs: add, multiply, compare,
+// shift, and modular reduction by shift-and-subtract. Not performance
+// critical (signing/verification cost is dominated by curve operations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drum/util/bytes.hpp"
+
+namespace drum::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(std::uint64_t v);
+
+  /// Little-endian byte import/export.
+  static BigInt from_bytes_le(util::ByteSpan bytes);
+  /// Exports exactly `n` little-endian bytes (value must fit).
+  util::Bytes to_bytes_le(std::size_t n) const;
+
+  static BigInt from_hex(const std::string& hex);
+  [[nodiscard]] std::string to_hex() const;
+
+  BigInt operator+(const BigInt& rhs) const;
+  /// Requires *this >= rhs.
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  BigInt operator%(const BigInt& m) const;
+  BigInt operator<<(std::size_t bits) const;
+
+  std::strong_ordering operator<=>(const BigInt& rhs) const;
+  bool operator==(const BigInt& rhs) const;
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] std::size_t bit_length() const;
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+ private:
+  void trim();
+  // Least-significant limb first; no trailing zero limbs (canonical form).
+  std::vector<std::uint32_t> limbs_;
+};
+
+/// The Ed25519 group order L = 2^252 + 27742317777372353535851937790883648493.
+const BigInt& ed25519_order();
+
+}  // namespace drum::crypto

@@ -1,0 +1,40 @@
+// ChaCha20 stream cipher (RFC 8439). Used together with HMAC-SHA256 in the
+// encrypt-then-MAC "port box" that protects random port numbers on the wire
+// (paper §4: "random ports ... are encrypted").
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "drum/util/bytes.hpp"
+
+namespace drum::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  ChaCha20(util::ByteSpan key, util::ByteSpan nonce, std::uint32_t counter = 0);
+
+  /// XORs the keystream into `data` in place. Stateful: successive calls
+  /// continue the stream.
+  void crypt(std::uint8_t* data, std::size_t len);
+
+  /// Convenience: returns data XOR keystream.
+  util::Bytes crypt_copy(util::ByteSpan data);
+
+  /// Raw block function (exposed for RFC 8439 test vectors).
+  static std::array<std::uint8_t, 64> block(util::ByteSpan key,
+                                            util::ByteSpan nonce,
+                                            std::uint32_t counter);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> keystream_{};
+  std::size_t ks_pos_ = 64;  // exhausted
+};
+
+}  // namespace drum::crypto

@@ -1,0 +1,289 @@
+#include "drum/crypto/ed25519.hpp"
+
+#include <cstring>
+
+#include "drum/crypto/bigint.hpp"
+#include "drum/crypto/fe25519.hpp"
+#include "drum/crypto/sha512.hpp"
+
+namespace drum::crypto {
+
+namespace {
+
+// Extended homogeneous coordinates (X:Y:Z:T), x = X/Z, y = Y/Z, xy = T/Z.
+struct Ge {
+  Fe x, y, z, t;
+};
+
+// d = -121665/121666 mod p.
+const Fe& const_d() {
+  static const Fe d = [] {
+    Fe num, den, den_inv, out;
+    fe_zero(num);
+    num.v[0] = 121665;
+    fe_neg(num, num);            // -121665
+    fe_zero(den);
+    den.v[0] = 121666;
+    fe_invert(den_inv, den);
+    fe_mul(out, num, den_inv);
+    return out;
+  }();
+  return d;
+}
+
+// 2d, used in the unified addition formula.
+const Fe& const_d2() {
+  static const Fe d2 = [] {
+    Fe out;
+    fe_add(out, const_d(), const_d());
+    return out;
+  }();
+  return d2;
+}
+
+// sqrt(-1) = 2^((p-1)/4).
+const Fe& const_sqrtm1() {
+  static const Fe sqrtm1 = [] {
+    // sqrt(-1) = 2^((p-1)/4); computed via x = 2^((p-1)/4) using pow22523
+    // identities is awkward, so use the known canonical encoding.
+    static const std::uint8_t enc[32] = {
+        0xb0, 0xa0, 0x0e, 0x4a, 0x27, 0x1b, 0xee, 0xc4, 0x78, 0xe4, 0x2f,
+        0xad, 0x06, 0x18, 0x43, 0x2f, 0xa7, 0xd7, 0xfb, 0x3d, 0x99, 0x00,
+        0x4d, 0x2b, 0x0b, 0xdf, 0xc1, 0x4f, 0x80, 0x24, 0x83, 0x2b};
+    Fe out;
+    fe_frombytes(out, enc);
+    return out;
+  }();
+  return sqrtm1;
+}
+
+void ge_identity(Ge& h) {
+  fe_zero(h.x);
+  fe_one(h.y);
+  fe_one(h.z);
+  fe_zero(h.t);
+}
+
+// Base point B: y = 4/5, x positive ("even").
+const Ge& base_point();
+
+// Unified twisted-Edwards addition (a=-1): complete for Ed25519 because d is
+// non-square, so it also handles doubling and identity correctly.
+void ge_add(Ge& out, const Ge& p, const Ge& q) {
+  Fe a, b, c, d, e, f, g, h, t0, t1;
+  fe_sub(t0, p.y, p.x);
+  fe_sub(t1, q.y, q.x);
+  fe_mul(a, t0, t1);           // A = (Y1-X1)(Y2-X2)
+  fe_add(t0, p.y, p.x);
+  fe_add(t1, q.y, q.x);
+  fe_mul(b, t0, t1);           // B = (Y1+X1)(Y2+X2)
+  fe_mul(c, p.t, q.t);
+  fe_mul(c, c, const_d2());    // C = 2d T1 T2
+  fe_mul(d, p.z, q.z);
+  fe_add(d, d, d);             // D = 2 Z1 Z2
+  fe_sub(e, b, a);
+  fe_sub(f, d, c);
+  fe_add(g, d, c);
+  fe_add(h, b, a);
+  fe_mul(out.x, e, f);
+  fe_mul(out.y, g, h);
+  fe_mul(out.t, e, h);
+  fe_mul(out.z, f, g);
+}
+
+void ge_neg(Ge& out, const Ge& p) {
+  fe_neg(out.x, p.x);
+  fe_copy(out.y, p.y);
+  fe_copy(out.z, p.z);
+  fe_neg(out.t, p.t);
+}
+
+// Variable-time double-and-add over the 253-bit scalar (little-endian bytes).
+// Signing uses secret scalars, so strictly this leaks timing; acceptable for
+// a research reproduction (noted in README's security caveats).
+void ge_scalarmult(Ge& out, const std::uint8_t scalar[32], const Ge& p) {
+  Ge acc;
+  ge_identity(acc);
+  for (int bit = 255; bit >= 0; --bit) {
+    ge_add(acc, acc, acc);
+    if ((scalar[bit / 8] >> (bit % 8)) & 1) {
+      ge_add(acc, acc, p);
+    }
+  }
+  out = acc;
+}
+
+void ge_tobytes(std::uint8_t s[32], const Ge& h) {
+  Fe zinv, x, y;
+  fe_invert(zinv, h.z);
+  fe_mul(x, h.x, zinv);
+  fe_mul(y, h.y, zinv);
+  fe_tobytes(s, y);
+  s[31] ^= static_cast<std::uint8_t>(fe_is_negative(x) ? 0x80 : 0x00);
+}
+
+// Decompression (RFC 8032 §5.1.3). Returns false on invalid encodings.
+bool ge_frombytes(Ge& h, const std::uint8_t s[32]) {
+  Fe y, y2, u, v, v3, x, x2, check;
+  fe_frombytes(y, s);
+  // u = y^2 - 1, v = d y^2 + 1.
+  fe_sq(y2, y);
+  Fe one;
+  fe_one(one);
+  fe_sub(u, y2, one);
+  fe_mul(v, y2, const_d());
+  fe_add(v, v, one);
+  // x = u v^3 (u v^7)^((p-5)/8)
+  fe_sq(v3, v);
+  fe_mul(v3, v3, v);           // v^3
+  fe_sq(x, v3);
+  fe_mul(x, x, v);             // v^7
+  fe_mul(x, x, u);             // u v^7
+  fe_pow22523(x, x);
+  fe_mul(x, x, v3);
+  fe_mul(x, x, u);             // u v^3 (u v^7)^((p-5)/8)
+  // check = v x^2
+  fe_sq(x2, x);
+  fe_mul(check, x2, v);
+  Fe neg_u;
+  fe_neg(neg_u, u);
+  Fe diff1, diff2;
+  fe_sub(diff1, check, u);
+  fe_sub(diff2, check, neg_u);
+  if (!fe_is_zero(diff1)) {
+    if (!fe_is_zero(diff2)) return false;  // not a square: invalid point
+    fe_mul(x, x, const_sqrtm1());
+  }
+  bool x_neg = fe_is_negative(x);
+  bool want_neg = (s[31] & 0x80) != 0;
+  if (x_neg != want_neg) {
+    if (fe_is_zero(x) && want_neg) return false;  // -0 is non-canonical
+    fe_neg(x, x);
+  }
+  fe_copy(h.x, x);
+  fe_copy(h.y, y);
+  fe_one(h.z);
+  fe_mul(h.t, x, y);
+  return true;
+}
+
+const Ge& base_point() {
+  static const Ge b = [] {
+    // y = 4/5 mod p; x recovered by decompression with the "even" sign bit.
+    Fe four, five, five_inv, y;
+    fe_zero(four);
+    four.v[0] = 4;
+    fe_zero(five);
+    five.v[0] = 5;
+    fe_invert(five_inv, five);
+    fe_mul(y, four, five_inv);
+    std::uint8_t enc[32];
+    fe_tobytes(enc, y);  // sign bit 0 = even x
+    Ge out;
+    bool ok = ge_frombytes(out, enc);
+    (void)ok;
+    return out;
+  }();
+  return b;
+}
+
+// Reduce a 64-byte little-endian value mod L to 32 little-endian bytes.
+std::array<std::uint8_t, 32> reduce_mod_l(util::ByteSpan bytes) {
+  BigInt v = BigInt::from_bytes_le(bytes) % ed25519_order();
+  auto le = v.to_bytes_le(32);
+  std::array<std::uint8_t, 32> out{};
+  std::copy(le.begin(), le.end(), out.begin());
+  return out;
+}
+
+std::array<std::uint8_t, 32> clamp_scalar(const std::uint8_t h[32]) {
+  std::array<std::uint8_t, 32> s{};
+  std::memcpy(s.data(), h, 32);
+  s[0] &= 248;
+  s[31] &= 127;
+  s[31] |= 64;
+  return s;
+}
+
+}  // namespace
+
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed) {
+  auto h = Sha512::hash(util::ByteSpan(seed.data(), seed.size()));
+  auto s = clamp_scalar(h.data());
+  Ge a;
+  ge_scalarmult(a, s.data(), base_point());
+  Ed25519PublicKey pub;
+  ge_tobytes(pub.data(), a);
+  return pub;
+}
+
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed,
+                              const Ed25519PublicKey& pub,
+                              util::ByteSpan message) {
+  auto h = Sha512::hash(util::ByteSpan(seed.data(), seed.size()));
+  auto s = clamp_scalar(h.data());
+
+  // r = SHA512(prefix || M) mod L
+  Sha512 hr;
+  hr.update(util::ByteSpan(h.data() + 32, 32));
+  hr.update(message);
+  auto r_full = hr.finish();
+  auto r = reduce_mod_l(util::ByteSpan(r_full.data(), r_full.size()));
+
+  Ge rp;
+  ge_scalarmult(rp, r.data(), base_point());
+  Ed25519Signature sig{};
+  ge_tobytes(sig.data(), rp);
+
+  // k = SHA512(R || A || M) mod L
+  Sha512 hk;
+  hk.update(util::ByteSpan(sig.data(), 32));
+  hk.update(util::ByteSpan(pub.data(), pub.size()));
+  hk.update(message);
+  auto k_full = hk.finish();
+  auto k = reduce_mod_l(util::ByteSpan(k_full.data(), k_full.size()));
+
+  // S = (r + k*s) mod L
+  BigInt big_r = BigInt::from_bytes_le(util::ByteSpan(r.data(), 32));
+  BigInt big_k = BigInt::from_bytes_le(util::ByteSpan(k.data(), 32));
+  BigInt big_s = BigInt::from_bytes_le(util::ByteSpan(s.data(), 32));
+  BigInt big_out = (big_r + big_k * big_s) % ed25519_order();
+  auto s_le = big_out.to_bytes_le(32);
+  std::copy(s_le.begin(), s_le.end(), sig.begin() + 32);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& pub, util::ByteSpan message,
+                    const Ed25519Signature& sig) {
+  // Canonical S < L.
+  BigInt s = BigInt::from_bytes_le(util::ByteSpan(sig.data() + 32, 32));
+  if (!(s < ed25519_order())) return false;
+
+  Ge a, r;
+  if (!ge_frombytes(a, pub.data())) return false;
+  if (!ge_frombytes(r, sig.data())) return false;
+
+  // k = SHA512(R || A || M) mod L
+  Sha512 hk;
+  hk.update(util::ByteSpan(sig.data(), 32));
+  hk.update(util::ByteSpan(pub.data(), pub.size()));
+  hk.update(message);
+  auto k_full = hk.finish();
+  auto k = reduce_mod_l(util::ByteSpan(k_full.data(), k_full.size()));
+
+  // Check S·B == R + k·A  ⇔  S·B + k·(-A) == R.
+  std::array<std::uint8_t, 32> s_le{};
+  std::memcpy(s_le.data(), sig.data() + 32, 32);
+  Ge sb, ka, neg_a, sum;
+  ge_scalarmult(sb, s_le.data(), base_point());
+  ge_neg(neg_a, a);
+  ge_scalarmult(ka, k.data(), neg_a);
+  ge_add(sum, sb, ka);
+
+  std::uint8_t sum_enc[32], r_enc[32];
+  ge_tobytes(sum_enc, sum);
+  ge_tobytes(r_enc, r);
+  return std::memcmp(sum_enc, r_enc, 32) == 0;
+}
+
+}  // namespace drum::crypto

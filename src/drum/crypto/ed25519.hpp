@@ -1,0 +1,39 @@
+// Ed25519 signatures (RFC 8032). Implemented over the fe25519 field with the
+// complete twisted-Edwards addition law (a = -1, non-square d, so a single
+// unified formula covers addition and doubling). Scalar arithmetic mod the
+// group order L is done with BigInt.
+//
+// Drum uses Ed25519 for: message source authentication ("unforgeable
+// multicast"), CA-signed membership certificates, and signed join/leave
+// events (paper §3, §10).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "drum/util/bytes.hpp"
+
+namespace drum::crypto {
+
+inline constexpr std::size_t kEd25519SeedSize = 32;
+inline constexpr std::size_t kEd25519PublicKeySize = 32;
+inline constexpr std::size_t kEd25519SignatureSize = 64;
+
+using Ed25519Seed = std::array<std::uint8_t, kEd25519SeedSize>;
+using Ed25519PublicKey = std::array<std::uint8_t, kEd25519PublicKeySize>;
+using Ed25519Signature = std::array<std::uint8_t, kEd25519SignatureSize>;
+
+/// Derives the public key from a 32-byte seed (RFC 8032 §5.1.5).
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed);
+
+/// Signs a message (RFC 8032 §5.1.6). Deterministic.
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed,
+                              const Ed25519PublicKey& pub,
+                              util::ByteSpan message);
+
+/// Verifies a signature (RFC 8032 §5.1.7). Rejects non-canonical S and
+/// invalid point encodings.
+bool ed25519_verify(const Ed25519PublicKey& pub, util::ByteSpan message,
+                    const Ed25519Signature& sig);
+
+}  // namespace drum::crypto

@@ -1,0 +1,51 @@
+// Arithmetic in GF(2^255 - 19), the base field of Curve25519/Ed25519.
+// Representation: 5 limbs of 51 bits (radix 2^51), unsigned, loosely reduced
+// between operations; tobytes() performs the full canonical reduction.
+// Follows the well-known "donna-64bit" layout. Verified indirectly through
+// the RFC 7748 / RFC 8032 test vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "drum/util/bytes.hpp"
+
+namespace drum::crypto {
+
+struct Fe {
+  std::uint64_t v[5];
+};
+
+void fe_zero(Fe& h);
+void fe_one(Fe& h);
+void fe_copy(Fe& h, const Fe& f);
+
+/// Load 32 little-endian bytes; the top bit is ignored (as per RFC 7748).
+void fe_frombytes(Fe& h, const std::uint8_t* s);
+/// Store the canonical (fully reduced) 32-byte little-endian encoding.
+void fe_tobytes(std::uint8_t* s, const Fe& f);
+
+void fe_add(Fe& h, const Fe& f, const Fe& g);
+void fe_sub(Fe& h, const Fe& f, const Fe& g);
+void fe_neg(Fe& h, const Fe& f);
+void fe_mul(Fe& h, const Fe& f, const Fe& g);
+void fe_sq(Fe& h, const Fe& f);
+/// h = f * n for small n (n < 2^13); used for *121666 in the X25519 ladder
+/// and small curve constants.
+void fe_mul_small(Fe& h, const Fe& f, std::uint64_t n);
+
+/// Constant-time conditional swap: (f,g) <- b ? (g,f) : (f,g). b in {0,1}.
+void fe_cswap(Fe& f, Fe& g, std::uint64_t b);
+/// Constant-time conditional move: h <- b ? f : h. b in {0,1}.
+void fe_cmov(Fe& h, const Fe& f, std::uint64_t b);
+
+/// h = f^(p-2) = f^-1 (Fermat). ~254 squarings.
+void fe_invert(Fe& h, const Fe& f);
+/// h = f^((p-5)/8); used for square roots in Ed25519 point decompression.
+void fe_pow22523(Fe& h, const Fe& f);
+
+bool fe_is_zero(const Fe& f);
+/// Least significant bit of the canonical encoding ("sign" bit in EdDSA).
+bool fe_is_negative(const Fe& f);
+
+}  // namespace drum::crypto

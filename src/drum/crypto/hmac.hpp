@@ -1,0 +1,26 @@
+// HMAC (RFC 2104) over SHA-256 and SHA-512, plus HKDF (RFC 5869).
+// Used to authenticate encrypted-port boxes and to derive pairwise session
+// keys from X25519 shared secrets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "drum/crypto/sha256.hpp"
+#include "drum/crypto/sha512.hpp"
+#include "drum/util/bytes.hpp"
+
+namespace drum::crypto {
+
+/// HMAC-SHA256(key, data).
+Sha256::Digest hmac_sha256(util::ByteSpan key, util::ByteSpan data);
+
+/// HMAC-SHA512(key, data).
+Sha512::Digest hmac_sha512(util::ByteSpan key, util::ByteSpan data);
+
+/// HKDF-SHA256 extract-then-expand (RFC 5869). `out_len` <= 255*32.
+util::Bytes hkdf_sha256(util::ByteSpan ikm, util::ByteSpan salt,
+                        std::string_view info, std::size_t out_len);
+
+}  // namespace drum::crypto

@@ -1,0 +1,70 @@
+#include "drum/crypto/keys.hpp"
+
+#include "drum/crypto/hmac.hpp"
+#include "drum/crypto/sha256.hpp"
+
+namespace drum::crypto {
+
+Identity Identity::generate(util::Rng& rng) {
+  Identity id;
+  for (auto& b : id.sign_seed_) b = static_cast<std::uint8_t>(rng.below(256));
+  id.sign_pub_ = ed25519_public_key(id.sign_seed_);
+  for (auto& b : id.dh_secret_) b = static_cast<std::uint8_t>(rng.below(256));
+  id.dh_secret_ = x25519_clamp(id.dh_secret_);
+  id.dh_pub_ = x25519_base(id.dh_secret_);
+  return id;
+}
+
+Ed25519Signature Identity::sign(util::ByteSpan message) const {
+  return ed25519_sign(sign_seed_, sign_pub_, message);
+}
+
+util::Bytes Identity::derive_pair_key(const X25519Key& peer_dh_public) const {
+  X25519Key shared = x25519(dh_secret_, peer_dh_public);
+  // Salt with the sorted pair of public keys so both sides derive the same
+  // key and distinct pairs never share keys even on (improbable) shared-
+  // secret collisions.
+  util::Bytes salt;
+  const auto& a = dh_pub_;
+  const auto& b = peer_dh_public;
+  bool a_first = std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                              b.end());
+  const auto& first = a_first ? a : b;
+  const auto& second = a_first ? b : a;
+  salt.insert(salt.end(), first.begin(), first.end());
+  salt.insert(salt.end(), second.begin(), second.end());
+  return hkdf_sha256(util::ByteSpan(shared.data(), shared.size()),
+                     util::ByteSpan(salt.data(), salt.size()),
+                     "drum portbox pair key v1", 32);
+}
+
+util::Bytes Identity::serialize_secret() const {
+  util::Bytes out(sign_seed_.begin(), sign_seed_.end());
+  out.insert(out.end(), dh_secret_.begin(), dh_secret_.end());
+  return out;
+}
+
+std::optional<Identity> Identity::deserialize_secret(util::ByteSpan secret) {
+  if (secret.size() != kEd25519SeedSize + kX25519KeySize) return std::nullopt;
+  Identity id;
+  std::copy(secret.begin(), secret.begin() + kEd25519SeedSize,
+            id.sign_seed_.begin());
+  std::copy(secret.begin() + kEd25519SeedSize, secret.end(),
+            id.dh_secret_.begin());
+  id.sign_pub_ = ed25519_public_key(id.sign_seed_);
+  id.dh_secret_ = x25519_clamp(id.dh_secret_);
+  id.dh_pub_ = x25519_base(id.dh_secret_);
+  return id;
+}
+
+std::string Identity::short_id() const {
+  auto digest = Sha256::hash(util::ByteSpan(sign_pub_.data(), sign_pub_.size()));
+  return util::to_hex(util::ByteSpan(digest.data(), 8));
+}
+
+bool verify(const Ed25519PublicKey& pub, util::ByteSpan message,
+            const Ed25519Signature& sig) {
+  return ed25519_verify(pub, message, sig);
+}
+
+}  // namespace drum::crypto

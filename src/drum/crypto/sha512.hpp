@@ -1,0 +1,34 @@
+// SHA-512 (FIPS 180-4). Required by Ed25519 (RFC 8032). Verified against
+// NIST example vectors in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "drum/util/bytes.hpp"
+
+namespace drum::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512();
+
+  void update(util::ByteSpan data);
+  Digest finish();
+
+  static Digest hash(util::ByteSpan data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::uint64_t bits_ = 0;  // message length < 2^64 bits, ample here
+  std::array<std::uint8_t, kBlockSize> buf_{};
+  std::size_t buf_len_ = 0;
+};
+
+}  // namespace drum::crypto

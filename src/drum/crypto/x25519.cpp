@@ -1,0 +1,69 @@
+#include "drum/crypto/x25519.hpp"
+
+#include "drum/crypto/fe25519.hpp"
+
+namespace drum::crypto {
+
+X25519Key x25519_clamp(X25519Key scalar) {
+  scalar[0] &= 248;
+  scalar[31] &= 127;
+  scalar[31] |= 64;
+  return scalar;
+}
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
+  X25519Key k = x25519_clamp(scalar);
+
+  Fe x1, x2, z2, x3, z3;
+  fe_frombytes(x1, point.data());
+  fe_one(x2);
+  fe_zero(z2);
+  fe_copy(x3, x1);
+  fe_one(z3);
+
+  std::uint64_t swap = 0;
+  for (int t = 254; t >= 0; --t) {
+    std::uint64_t k_t = (k[t / 8] >> (t % 8)) & 1;
+    swap ^= k_t;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = k_t;
+
+    Fe a, aa, b, bb, e, c, d, da, cb, tmp;
+    fe_add(a, x2, z2);
+    fe_sq(aa, a);
+    fe_sub(b, x2, z2);
+    fe_sq(bb, b);
+    fe_sub(e, aa, bb);
+    fe_add(c, x3, z3);
+    fe_sub(d, x3, z3);
+    fe_mul(da, d, a);
+    fe_mul(cb, c, b);
+    fe_add(tmp, da, cb);
+    fe_sq(x3, tmp);
+    fe_sub(tmp, da, cb);
+    fe_sq(tmp, tmp);
+    fe_mul(z3, x1, tmp);
+    fe_mul(x2, aa, bb);
+    fe_mul_small(tmp, e, 121665);
+    fe_add(tmp, aa, tmp);
+    fe_mul(z2, e, tmp);
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  Fe zinv, out;
+  fe_invert(zinv, z2);
+  fe_mul(out, x2, zinv);
+  X25519Key result;
+  fe_tobytes(result.data(), out);
+  return result;
+}
+
+X25519Key x25519_base(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+}  // namespace drum::crypto

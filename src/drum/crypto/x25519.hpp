@@ -1,0 +1,24 @@
+// X25519 Diffie-Hellman (RFC 7748). Constant-time Montgomery ladder over
+// GF(2^255-19). Drum uses X25519 to derive pairwise keys under which random
+// port numbers are encrypted on the wire (paper §4).
+#pragma once
+
+#include <array>
+
+#include "drum/util/bytes.hpp"
+
+namespace drum::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// scalar * point (u-coordinate). RFC 7748 §5.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+/// scalar * base point (u = 9).
+X25519Key x25519_base(const X25519Key& scalar);
+
+/// Clamps 32 random bytes into a valid X25519 private scalar.
+X25519Key x25519_clamp(X25519Key scalar);
+
+}  // namespace drum::crypto

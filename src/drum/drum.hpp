@@ -1,0 +1,53 @@
+// Umbrella header: the whole public API of the Drum reproduction.
+//
+//   #include "drum/drum.hpp"
+//
+// Layering (each header is independently includable):
+//
+//   util        — bytes/serialization, RNG, stats, flags, tables, logging
+//   crypto      — SHA-256/512, HMAC/HKDF, ChaCha20, X25519, Ed25519,
+//                 port boxes, identities
+//   net         — Transport abstraction, in-memory LAN, UDP sockets
+//   core        — the Drum protocol node and its Push/Pull/ablation variants
+//   runtime     — real-time thread-per-node execution
+//   membership  — CA, certificates, membership table, failure detector,
+//                 the gossip-borne membership service, networked CA
+//   sim         — the paper's round-based Monte-Carlo simulator
+//   analysis    — the paper's closed-form / numerical analysis
+//   harness     — measurement clusters with DoS attack injection
+#pragma once
+
+#include "drum/analysis/appendix_a.hpp"
+#include "drum/analysis/appendix_b.hpp"
+#include "drum/analysis/appendix_c.hpp"
+#include "drum/analysis/asymptotics.hpp"
+#include "drum/core/buffer.hpp"
+#include "drum/core/config.hpp"
+#include "drum/core/message.hpp"
+#include "drum/core/node.hpp"
+#include "drum/crypto/chacha20.hpp"
+#include "drum/crypto/ed25519.hpp"
+#include "drum/crypto/hmac.hpp"
+#include "drum/crypto/keys.hpp"
+#include "drum/crypto/portbox.hpp"
+#include "drum/crypto/sha256.hpp"
+#include "drum/crypto/sha512.hpp"
+#include "drum/crypto/x25519.hpp"
+#include "drum/harness/cluster.hpp"
+#include "drum/membership/ca.hpp"
+#include "drum/membership/ca_server.hpp"
+#include "drum/membership/certificate.hpp"
+#include "drum/membership/failure_detector.hpp"
+#include "drum/membership/service.hpp"
+#include "drum/membership/table.hpp"
+#include "drum/net/mem_transport.hpp"
+#include "drum/net/transport.hpp"
+#include "drum/net/udp_transport.hpp"
+#include "drum/runtime/runner.hpp"
+#include "drum/sim/engine.hpp"
+#include "drum/util/bytes.hpp"
+#include "drum/util/flags.hpp"
+#include "drum/util/log.hpp"
+#include "drum/util/rng.hpp"
+#include "drum/util/stats.hpp"
+#include "drum/util/table.hpp"

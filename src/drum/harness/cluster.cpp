@@ -1,0 +1,336 @@
+#include "drum/harness/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "drum/crypto/portbox.hpp"
+#include "drum/net/udp_transport.hpp"
+
+namespace drum::harness {
+
+double ClusterMetrics::mean_throughput_msgs_per_sec() const {
+  if (nodes.empty() || window_us <= 0) return 0.0;
+  double total = 0;
+  for (const auto& n : nodes) total += static_cast<double>(n.delivered);
+  double per_node = total / static_cast<double>(nodes.size());
+  return per_node * 1e6 / static_cast<double>(window_us);
+}
+
+double ClusterMetrics::mean_latency_ms() const {
+  util::RunningStats all;
+  for (const auto& n : nodes) all.merge(n.latency_us);
+  return all.mean() / 1000.0;
+}
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  const std::size_t n = cfg_.n;
+  if (n < 4) throw std::invalid_argument("cluster too small");
+  n_malicious_ = static_cast<std::size_t>(
+      std::llround(cfg_.malicious_fraction * static_cast<double>(n)));
+  if (n_malicious_ >= n) throw std::invalid_argument("no correct processes");
+
+  if (!cfg_.use_udp) {
+    net::MemNetwork::Options opts;
+    opts.loss = cfg_.loss;
+    opts.seed = rng_.next();
+    opts.latency_us = cfg_.latency_us;
+    mem_net_ = std::make_unique<net::MemNetwork>(opts);
+  }
+
+  // Build identities + directory. Ids [0, n_malicious) are the adversary's
+  // members: present in the directory (so correct nodes waste fan-out on
+  // them) but never instantiated.
+  std::vector<crypto::Identity> identities;
+  identities.reserve(n);
+  directory_.resize(n);
+  const std::uint32_t udp_host = net::parse_ipv4("127.0.0.1");
+  for (std::uint32_t id = 0; id < n; ++id) {
+    identities.push_back(crypto::Identity::generate(rng_));
+    core::Peer& p = directory_[id];
+    p.id = id;
+    p.host = cfg_.use_udp ? udp_host : id;
+    p.wk_pull_port = static_cast<std::uint16_t>(cfg_.udp_base_port + 3 * id);
+    p.wk_offer_port =
+        static_cast<std::uint16_t>(cfg_.udp_base_port + 3 * id + 1);
+    p.wk_pull_reply_port =
+        static_cast<std::uint16_t>(cfg_.udp_base_port + 3 * id + 2);
+    p.sign_pub = identities[id].sign_public();
+    p.dh_pub = identities[id].dh_public();
+  }
+
+  // Attacked set: round(alpha*n) correct members starting at the first
+  // correct id; the source is the first correct process (attacked whenever
+  // the attack is on), as in the paper.
+  auto n_attacked = static_cast<std::size_t>(
+      std::llround(cfg_.alpha * static_cast<double>(n)));
+  n_attacked = std::min(n_attacked, n - n_malicious_);
+  const bool attack_on = cfg_.x > 0 && n_attacked > 0;
+  source_ = static_cast<std::uint32_t>(n_malicious_);
+  if (attack_on) {
+    for (std::size_t i = 0; i < n_attacked; ++i) {
+      victims_.push_back(static_cast<std::uint32_t>(n_malicious_ + i));
+    }
+  }
+
+  // Instantiate the correct nodes.
+  for (std::uint32_t id = static_cast<std::uint32_t>(n_malicious_); id < n;
+       ++id) {
+    LiveNode live;
+    live.id = id;
+    live.transport = cfg_.use_udp
+                         ? std::unique_ptr<net::Transport>(
+                               std::make_unique<net::UdpTransport>(udp_host))
+                         : mem_net_->transport(id);
+    core::NodeConfig ncfg = core::make_node_config(cfg_.variant, id,
+                                                   cfg_.fanout);
+    ncfg.wk_pull_port = directory_[id].wk_pull_port;
+    ncfg.wk_offer_port = directory_[id].wk_offer_port;
+    ncfg.wk_pull_reply_port = directory_[id].wk_pull_reply_port;
+    ncfg.verify_signatures = cfg_.verify_signatures;
+    ncfg.discard_unread = cfg_.discard_unread;
+    live.node = std::make_unique<core::Node>(
+        ncfg, identities[id], directory_, *live.transport, rng_.next(),
+        [this, id](const core::Node::Delivery& d) { on_delivery(id, d); });
+    live.next_tick_us = jittered_round(rng_);
+    node_index_[id] = nodes_.size();
+    nodes_.push_back(std::move(live));
+  }
+
+  // 99% of the correct processes other than the source.
+  completion_threshold_ = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(nodes_.size() - 1)));
+  next_burst_us_ = cfg_.round_us / static_cast<std::int64_t>(
+                                       std::max<std::size_t>(
+                                           1, cfg_.attacker_bursts_per_round));
+  next_send_us_ = 0;
+}
+
+Cluster::~Cluster() = default;
+
+bool Cluster::is_attacked(std::uint32_t id) const {
+  return std::find(victims_.begin(), victims_.end(), id) != victims_.end();
+}
+
+std::int64_t Cluster::jittered_round(util::Rng& rng) const {
+  double jitter = 1.0 + cfg_.round_jitter * (2.0 * rng.uniform() - 1.0);
+  return static_cast<std::int64_t>(static_cast<double>(cfg_.round_us) *
+                                   jitter);
+}
+
+void Cluster::fire_attacker_burst() {
+  if (victims_.empty() || cfg_.x <= 0) return;
+  // Each burst delivers x / bursts_per_round fabricated datagrams per
+  // victim, split across the variant's attackable well-known ports.
+  const double per_burst =
+      cfg_.x / static_cast<double>(cfg_.attacker_bursts_per_round);
+  for (auto victim : victims_) {
+    const core::Peer& p = directory_[victim];
+    // Integerize stochastically so fractional rates are honored on average.
+    double want = per_burst;
+    auto count = static_cast<std::size_t>(want);
+    if (rng_.chance(want - static_cast<double>(count))) ++count;
+    for (std::size_t i = 0; i < count; ++i) {
+      // Craft a type-correct control message with a garbage box so the
+      // victim pays full parse + box-open cost.
+      util::Bytes garbage_box(crypto::kPortBoxOverhead + 2);
+      for (auto& b : garbage_box) {
+        b = static_cast<std::uint8_t>(rng_.below(256));
+      }
+      net::Address target;
+      util::Bytes payload;
+      const std::uint64_t k = attacker_seq_++;
+      auto fake_sender = static_cast<std::uint32_t>(rng_.below(cfg_.n));
+      auto fake_offer = [&] {
+        core::PushOffer offer;
+        offer.sender = fake_sender;
+        offer.boxed_reply_port = garbage_box;
+        return core::encode(offer);
+      };
+      auto fake_pull = [&] {
+        core::PullRequest req;
+        req.sender = fake_sender;
+        req.boxed_reply_port = garbage_box;
+        return core::encode(req);
+      };
+      switch (cfg_.variant) {
+        case core::Variant::kPush:
+          target = {p.host, p.wk_offer_port};
+          payload = fake_offer();
+          break;
+        case core::Variant::kPull:
+          target = {p.host, p.wk_pull_port};
+          payload = fake_pull();
+          break;
+        case core::Variant::kDrumWkPorts:
+          // x/2 push, x/4 pull-request, x/4 pull-reply port (paper §9).
+          if (k % 4 < 2) {
+            target = {p.host, p.wk_offer_port};
+            payload = fake_offer();
+          } else if (k % 4 == 2) {
+            target = {p.host, p.wk_pull_port};
+            payload = fake_pull();
+          } else {
+            target = {p.host, p.wk_pull_reply_port};
+            payload = core::encode(core::PullReply{fake_sender, {}});
+          }
+          break;
+        case core::Variant::kDrum:
+        case core::Variant::kDrumSharedBounds:
+        default:
+          if (k % 2 == 0) {
+            target = {p.host, p.wk_offer_port};
+            payload = fake_offer();
+          } else {
+            target = {p.host, p.wk_pull_port};
+            payload = fake_pull();
+          }
+          break;
+      }
+      if (mem_net_) {
+        // Spoofed source host: not a group member.
+        net::Address spoofed{0xDEAD0000u | static_cast<std::uint32_t>(
+                                               rng_.below(65536)),
+                             static_cast<std::uint16_t>(
+                                 1024 + rng_.below(60000))};
+        mem_net_->send_raw(spoofed, target, util::ByteSpan(payload));
+      } else {
+        // UDP mode: a real attacker socket (lazily bound, reused).
+        static thread_local std::unique_ptr<net::Transport> attacker_tr;
+        static thread_local std::unique_ptr<net::Socket> attacker_sock;
+        if (!attacker_sock) {
+          attacker_tr = std::make_unique<net::UdpTransport>(
+              net::parse_ipv4("127.0.0.1"));
+          attacker_sock = attacker_tr->bind(0);
+        }
+        attacker_sock->send(target, util::ByteSpan(payload));
+      }
+    }
+  }
+}
+
+core::MessageId Cluster::multicast_from_source(util::ByteSpan payload) {
+  auto& src = nodes_[node_index_.at(source_)];
+  core::MessageId id = src.node->multicast(payload);
+  TrackedMessage t;
+  t.sent_us = now_us_;
+  t.in_window = measuring_;
+  tracked_.emplace(id, t);
+  if (measuring_) ++metrics_.messages_sent;
+  return id;
+}
+
+void Cluster::fire_workload() {
+  util::Bytes payload(cfg_.payload_size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.below(256));
+  multicast_from_source(util::ByteSpan(payload));
+}
+
+void Cluster::on_delivery(std::uint32_t node_id,
+                          const core::Node::Delivery& d) {
+  auto it = tracked_.find(d.msg.id);
+  if (it == tracked_.end()) return;
+  TrackedMessage& t = it->second;
+  ++t.deliveries;
+  t.max_hops = std::max(t.max_hops, d.hops);
+  if (!t.completed && t.deliveries >= completion_threshold_) {
+    t.completed = true;
+    if (t.in_window) {
+      ++metrics_.messages_completed;
+      metrics_.propagation_rounds.add(static_cast<double>(t.max_hops));
+      metrics_.propagation_us.add(static_cast<double>(now_us_ - t.sent_us));
+    }
+  }
+  if (measuring_ && node_id != source_) {
+    auto idx = node_index_.at(node_id) -
+               (node_index_.at(node_id) > node_index_.at(source_) ? 1 : 0);
+    auto& per = metrics_.nodes[idx];
+    ++per.delivered;
+    per.latency_us.add(static_cast<double>(now_us_ - t.sent_us));
+    per.hops.add(static_cast<double>(d.hops));
+  }
+}
+
+void Cluster::begin_measurement() {
+  metrics_ = ClusterMetrics{};
+  metrics_.nodes.clear();
+  for (const auto& live : nodes_) {
+    if (live.id == source_) continue;
+    ClusterMetrics::PerNode per;
+    per.id = live.id;
+    per.attacked = is_attacked(live.id);
+    metrics_.nodes.push_back(per);
+  }
+  measuring_ = true;
+  measure_start_us_ = now_us_;
+}
+
+void Cluster::end_measurement() {
+  measuring_ = false;
+  metrics_.window_us = now_us_ - measure_start_us_;
+}
+
+void Cluster::run_for_us(std::int64_t duration_us, bool workload) {
+  const std::int64_t end = now_us_ + duration_us;
+  const std::int64_t send_interval =
+      cfg_.rate > 0 ? cfg_.round_us / static_cast<std::int64_t>(cfg_.rate)
+                    : 0;
+  const std::int64_t burst_interval =
+      cfg_.round_us /
+      static_cast<std::int64_t>(std::max<std::size_t>(
+          1, cfg_.attacker_bursts_per_round));
+  if (workload && next_send_us_ < now_us_) next_send_us_ = now_us_;
+  if (next_burst_us_ < now_us_) next_burst_us_ = now_us_;
+
+  while (now_us_ < end) {
+    // Next event time.
+    std::int64_t next = end;
+    for (const auto& live : nodes_) {
+      next = std::min(next, live.next_tick_us);
+    }
+    if (!victims_.empty() && cfg_.x > 0) {
+      next = std::min(next, next_burst_us_);
+    }
+    if (workload && send_interval > 0) next = std::min(next, next_send_us_);
+    now_us_ = std::max(now_us_, next);
+    if (mem_net_) mem_net_->advance_to(now_us_);
+
+    for (auto& live : nodes_) {
+      if (live.next_tick_us <= now_us_) {
+        live.node->on_round();
+        live.next_tick_us = now_us_ + jittered_round(rng_);
+      }
+    }
+    if (!victims_.empty() && cfg_.x > 0 && next_burst_us_ <= now_us_) {
+      fire_attacker_burst();
+      next_burst_us_ = now_us_ + burst_interval;
+    }
+    if (workload && send_interval > 0 && next_send_us_ <= now_us_) {
+      fire_workload();
+      next_send_us_ = now_us_ + send_interval;
+    }
+    for (auto& live : nodes_) live.node->poll();
+  }
+}
+
+core::NodeStats Cluster::total_stats() const {
+  core::NodeStats total;
+  for (const auto& live : nodes_) {
+    const auto& s = live.node->stats();
+    total.rounds += s.rounds;
+    total.delivered += s.delivered;
+    total.duplicates += s.duplicates;
+    total.datagrams_read += s.datagrams_read;
+    total.flushed_unread += s.flushed_unread;
+    total.decode_errors += s.decode_errors;
+    total.box_failures += s.box_failures;
+    total.sig_failures += s.sig_failures;
+    total.unknown_sender += s.unknown_sender;
+    total.pull_requests_served += s.pull_requests_served;
+    total.push_offers_answered += s.push_offers_answered;
+    total.push_replies_acted += s.push_replies_acted;
+  }
+  return total;
+}
+
+}  // namespace drum::harness

@@ -1,0 +1,121 @@
+#include "drum/membership/ca.hpp"
+
+namespace drum::membership {
+
+CertificationAuthority::CertificationAuthority(util::Rng& rng,
+                                               std::int64_t default_ttl)
+    : default_ttl_(default_ttl) {
+  for (auto& b : seed_) b = static_cast<std::uint8_t>(rng.below(256));
+  pub_ = crypto::ed25519_public_key(seed_);
+}
+
+const crypto::Ed25519PublicKey& CertificationAuthority::public_key() const {
+  return pub_;
+}
+
+MembershipEvent CertificationAuthority::sign_event(MembershipEvent e) {
+  e.ca_signature =
+      crypto::ed25519_sign(seed_, pub_, util::ByteSpan(e.signed_bytes()));
+  return e;
+}
+
+std::optional<MembershipEvent> CertificationAuthority::authorize_join(
+    std::uint32_t member_id, std::uint32_t host, std::uint16_t wk_pull_port,
+    std::uint16_t wk_offer_port, const crypto::Ed25519PublicKey& sign_pub,
+    const crypto::X25519Key& dh_pub) {
+  auto it = live_.find(member_id);
+  if (it != live_.end() && !it->second.expired(now_)) return std::nullopt;
+
+  Certificate cert;
+  cert.member_id = member_id;
+  cert.host = host;
+  cert.wk_pull_port = wk_pull_port;
+  cert.wk_offer_port = wk_offer_port;
+  cert.sign_pub = sign_pub;
+  cert.dh_pub = dh_pub;
+  cert.issued_at = now_;
+  cert.expires_at = now_ + default_ttl_;
+  cert.serial = next_serial_++;
+  cert.ca_signature =
+      crypto::ed25519_sign(seed_, pub_, util::ByteSpan(cert.signed_bytes()));
+  live_[member_id] = cert;
+
+  MembershipEvent e;
+  e.type = EventType::kJoin;
+  e.member_id = member_id;
+  e.cert_serial = cert.serial;
+  e.timestamp = now_;
+  e.certificate = cert;
+  return sign_event(std::move(e));
+}
+
+util::Bytes CertificationAuthority::leave_request_bytes(
+    std::uint32_t member_id) {
+  util::ByteWriter w;
+  w.str("drum-leave-request-v1");
+  w.u32(member_id);
+  return w.take();
+}
+
+std::optional<MembershipEvent> CertificationAuthority::process_leave(
+    std::uint32_t member_id, const crypto::Ed25519Signature& request_sig) {
+  auto it = live_.find(member_id);
+  if (it == live_.end()) return std::nullopt;
+  if (!crypto::ed25519_verify(it->second.sign_pub,
+                              util::ByteSpan(leave_request_bytes(member_id)),
+                              request_sig)) {
+    return std::nullopt;  // forged log-out attempt
+  }
+  MembershipEvent e;
+  e.type = EventType::kLeave;
+  e.member_id = member_id;
+  e.cert_serial = it->second.serial;
+  e.timestamp = now_;
+  live_.erase(it);
+  return sign_event(std::move(e));
+}
+
+std::optional<MembershipEvent> CertificationAuthority::expel(
+    std::uint32_t member_id) {
+  auto it = live_.find(member_id);
+  if (it == live_.end()) return std::nullopt;
+  MembershipEvent e;
+  e.type = EventType::kExpel;
+  e.member_id = member_id;
+  e.cert_serial = it->second.serial;
+  e.timestamp = now_;
+  live_.erase(it);
+  return sign_event(std::move(e));
+}
+
+std::optional<MembershipEvent> CertificationAuthority::renew(
+    std::uint32_t member_id) {
+  auto it = live_.find(member_id);
+  if (it == live_.end()) return std::nullopt;
+  Certificate cert = it->second;
+  cert.issued_at = now_;
+  cert.expires_at = now_ + default_ttl_;
+  cert.serial = next_serial_++;
+  cert.ca_signature =
+      crypto::ed25519_sign(seed_, pub_, util::ByteSpan(cert.signed_bytes()));
+  live_[member_id] = cert;
+
+  MembershipEvent e;
+  e.type = EventType::kJoin;
+  e.member_id = member_id;
+  e.cert_serial = cert.serial;
+  e.timestamp = now_;
+  e.certificate = cert;
+  return sign_event(std::move(e));
+}
+
+std::vector<Certificate> CertificationAuthority::roster() const {
+  std::vector<Certificate> out;
+  out.reserve(live_.size());
+  for (const auto& [id, cert] : live_) {
+    if (!cert.expired(now_)) out.push_back(cert);
+  }
+  return out;
+}
+
+}  // namespace drum::membership

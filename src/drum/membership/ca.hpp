@@ -1,0 +1,72 @@
+// The certification authority (paper §10). A single-process CA with an
+// Ed25519 signing key: it authorizes joins (issuing timestamped, expiring
+// certificates), processes voluntary log-outs, expels suspects, renews
+// certificates about to expire, and emits the signed membership events that
+// are multicast to the group over Drum itself.
+//
+// The paper notes that distributed Byzantine fault-tolerant CAs exist
+// (COCA); as there, the CA's internals are outside Drum's scope — this is
+// the minimal trusted issuer the protocol needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "drum/membership/certificate.hpp"
+#include "drum/util/rng.hpp"
+
+namespace drum::membership {
+
+class CertificationAuthority {
+ public:
+  explicit CertificationAuthority(util::Rng& rng,
+                                  std::int64_t default_ttl = 3600);
+
+  [[nodiscard]] const crypto::Ed25519PublicKey& public_key() const;
+
+  /// Advances the CA's clock (logical seconds in tests, wall time in
+  /// deployments).
+  void set_now(std::int64_t now) { now_ = now; }
+  [[nodiscard]] std::int64_t now() const { return now_; }
+
+  /// Authorizes a join: issues a certificate and the signed kJoin event.
+  /// Returns nullopt if the id already has a live certificate.
+  std::optional<MembershipEvent> authorize_join(
+      std::uint32_t member_id, std::uint32_t host, std::uint16_t wk_pull_port,
+      std::uint16_t wk_offer_port, const crypto::Ed25519PublicKey& sign_pub,
+      const crypto::X25519Key& dh_pub);
+
+  /// Voluntary log-out: revokes and emits kLeave. Requires the request to
+  /// be signed by the member's own key (so nobody can log out somebody
+  /// else). `request_sig` must be over leave_request_bytes(member_id).
+  std::optional<MembershipEvent> process_leave(
+      std::uint32_t member_id, const crypto::Ed25519Signature& request_sig);
+
+  /// CA-initiated revocation on suspicion of malbehaviour: emits kExpel.
+  std::optional<MembershipEvent> expel(std::uint32_t member_id);
+
+  /// Renews a live certificate (same keys, new expiry); emits kJoin with
+  /// the fresh certificate. Call before expiry.
+  std::optional<MembershipEvent> renew(std::uint32_t member_id);
+
+  /// The current roster (live, unexpired certificates) — what a newcomer
+  /// receives as its initial membership list.
+  [[nodiscard]] std::vector<Certificate> roster() const;
+
+  /// The bytes a member signs to request a leave.
+  static util::Bytes leave_request_bytes(std::uint32_t member_id);
+
+ private:
+  MembershipEvent sign_event(MembershipEvent e);
+
+  crypto::Ed25519Seed seed_{};
+  crypto::Ed25519PublicKey pub_{};
+  std::int64_t default_ttl_;
+  std::int64_t now_ = 0;
+  std::uint64_t next_serial_ = 1;
+  std::map<std::uint32_t, Certificate> live_;
+};
+
+}  // namespace drum::membership

@@ -1,0 +1,211 @@
+#include "drum/membership/ca_server.hpp"
+
+#include <stdexcept>
+
+namespace drum::membership {
+
+namespace {
+
+enum class CaMsg : std::uint8_t {
+  kJoinRequest = 1,
+  kJoinReply = 2,
+  kLeaveRequest = 3,
+  kLeaveReply = 4,
+  kError = 5,
+};
+
+struct JoinRequestWire {
+  std::uint32_t id;
+  std::uint32_t host;
+  std::uint16_t wk_pull_port, wk_offer_port;
+  crypto::Ed25519PublicKey sign_pub;
+  crypto::X25519Key dh_pub;
+  crypto::Ed25519Signature proof;
+};
+
+JoinRequestWire decode_join_request(util::ByteReader& r) {
+  JoinRequestWire m{};
+  m.id = r.u32();
+  m.host = r.u32();
+  m.wk_pull_port = r.u16();
+  m.wk_offer_port = r.u16();
+  auto sp = r.raw(m.sign_pub.size());
+  std::copy(sp.begin(), sp.end(), m.sign_pub.begin());
+  auto dp = r.raw(m.dh_pub.size());
+  std::copy(dp.begin(), dp.end(), m.dh_pub.begin());
+  auto pr = r.raw(m.proof.size());
+  std::copy(pr.begin(), pr.end(), m.proof.begin());
+  r.expect_done();
+  return m;
+}
+
+util::Bytes encode_error(const std::string& reason) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(CaMsg::kError));
+  w.str(reason);
+  return w.take();
+}
+
+}  // namespace
+
+util::Bytes join_request_proof_bytes(std::uint32_t id, std::uint32_t host,
+                                     std::uint16_t wk_pull_port,
+                                     std::uint16_t wk_offer_port,
+                                     const crypto::Ed25519PublicKey& sign_pub,
+                                     const crypto::X25519Key& dh_pub) {
+  util::ByteWriter w;
+  w.str("drum-join-proof-v1");
+  w.u32(id);
+  w.u32(host);
+  w.u16(wk_pull_port);
+  w.u16(wk_offer_port);
+  w.raw(util::ByteSpan(sign_pub.data(), sign_pub.size()));
+  w.raw(util::ByteSpan(dh_pub.data(), dh_pub.size()));
+  return w.take();
+}
+
+CaServer::CaServer(CertificationAuthority& ca, net::Transport& transport,
+                   std::uint16_t port)
+    : ca_(ca), sock_(transport.bind(port)) {
+  if (!sock_) throw std::runtime_error("CA port taken");
+}
+
+std::size_t CaServer::poll() {
+  std::size_t handled = 0;
+  while (auto dgram = sock_->recv()) {
+    ++handled;
+    try {
+      util::ByteReader r{util::ByteSpan(dgram->payload)};
+      auto type = static_cast<CaMsg>(r.u8());
+      if (type == CaMsg::kJoinRequest) {
+        auto req = decode_join_request(r);
+        // Proof of possession: the request must be signed by the key being
+        // certified, so nobody can register somebody else's key.
+        auto proof_bytes = join_request_proof_bytes(
+            req.id, req.host, req.wk_pull_port, req.wk_offer_port,
+            req.sign_pub, req.dh_pub);
+        if (!crypto::ed25519_verify(req.sign_pub,
+                                    util::ByteSpan(proof_bytes), req.proof)) {
+          ++rejected_;
+          sock_->send(dgram->from,
+                      util::ByteSpan(encode_error("bad proof of possession")));
+          continue;
+        }
+        auto event = ca_.authorize_join(req.id, req.host, req.wk_pull_port,
+                                        req.wk_offer_port, req.sign_pub,
+                                        req.dh_pub);
+        if (!event) {
+          ++rejected_;
+          sock_->send(dgram->from,
+                      util::ByteSpan(encode_error("id already certified")));
+          continue;
+        }
+        util::ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(CaMsg::kJoinReply));
+        w.bytes(util::ByteSpan(event->encode()));
+        auto roster = ca_.roster();
+        w.u32(static_cast<std::uint32_t>(roster.size()));
+        for (const auto& cert : roster) {
+          w.bytes(util::ByteSpan(cert.encode()));
+        }
+        sock_->send(dgram->from, util::ByteSpan(w.take()));
+        ++served_;
+      } else if (type == CaMsg::kLeaveRequest) {
+        std::uint32_t id = r.u32();
+        crypto::Ed25519Signature sig{};
+        auto sg = r.raw(sig.size());
+        std::copy(sg.begin(), sg.end(), sig.begin());
+        r.expect_done();
+        auto event = ca_.process_leave(id, sig);
+        if (!event) {
+          ++rejected_;
+          sock_->send(dgram->from,
+                      util::ByteSpan(encode_error("leave refused")));
+          continue;
+        }
+        util::ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(CaMsg::kLeaveReply));
+        w.bytes(util::ByteSpan(event->encode()));
+        sock_->send(dgram->from, util::ByteSpan(w.take()));
+        ++served_;
+      } else {
+        ++rejected_;
+      }
+    } catch (const util::DecodeError&) {
+      ++rejected_;  // fabricated / malformed request
+    }
+  }
+  return handled;
+}
+
+CaClient::CaClient(net::Transport& transport, net::Address ca_address)
+    : ca_address_(ca_address), sock_(transport.bind(0)) {
+  if (!sock_) throw std::runtime_error("no ephemeral port for CA client");
+}
+
+void CaClient::send_join(std::uint32_t id, std::uint32_t host,
+                         std::uint16_t wk_pull_port,
+                         std::uint16_t wk_offer_port,
+                         const crypto::Identity& identity) {
+  auto proof_bytes =
+      join_request_proof_bytes(id, host, wk_pull_port, wk_offer_port,
+                               identity.sign_public(), identity.dh_public());
+  auto proof = identity.sign(util::ByteSpan(proof_bytes));
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(CaMsg::kJoinRequest));
+  w.u32(id);
+  w.u32(host);
+  w.u16(wk_pull_port);
+  w.u16(wk_offer_port);
+  w.raw(util::ByteSpan(identity.sign_public().data(),
+                       identity.sign_public().size()));
+  w.raw(util::ByteSpan(identity.dh_public().data(),
+                       identity.dh_public().size()));
+  w.raw(util::ByteSpan(proof.data(), proof.size()));
+  sock_->send(ca_address_, util::ByteSpan(w.take()));
+}
+
+void CaClient::send_leave(std::uint32_t id, const crypto::Identity& identity) {
+  auto sig = identity.sign(util::ByteSpan(
+      CertificationAuthority::leave_request_bytes(id)));
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(CaMsg::kLeaveRequest));
+  w.u32(id);
+  w.raw(util::ByteSpan(sig.data(), sig.size()));
+  sock_->send(ca_address_, util::ByteSpan(w.take()));
+}
+
+std::optional<CaClient::JoinResult> CaClient::poll() {
+  while (auto dgram = sock_->recv()) {
+    try {
+      util::ByteReader r{util::ByteSpan(dgram->payload)};
+      auto type = static_cast<CaMsg>(r.u8());
+      if (type == CaMsg::kJoinReply) {
+        JoinResult result;
+        result.event = MembershipEvent::decode(util::ByteSpan(r.bytes()));
+        std::uint32_t count = r.u32();
+        if (count > 100000) throw util::DecodeError("absurd roster");
+        for (std::uint32_t i = 0; i < count; ++i) {
+          result.roster.push_back(
+              Certificate::decode(util::ByteSpan(r.bytes())));
+        }
+        r.expect_done();
+        return result;
+      }
+      if (type == CaMsg::kLeaveReply) {
+        leave_event_ = MembershipEvent::decode(util::ByteSpan(r.bytes()));
+        r.expect_done();
+        continue;
+      }
+      if (type == CaMsg::kError) {
+        last_error_ = r.str();
+        continue;
+      }
+    } catch (const util::DecodeError&) {
+      last_error_ = "malformed CA reply";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace drum::membership

@@ -1,0 +1,92 @@
+// The CA as a network service (paper §10: newcomers must be authorized by
+// the CA, which grants a certificate and provides an initial membership
+// list; log-outs are sent to the CA, which revokes and forwards).
+//
+// Wire protocol (datagrams, same ByteWriter framing as the core protocol):
+//   JoinRequest  : id, host, ports, keys, proof-of-possession signature
+//   JoinReply    : the signed kJoin event + the current roster
+//   LeaveRequest : id + the member's leave signature
+//   LeaveReply   : the signed kLeave event
+//   Error        : refusal reason
+//
+// Both sides are poll-driven (no threads): drive CaServer::poll() and
+// CaClient::poll() from whatever loop owns them. A DoS attack on the CA does
+// not hamper communication among processes that have already joined (§10) —
+// the CA is only on the join/leave path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "drum/membership/ca.hpp"
+#include "drum/net/transport.hpp"
+
+namespace drum::membership {
+
+/// Serves one CertificationAuthority on a well-known port.
+class CaServer {
+ public:
+  /// Binds `port` on `transport`; throws std::runtime_error if taken.
+  CaServer(CertificationAuthority& ca, net::Transport& transport,
+           std::uint16_t port);
+
+  /// Handles all pending requests; returns how many were processed.
+  std::size_t poll();
+
+  [[nodiscard]] net::Address address() const { return sock_->local(); }
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  CertificationAuthority& ca_;
+  std::unique_ptr<net::Socket> sock_;
+  std::uint64_t served_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Client side: join / leave against a remote CA.
+class CaClient {
+ public:
+  struct JoinResult {
+    MembershipEvent event;               ///< our signed kJoin event
+    std::vector<Certificate> roster;     ///< initial membership list
+  };
+
+  /// Binds an ephemeral reply socket on `transport`.
+  CaClient(net::Transport& transport, net::Address ca_address);
+
+  /// Sends a join request. `identity` proves possession of the keys being
+  /// certified (the request is signed with its Ed25519 key).
+  void send_join(std::uint32_t id, std::uint32_t host,
+                 std::uint16_t wk_pull_port, std::uint16_t wk_offer_port,
+                 const crypto::Identity& identity);
+
+  /// Sends a leave request for `id`, signed by `identity`.
+  void send_leave(std::uint32_t id, const crypto::Identity& identity);
+
+  /// Non-blocking: processes any reply. Returns the join result when one
+  /// arrives; leave replies and errors are reflected in leave_event() /
+  /// last_error().
+  std::optional<JoinResult> poll();
+
+  [[nodiscard]] const std::optional<MembershipEvent>& leave_event() const {
+    return leave_event_;
+  }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+ private:
+  net::Address ca_address_;
+  std::unique_ptr<net::Socket> sock_;
+  std::optional<MembershipEvent> leave_event_;
+  std::string last_error_;
+};
+
+/// The bytes a joiner signs to prove key possession (exposed for tests).
+util::Bytes join_request_proof_bytes(std::uint32_t id, std::uint32_t host,
+                                     std::uint16_t wk_pull_port,
+                                     std::uint16_t wk_offer_port,
+                                     const crypto::Ed25519PublicKey& sign_pub,
+                                     const crypto::X25519Key& dh_pub);
+
+}  // namespace drum::membership

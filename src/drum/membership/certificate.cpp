@@ -1,0 +1,139 @@
+#include "drum/membership/certificate.hpp"
+
+namespace drum::membership {
+
+namespace {
+
+void write_cert_body(util::ByteWriter& w, const Certificate& c) {
+  w.u32(c.member_id);
+  w.u32(c.host);
+  w.u16(c.wk_pull_port);
+  w.u16(c.wk_offer_port);
+  w.raw(util::ByteSpan(c.sign_pub.data(), c.sign_pub.size()));
+  w.raw(util::ByteSpan(c.dh_pub.data(), c.dh_pub.size()));
+  w.i64(c.issued_at);
+  w.i64(c.expires_at);
+  w.u64(c.serial);
+}
+
+Certificate read_cert_body(util::ByteReader& r) {
+  Certificate c;
+  c.member_id = r.u32();
+  c.host = r.u32();
+  c.wk_pull_port = r.u16();
+  c.wk_offer_port = r.u16();
+  auto sp = r.raw(c.sign_pub.size());
+  std::copy(sp.begin(), sp.end(), c.sign_pub.begin());
+  auto dp = r.raw(c.dh_pub.size());
+  std::copy(dp.begin(), dp.end(), c.dh_pub.begin());
+  c.issued_at = r.i64();
+  c.expires_at = r.i64();
+  c.serial = r.u64();
+  return c;
+}
+
+}  // namespace
+
+util::Bytes Certificate::signed_bytes() const {
+  util::ByteWriter w;
+  w.str("drum-cert-v1");
+  write_cert_body(w, *this);
+  return w.take();
+}
+
+bool Certificate::verify(const crypto::Ed25519PublicKey& ca_pub) const {
+  return crypto::ed25519_verify(ca_pub, util::ByteSpan(signed_bytes()),
+                                ca_signature);
+}
+
+core::Peer Certificate::to_peer() const {
+  core::Peer p;
+  p.id = member_id;
+  p.host = host;
+  p.wk_pull_port = wk_pull_port;
+  p.wk_offer_port = wk_offer_port;
+  p.sign_pub = sign_pub;
+  p.dh_pub = dh_pub;
+  p.present = true;
+  return p;
+}
+
+util::Bytes Certificate::encode() const {
+  util::ByteWriter w;
+  write_cert_body(w, *this);
+  w.raw(util::ByteSpan(ca_signature.data(), ca_signature.size()));
+  return w.take();
+}
+
+Certificate Certificate::decode(util::ByteSpan wire) {
+  util::ByteReader r(wire);
+  Certificate c = read_cert_body(r);
+  auto sig = r.raw(c.ca_signature.size());
+  std::copy(sig.begin(), sig.end(), c.ca_signature.begin());
+  r.expect_done();
+  return c;
+}
+
+util::Bytes MembershipEvent::signed_bytes() const {
+  util::ByteWriter w;
+  w.str("drum-member-event-v1");
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(member_id);
+  w.u64(cert_serial);
+  w.i64(timestamp);
+  if (certificate) {
+    w.u8(1);
+    w.bytes(util::ByteSpan(certificate->encode()));
+  } else {
+    w.u8(0);
+  }
+  return w.take();
+}
+
+bool MembershipEvent::verify(const crypto::Ed25519PublicKey& ca_pub) const {
+  if (type == EventType::kJoin) {
+    if (!certificate || !certificate->verify(ca_pub)) return false;
+    if (certificate->member_id != member_id ||
+        certificate->serial != cert_serial) {
+      return false;
+    }
+  }
+  return crypto::ed25519_verify(ca_pub, util::ByteSpan(signed_bytes()),
+                                ca_signature);
+}
+
+util::Bytes MembershipEvent::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(member_id);
+  w.u64(cert_serial);
+  w.i64(timestamp);
+  if (certificate) {
+    w.u8(1);
+    w.bytes(util::ByteSpan(certificate->encode()));
+  } else {
+    w.u8(0);
+  }
+  w.raw(util::ByteSpan(ca_signature.data(), ca_signature.size()));
+  return w.take();
+}
+
+MembershipEvent MembershipEvent::decode(util::ByteSpan wire) {
+  util::ByteReader r(wire);
+  MembershipEvent e;
+  auto type = r.u8();
+  if (type < 1 || type > 3) throw util::DecodeError("bad event type");
+  e.type = static_cast<EventType>(type);
+  e.member_id = r.u32();
+  e.cert_serial = r.u64();
+  e.timestamp = r.i64();
+  if (r.u8() == 1) {
+    e.certificate = Certificate::decode(util::ByteSpan(r.bytes()));
+  }
+  auto sig = r.raw(e.ca_signature.size());
+  std::copy(sig.begin(), sig.end(), e.ca_signature.begin());
+  r.expect_done();
+  return e;
+}
+
+}  // namespace drum::membership

@@ -1,0 +1,50 @@
+#include "drum/membership/failure_detector.hpp"
+
+namespace drum::membership {
+
+FailureDetector::FailureDetector(std::uint64_t suspicion_rounds,
+                                 std::uint64_t probe_interval)
+    : suspicion_rounds_(suspicion_rounds), probe_interval_(probe_interval) {}
+
+void FailureDetector::track(std::uint32_t id, std::uint64_t round) {
+  tracked_[id] = State{round, round};
+}
+
+void FailureDetector::forget(std::uint32_t id) { tracked_.erase(id); }
+
+void FailureDetector::heard_from(std::uint32_t id, std::uint64_t round) {
+  auto it = tracked_.find(id);
+  if (it != tracked_.end()) {
+    it->second.last_heard = std::max(it->second.last_heard, round);
+  }
+}
+
+std::vector<std::uint32_t> FailureDetector::due_probes(std::uint64_t round) {
+  std::vector<std::uint32_t> out;
+  for (auto& [id, st] : tracked_) {
+    if (round - st.last_heard >= probe_interval_ &&
+        round - st.last_probe >= probe_interval_) {
+      st.last_probe = round;
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+bool FailureDetector::is_suspected(std::uint32_t id,
+                                   std::uint64_t round) const {
+  auto it = tracked_.find(id);
+  if (it == tracked_.end()) return false;
+  return round - it->second.last_heard >= suspicion_rounds_;
+}
+
+std::vector<std::uint32_t> FailureDetector::suspected(
+    std::uint64_t round) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [id, st] : tracked_) {
+    if (round - st.last_heard >= suspicion_rounds_) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace drum::membership

@@ -1,0 +1,52 @@
+// Local failure detector (paper §10): "From time to time, each process
+// tests the responsiveness of the other processes it communicates with. If
+// a failure is detected, the process stops communicating with the failed
+// process, but does not propagate this information to other processes."
+//
+// Purely local: suspicion only removes the peer from *this* process's
+// gossip candidates; the member's group status is untouched (unlike
+// gossip-style failure detectors, no third-party rumors are believed —
+// §10 lists that as a design goal).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace drum::membership {
+
+class FailureDetector {
+ public:
+  /// `suspicion_rounds`: rounds of silence before a tracked peer is
+  /// suspected. `probe_interval`: how often (in rounds) a peer should be
+  /// probed when we have not heard from it organically.
+  explicit FailureDetector(std::uint64_t suspicion_rounds = 10,
+                           std::uint64_t probe_interval = 3);
+
+  /// Starts tracking a peer (e.g. on join). Resets any suspicion.
+  void track(std::uint32_t id, std::uint64_t round);
+  /// Stops tracking (on leave/expel).
+  void forget(std::uint32_t id);
+
+  /// Feed: any valid message from the peer counts as a liveness proof.
+  void heard_from(std::uint32_t id, std::uint64_t round);
+
+  /// Peers that should be probed this round (tracked, not recently heard
+  /// from, and due per probe_interval).
+  [[nodiscard]] std::vector<std::uint32_t> due_probes(std::uint64_t round);
+
+  [[nodiscard]] bool is_suspected(std::uint32_t id,
+                                  std::uint64_t round) const;
+  [[nodiscard]] std::vector<std::uint32_t> suspected(std::uint64_t round) const;
+
+ private:
+  struct State {
+    std::uint64_t last_heard = 0;
+    std::uint64_t last_probe = 0;
+  };
+  std::uint64_t suspicion_rounds_;
+  std::uint64_t probe_interval_;
+  std::map<std::uint32_t, State> tracked_;
+};
+
+}  // namespace drum::membership

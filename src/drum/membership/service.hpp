@@ -1,0 +1,82 @@
+// Glue layer: runs dynamic membership *over* a Drum node (paper §10: the
+// membership protocol is layered on top of Drum's multicast, so it inherits
+// Drum's DoS-resistance).
+//
+// Membership events (CA-signed join/leave/expel) travel as ordinary Drum
+// multicast payloads with a magic prefix. The service:
+//   * consumes such deliveries, applies them to the local MembershipTable;
+//   * tracks peer liveness with the local FailureDetector (any delivery is
+//     a liveness proof; probing hooks provided);
+//   * rebuilds the node's directory whenever the view changes — removing
+//     left/expelled/expired members and locally-suspected ones (the latter
+//     without propagating suspicion, as §10 prescribes).
+#pragma once
+
+#include <cstdint>
+
+#include "drum/core/node.hpp"
+#include "drum/membership/failure_detector.hpp"
+#include "drum/membership/table.hpp"
+
+namespace drum::membership {
+
+class MembershipService {
+ public:
+  /// `node` must outlive the service. `now` is the certificate clock.
+  MembershipService(crypto::Ed25519PublicKey ca_pub, core::Node& node,
+                    std::int64_t now);
+
+  /// Seeds from the CA-provided initial roster and pushes the directory to
+  /// the node.
+  void bootstrap(const std::vector<Certificate>& roster);
+
+  /// Call from the node's delivery callback. Returns true if the payload
+  /// was a membership event (consumed), false if it is application data.
+  bool handle_delivery(const core::Node::Delivery& delivery);
+
+  /// Call once per local round: advances the clock, prunes expiries,
+  /// updates suspicion, refreshes the node directory if anything changed.
+  void on_round(std::int64_t now);
+
+  /// Multicasts a membership event through the node (any member can relay
+  /// CA events into the group).
+  void publish(const MembershipEvent& event);
+
+  /// §10 certificate piggybacking: "Each process piggybacks its certificate
+  /// on top of an outgoing message if it hasn't done so for a relatively
+  /// long period, or if it has recently joined." At this layering the
+  /// equivalent is re-publishing our own CA-signed join event through the
+  /// multicast every `interval_rounds` rounds, so members with incomplete
+  /// membership databases (late joiners, partitioned nodes) converge.
+  void enable_cert_republish(const MembershipEvent& own_join_event,
+                             std::uint64_t interval_rounds = 20);
+
+  /// Frames an event as a multicast payload (exposed for tests/examples).
+  static util::Bytes wrap(const MembershipEvent& event);
+
+  [[nodiscard]] const MembershipTable& table() const { return table_; }
+  [[nodiscard]] FailureDetector& failure_detector() { return fd_; }
+  [[nodiscard]] std::int64_t now() const { return now_; }
+  [[nodiscard]] std::size_t events_applied() const { return applied_; }
+  [[nodiscard]] std::size_t events_rejected() const { return rejected_; }
+
+ private:
+  void apply_event(const MembershipEvent& event);
+  void refresh_directory();
+
+  crypto::Ed25519PublicKey ca_pub_;
+  core::Node& node_;
+  MembershipTable table_;
+  // Suspicion after 30 silent rounds, probe every 5: conservative defaults —
+  // deliveries are the only organic liveness feed at this layer.
+  FailureDetector fd_{30, 5};
+  std::int64_t now_;
+  std::size_t applied_ = 0;
+  std::size_t rejected_ = 0;
+
+  std::optional<MembershipEvent> own_join_event_;
+  std::uint64_t republish_interval_ = 0;
+  std::uint64_t last_republish_round_ = 0;
+};
+
+}  // namespace drum::membership

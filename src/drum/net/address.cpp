@@ -1,0 +1,15 @@
+#include "drum/net/transport.hpp"
+
+#include <cstdio>
+
+namespace drum::net {
+
+std::string to_string(const Address& a) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (a.host >> 24) & 0xFF,
+                (a.host >> 16) & 0xFF, (a.host >> 8) & 0xFF, a.host & 0xFF,
+                a.port);
+  return buf;
+}
+
+}  // namespace drum::net

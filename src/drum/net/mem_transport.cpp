@@ -1,0 +1,145 @@
+#include "drum/net/mem_transport.hpp"
+
+#include <algorithm>
+
+namespace drum::net {
+
+namespace {
+// Ephemeral ports are picked from this range, mirroring the IANA dynamic
+// range. An attacker who wants to hit a random port has ~16k candidates.
+constexpr std::uint16_t kEphemeralBase = 49152;
+constexpr std::uint16_t kEphemeralCount = 16384;
+}  // namespace
+
+class MemSocket final : public Socket {
+ public:
+  MemSocket(MemNetwork& net, Address local) : net_(net), local_(local) {}
+  ~MemSocket() override { net_.unbind_queue(local_); }
+
+  std::optional<Datagram> recv() override {
+    std::lock_guard<std::mutex> lock(net_.mu_);
+    auto it = net_.queues_.find(local_);
+    if (it == net_.queues_.end() || it->second.q.empty()) return std::nullopt;
+    auto first = it->second.q.begin();
+    if (first->first > net_.now_us_) return std::nullopt;  // still in flight
+    Datagram d = std::move(first->second);
+    it->second.q.erase(first);
+    return d;
+  }
+
+  void send(const Address& to, util::ByteSpan payload) override {
+    net_.deliver(local_, to, payload);
+  }
+
+  [[nodiscard]] Address local() const override { return local_; }
+
+ private:
+  MemNetwork& net_;
+  Address local_;
+};
+
+class MemTransport final : public Transport {
+ public:
+  MemTransport(MemNetwork& net, std::uint32_t host) : net_(net), host_(host) {}
+
+  std::unique_ptr<Socket> bind(std::uint16_t port) override {
+    Address addr{host_, port};
+    if (port == 0) {
+      addr.port = net_.pick_ephemeral(host_);
+      if (addr.port == 0) return nullptr;  // exhausted
+      return std::make_unique<MemSocket>(net_, addr);
+    }
+    if (!net_.bind_queue(addr)) return nullptr;
+    return std::make_unique<MemSocket>(net_, addr);
+  }
+
+  [[nodiscard]] std::uint32_t host() const override { return host_; }
+
+ private:
+  MemNetwork& net_;
+  std::uint32_t host_;
+};
+
+MemNetwork::MemNetwork() : MemNetwork(Options{}) {}
+MemNetwork::MemNetwork(Options opts) : opts_(opts), rng_(opts.seed) {}
+MemNetwork::~MemNetwork() = default;
+
+std::unique_ptr<Transport> MemNetwork::transport(std::uint32_t host) {
+  return std::make_unique<MemTransport>(*this, host);
+}
+
+void MemNetwork::send_raw(const Address& from, const Address& to,
+                          util::ByteSpan payload) {
+  deliver(from, to, payload);
+}
+
+void MemNetwork::deliver(const Address& from, const Address& to,
+                         util::ByteSpan payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opts_.loss > 0 && rng_.chance(opts_.loss)) {
+    ++dropped_;
+    return;
+  }
+  auto it = queues_.find(to);
+  if (it == queues_.end()) {
+    ++dropped_;  // no listener: silently dropped, like UDP
+    return;
+  }
+  if (it->second.q.size() >= opts_.queue_capacity) {
+    ++dropped_;  // queue overflow: the flood's direct effect
+    return;
+  }
+  std::int64_t ready_at = now_us_;
+  if (opts_.latency_us > 0) {
+    double jitter =
+        1.0 + opts_.latency_jitter * (2.0 * rng_.uniform() - 1.0);
+    ready_at += static_cast<std::int64_t>(
+        static_cast<double>(opts_.latency_us) * jitter);
+  }
+  it->second.q.emplace(ready_at,
+                       Datagram{from, util::Bytes(payload.begin(),
+                                                  payload.end())});
+  ++delivered_;
+}
+
+void MemNetwork::advance_to(std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_us_ = std::max(now_us_, now_us);
+}
+
+bool MemNetwork::bind_queue(const Address& at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = queues_.try_emplace(at);
+  (void)it;
+  return inserted;
+}
+
+void MemNetwork::unbind_queue(const Address& at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queues_.erase(at);
+}
+
+std::uint16_t MemNetwork::pick_ephemeral(std::uint32_t host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto port = static_cast<std::uint16_t>(kEphemeralBase +
+                                           rng_.below(kEphemeralCount));
+    Address addr{host, port};
+    auto [it, inserted] = queues_.try_emplace(addr);
+    (void)it;
+    if (inserted) return port;
+  }
+  return 0;
+}
+
+std::uint64_t MemNetwork::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t MemNetwork::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+}  // namespace drum::net

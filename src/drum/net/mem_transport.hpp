@@ -1,0 +1,86 @@
+// In-process datagram network. One MemNetwork is the "LAN"; each node gets a
+// MemTransport (a host number) and binds Sockets on it. Thread-safe: nodes
+// may run on their own threads, and the attack injector sends from fake
+// hosts concurrently.
+//
+// Models what matters for DoS experiments:
+//  * per-socket bounded receive queues (like OS socket buffers) — floods
+//    overflow them and legitimate packets get dropped at the tail;
+//  * iid per-datagram loss;
+//  * spoofable source addresses (send_raw lets the attacker claim any from).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "drum/net/transport.hpp"
+#include "drum/util/rng.hpp"
+
+namespace drum::net {
+
+class MemNetwork {
+ public:
+  struct Options {
+    double loss = 0.0;                 ///< per-datagram drop probability
+    std::size_t queue_capacity = 4096; ///< per-socket receive queue bound
+    std::uint64_t seed = 1;            ///< loss/ephemeral-port randomness
+    /// Virtual-time delivery latency: a datagram sent at t becomes
+    /// receivable at t + latency (±jitter fraction). Without it, a request/
+    /// reply handshake completes "instantaneously" in the same poll sweep
+    /// as the victim's round tick — an artificial clean window no real
+    /// network has. Drive the clock with advance_to().
+    std::int64_t latency_us = 0;
+    double latency_jitter = 0.5;
+  };
+
+  MemNetwork();
+  explicit MemNetwork(Options opts);
+  ~MemNetwork();
+
+  MemNetwork(const MemNetwork&) = delete;
+  MemNetwork& operator=(const MemNetwork&) = delete;
+
+  /// Creates the transport for `host`. Hosts need not be pre-registered.
+  std::unique_ptr<Transport> transport(std::uint32_t host);
+
+  /// Injects a datagram with an arbitrary (spoofed) source address —
+  /// the attacker's primitive.
+  void send_raw(const Address& from, const Address& to,
+                util::ByteSpan payload);
+
+  /// Advances the virtual clock; datagrams become receivable when their
+  /// delivery time is reached. Irrelevant when latency_us == 0.
+  void advance_to(std::int64_t now_us);
+
+  /// Total datagrams dropped due to loss or full queues (observability).
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Total datagrams delivered into some socket queue.
+  [[nodiscard]] std::uint64_t delivered() const;
+
+ private:
+  friend class MemSocket;
+  friend class MemTransport;
+
+  struct Queue {
+    // Ordered by delivery time (latency jitter can reorder datagrams).
+    std::multimap<std::int64_t, Datagram> q;
+  };
+
+  void deliver(const Address& from, const Address& to, util::ByteSpan payload);
+  bool bind_queue(const Address& at);
+  void unbind_queue(const Address& at);
+  std::uint16_t pick_ephemeral(std::uint32_t host);
+
+  mutable std::mutex mu_;
+  Options opts_;
+  util::Rng rng_;
+  std::map<Address, Queue> queues_;
+  std::int64_t now_us_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace drum::net

@@ -1,0 +1,73 @@
+// Datagram transport abstraction for the real (non-simulated) Drum protocol
+// implementation.
+//
+// Two implementations exist:
+//  * MemTransport — an in-process packet network with configurable loss and
+//    spoofable sources; deterministic and fast, used by unit/integration
+//    tests and the measurement harness's default mode;
+//  * UdpTransport — real UDP sockets (loopback by default), substituting for
+//    the paper's 50-machine Emulab LAN.
+//
+// Semantics are UDP-like by design: unreliable, unordered (MemTransport
+// preserves order; UDP on loopback mostly does too), datagram-boundary-
+// preserving, and with a *bounded receive queue per bound port* — the OS
+// socket buffer in UDP, an explicit cap in MemTransport. The bounded queue is
+// what a DoS flood fills.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "drum/util/bytes.hpp"
+
+namespace drum::net {
+
+/// A datagram address: host + port. For UDP, host is an IPv4 address in host
+/// byte order; for MemTransport, host is an arbitrary node number.
+struct Address {
+  std::uint32_t host = 0;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Address&) const = default;
+};
+
+std::string to_string(const Address& a);
+
+struct Datagram {
+  Address from;  ///< claimed source — spoofable, never trust for security
+  util::Bytes payload;
+};
+
+/// A bound datagram socket. Not thread-safe; owned and polled by one node.
+class Socket {
+ public:
+  virtual ~Socket() = default;
+
+  /// Non-blocking receive; nullopt when the queue is empty.
+  virtual std::optional<Datagram> recv() = 0;
+
+  /// Fire-and-forget send. May drop (loss, full queue, no such port) —
+  /// exactly like UDP.
+  virtual void send(const Address& to, util::ByteSpan payload) = 0;
+
+  /// The local address this socket is bound to.
+  [[nodiscard]] virtual Address local() const = 0;
+};
+
+/// Per-node endpoint factory.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Binds a socket on `port`; port 0 picks an unused high port at random —
+  /// this is Drum's "random port" primitive. Returns nullptr if the port is
+  /// taken.
+  virtual std::unique_ptr<Socket> bind(std::uint16_t port) = 0;
+
+  /// The host part all sockets of this transport are bound on.
+  [[nodiscard]] virtual std::uint32_t host() const = 0;
+};
+
+}  // namespace drum::net

@@ -1,0 +1,97 @@
+#include "drum/net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "drum/util/log.hpp"
+
+namespace drum::net {
+
+std::uint32_t parse_ipv4(const char* dotted) {
+  in_addr a{};
+  if (inet_pton(AF_INET, dotted, &a) != 1) return 0;
+  return ntohl(a.s_addr);
+}
+
+namespace {
+
+sockaddr_in make_sockaddr(const Address& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(a.port);
+  sa.sin_addr.s_addr = htonl(a.host);
+  return sa;
+}
+
+class UdpSocket final : public Socket {
+ public:
+  UdpSocket(int fd, Address local) : fd_(fd), local_(local) {}
+  ~UdpSocket() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  std::optional<Datagram> recv() override {
+    std::array<std::uint8_t, 65536> buf;
+    sockaddr_in from{};
+    socklen_t from_len = sizeof from;
+    ssize_t r = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (r < 0) return std::nullopt;  // EAGAIN or error: nothing to read
+    Datagram d;
+    d.from.host = ntohl(from.sin_addr.s_addr);
+    d.from.port = ntohs(from.sin_port);
+    d.payload.assign(buf.data(), buf.data() + r);
+    return d;
+  }
+
+  void send(const Address& to, util::ByteSpan payload) override {
+    sockaddr_in sa = make_sockaddr(to);
+    ssize_t r = ::sendto(fd_, payload.data(), payload.size(), 0,
+                         reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    if (r < 0 && errno != EAGAIN && errno != ECONNREFUSED) {
+      DRUM_DEBUG << "udp send to " << to_string(to)
+                 << " failed: " << std::strerror(errno);
+    }
+  }
+
+  [[nodiscard]] Address local() const override { return local_; }
+
+ private:
+  int fd_;
+  Address local_;
+};
+
+}  // namespace
+
+UdpTransport::UdpTransport(std::uint32_t host) : host_(host) {}
+
+std::unique_ptr<Socket> UdpTransport::bind(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in sa = make_sockaddr(Address{host_, port});
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  // Discover the actual port (for port = 0, the kernel picked one — this is
+  // Drum's random-port primitive on the real network).
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  Address local{host_, ntohs(bound.sin_port)};
+  return std::make_unique<UdpSocket>(fd, local);
+}
+
+}  // namespace drum::net

@@ -1,0 +1,30 @@
+// Real UDP sockets (IPv4). Substitutes for the paper's 100 Mbit Emulab LAN:
+// all 50 processes run on this machine, each node binding its own set of
+// loopback UDP ports. Sockets are non-blocking; the node's poll loop drains
+// them. The OS socket buffer plays the bounded-receive-queue role that a
+// flood fills.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "drum/net/transport.hpp"
+
+namespace drum::net {
+
+/// Parses dotted-quad into host byte order (e.g. "127.0.0.1").
+std::uint32_t parse_ipv4(const char* dotted);
+
+class UdpTransport final : public Transport {
+ public:
+  /// All sockets bind on `host` (default loopback).
+  explicit UdpTransport(std::uint32_t host = parse_ipv4("127.0.0.1"));
+
+  std::unique_ptr<Socket> bind(std::uint16_t port) override;
+  [[nodiscard]] std::uint32_t host() const override { return host_; }
+
+ private:
+  std::uint32_t host_;
+};
+
+}  // namespace drum::net

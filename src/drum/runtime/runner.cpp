@@ -1,0 +1,56 @@
+#include "drum/runtime/runner.hpp"
+
+namespace drum::runtime {
+
+NodeRunner::NodeRunner(core::Node& node, RunnerConfig cfg, std::uint64_t seed)
+    : node_(node), cfg_(cfg), rng_(seed) {}
+
+NodeRunner::~NodeRunner() { stop(); }
+
+void NodeRunner::start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void NodeRunner::stop() {
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+core::MessageId NodeRunner::multicast(util::ByteSpan payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_.multicast(payload);
+}
+
+void NodeRunner::with_node(const std::function<void(core::Node&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fn(node_);
+}
+
+void NodeRunner::loop() {
+  auto next_tick = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    double j = 1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0);
+    next_tick += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        cfg_.round * j);
+  }
+  while (!stop_requested_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      node_.poll();
+      if (std::chrono::steady_clock::now() >= next_tick) {
+        node_.on_round();
+        double j = 1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0);
+        next_tick = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(cfg_.round * j);
+      }
+    }
+    std::this_thread::sleep_for(cfg_.poll_interval);
+  }
+}
+
+}  // namespace drum::runtime

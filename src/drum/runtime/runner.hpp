@@ -1,0 +1,70 @@
+// Real-time execution of protocol nodes: one thread per node, jittered
+// local round ticks, frequent polling — the deployment shape of the paper's
+// multithreaded Java implementation ("the operations that occur in a round
+// are not synchronized", §8).
+//
+// A core::Node is deliberately single-threaded; NodeRunner owns the thread
+// and serializes all access. Application threads interact through the
+// thread-safe multicast() / with_node() entry points. Delivery callbacks run
+// on the runner thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "drum/core/node.hpp"
+#include "drum/util/rng.hpp"
+
+namespace drum::runtime {
+
+struct RunnerConfig {
+  /// Mean local round duration (paper: ~1 s).
+  std::chrono::milliseconds round{1000};
+  /// Uniform jitter as a fraction of `round` (+/-): keeps rounds
+  /// unsynchronized across nodes so an attacker cannot aim at round starts
+  /// (paper §4).
+  double jitter = 0.2;
+  /// How often the runner drains the node's sockets between ticks.
+  std::chrono::milliseconds poll_interval{2};
+};
+
+class NodeRunner {
+ public:
+  /// Does not start the thread; call start(). `node` must outlive the
+  /// runner.
+  NodeRunner(core::Node& node, RunnerConfig cfg, std::uint64_t seed);
+  /// Stops and joins if still running.
+  ~NodeRunner();
+
+  NodeRunner(const NodeRunner&) = delete;
+  NodeRunner& operator=(const NodeRunner&) = delete;
+
+  void start();
+  /// Idempotent; blocks until the thread has joined.
+  void stop();
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  /// Thread-safe multicast through the node.
+  core::MessageId multicast(util::ByteSpan payload);
+
+  /// Runs `fn` with exclusive access to the node (for stats, directory
+  /// updates, etc.). Keep it short — it blocks the protocol.
+  void with_node(const std::function<void(core::Node&)>& fn);
+
+ private:
+  void loop();
+
+  core::Node& node_;
+  RunnerConfig cfg_;
+  util::Rng rng_;
+  std::mutex mu_;  // guards node_ and rng_
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace drum::runtime

@@ -1,0 +1,351 @@
+#include "drum/sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace drum::sim {
+
+namespace {
+
+// Number of fabricated messages that arrive (each independently survives
+// link loss).
+std::size_t fabricated_arrivals(double x, double loss, util::Rng& rng) {
+  auto sent = static_cast<std::size_t>(std::llround(x));
+  std::size_t arrived = 0;
+  for (std::size_t i = 0; i < sent; ++i) {
+    if (!rng.chance(loss)) ++arrived;
+  }
+  return arrived;
+}
+
+// Bounded random acceptance: `valid` items compete with `fabricated` items
+// for `bound` acceptance slots; returns the indices (into the valid list)
+// that were accepted.
+std::vector<std::size_t> accept_bounded(std::size_t valid,
+                                        std::size_t fabricated,
+                                        std::size_t bound, util::Rng& rng) {
+  std::vector<std::size_t> accepted;
+  std::size_t total = valid + fabricated;
+  if (total == 0 || valid == 0) return accepted;
+  if (total <= bound) {
+    accepted.resize(valid);
+    for (std::size_t i = 0; i < valid; ++i) accepted[i] = i;
+    return accepted;
+  }
+  auto picks = rng.sample(static_cast<std::uint32_t>(total),
+                          static_cast<std::uint32_t>(bound),
+                          static_cast<std::uint32_t>(total));
+  for (auto p : picks) {
+    if (p < valid) accepted.push_back(p);
+  }
+  return accepted;
+}
+
+struct ChannelPlan {
+  std::size_t view_push = 0, bound_push = 0;
+  std::size_t view_pull = 0, bound_pull = 0;
+  double x_push = 0, x_pull_req = 0, x_pull_reply = 0;
+  bool bounded_pull_replies = false;  // kDrumWkPorts
+  bool shared_bound = false;          // kDrumSharedBounds
+};
+
+ChannelPlan make_plan(const SimParams& p) {
+  ChannelPlan c;
+  const std::size_t f = p.fanout;
+  const std::size_t push_view =
+      p.drum_push_view > 0 ? std::min(p.drum_push_view, f - 1) : f / 2;
+  switch (p.protocol) {
+    case SimProtocol::kPush:
+      c.view_push = c.bound_push = f;
+      c.x_push = p.x;
+      break;
+    case SimProtocol::kPull:
+      c.view_pull = c.bound_pull = f;
+      c.x_pull_req = p.x;
+      break;
+    case SimProtocol::kDrum:
+      c.view_push = c.bound_push = push_view;
+      c.view_pull = c.bound_pull = f - push_view;
+      c.x_push = p.x * p.attack_push_fraction;
+      c.x_pull_req = p.x * (1.0 - p.attack_push_fraction);
+      break;
+    case SimProtocol::kDrumWkPorts:
+      // §9: the adversary splits the pull budget between the (well-known)
+      // request port and the now-attackable well-known reply port.
+      c.view_push = c.bound_push = f / 2;
+      c.view_pull = c.bound_pull = f / 2;
+      c.x_push = p.x / 2;
+      c.x_pull_req = p.x / 4;
+      c.x_pull_reply = p.x / 4;
+      c.bounded_pull_replies = true;
+      break;
+    case SimProtocol::kDrumSharedBounds:
+      c.view_push = f / 2;
+      c.view_pull = f / 2;
+      c.bound_push = c.bound_pull = f;  // one joint bound of F
+      c.x_push = p.x / 2;
+      c.x_pull_req = p.x / 2;
+      c.shared_bound = true;
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+const char* protocol_name(SimProtocol p) {
+  switch (p) {
+    case SimProtocol::kDrum: return "drum";
+    case SimProtocol::kPush: return "push";
+    case SimProtocol::kPull: return "pull";
+    case SimProtocol::kDrumWkPorts: return "drum-wk-ports";
+    case SimProtocol::kDrumSharedBounds: return "drum-shared-bounds";
+  }
+  return "?";
+}
+
+RunResult simulate_run(const SimParams& params, util::Rng& rng) {
+  const std::size_t n = params.n;
+  if (n < 4) throw std::invalid_argument("group too small");
+  const auto n_mal = static_cast<std::size_t>(
+      std::llround(params.malicious_fraction * static_cast<double>(n)));
+  const auto n_crash = static_cast<std::size_t>(
+      std::llround(params.crashed_fraction * static_cast<double>(n)));
+  if (n_mal + n_crash >= n) throw std::invalid_argument("no correct processes");
+  const std::size_t n_correct = n - n_mal - n_crash;
+
+  // Roles: [0, n_mal) malicious, [n_mal, n_mal + n_crash) crashed,
+  // the rest alive & correct.
+  auto is_malicious = [&](std::size_t id) { return id < n_mal; };
+  auto is_crashed = [&](std::size_t id) {
+    return id >= n_mal && id < n_mal + n_crash;
+  };
+  auto is_correct = [&](std::size_t id) { return id >= n_mal + n_crash; };
+
+  // Attacked set: round(alpha*n) correct processes starting at the first
+  // correct id; the source is the first correct process, hence attacked
+  // whenever the attack is active (paper §5).
+  auto n_attacked = static_cast<std::size_t>(
+      std::llround(params.alpha * static_cast<double>(n)));
+  n_attacked = std::min(n_attacked, n_correct);
+  const bool attack_on = params.x > 0 && n_attacked > 0;
+  if (!attack_on) n_attacked = 0;
+  const std::size_t first_correct = n_mal + n_crash;
+  auto is_attacked = [&](std::size_t id) {
+    return attack_on && is_correct(id) && id < first_correct + n_attacked;
+  };
+  const std::size_t source = first_correct;
+
+  const ChannelPlan plan = make_plan(params);
+
+  std::vector<char> has_m(n, 0);
+  has_m[source] = 1;
+
+  RunResult result;
+  result.rounds_to_target = params.max_rounds + 1;
+  result.rounds_to_target_attacked = params.max_rounds + 1;
+  result.rounds_to_target_non_attacked = params.max_rounds + 1;
+  result.rounds_to_leave_source = params.max_rounds + 1;
+
+  // Per-target arrival buffers, reused across rounds.
+  struct PushArrival {
+    std::uint32_t sender;
+    char carries_m;
+  };
+  std::vector<std::vector<PushArrival>> push_arrivals(n);
+  std::vector<std::vector<std::uint32_t>> pull_requests(n);  // requester ids
+  std::vector<std::vector<char>> reply_arrivals(n);      // reply-carries-M
+
+  const std::size_t target_all = static_cast<std::size_t>(
+      std::ceil(params.coverage_target * static_cast<double>(n_correct)));
+  const std::size_t target_att = static_cast<std::size_t>(
+      std::ceil(params.coverage_target * static_cast<double>(n_attacked)));
+  const std::size_t n_non_att = n_correct - n_attacked;
+  const std::size_t target_non = static_cast<std::size_t>(
+      std::ceil(params.coverage_target * static_cast<double>(n_non_att)));
+
+  for (std::size_t round = 0; round <= params.max_rounds; ++round) {
+    // --- metrics at the beginning of the round ---
+    std::size_t holders = 0, holders_att = 0;
+    for (std::size_t id = first_correct; id < n; ++id) {
+      if (has_m[id]) {
+        ++holders;
+        if (is_attacked(id)) ++holders_att;
+      }
+    }
+    std::size_t holders_non = holders - holders_att;
+    result.coverage_by_round.push_back(static_cast<double>(holders) /
+                                       static_cast<double>(n_correct));
+    if (holders > 1 && result.rounds_to_leave_source > round) {
+      result.rounds_to_leave_source = round;
+    }
+    if (holders >= target_all && result.rounds_to_target > round) {
+      result.rounds_to_target = round;
+      result.reached = true;
+    }
+    if (n_attacked > 0 && holders_att >= target_att &&
+        result.rounds_to_target_attacked > round) {
+      result.rounds_to_target_attacked = round;
+    }
+    if (n_non_att > 0 && holders_non >= target_non &&
+        result.rounds_to_target_non_attacked > round) {
+      result.rounds_to_target_non_attacked = round;
+    }
+    if (result.reached &&
+        (n_attacked == 0 || result.rounds_to_target_attacked <= round) &&
+        (n_non_att == 0 || result.rounds_to_target_non_attacked <= round)) {
+      break;
+    }
+    if (round == params.max_rounds) break;
+
+    // --- send phase (synchronized: everyone uses the snapshot `has_m`) ---
+    for (auto& v : push_arrivals) v.clear();
+    for (auto& v : pull_requests) v.clear();
+    for (auto& v : reply_arrivals) v.clear();
+
+    for (std::size_t p = first_correct; p < n; ++p) {
+      if (plan.view_push > 0) {
+        auto view = rng.sample(static_cast<std::uint32_t>(n),
+                               static_cast<std::uint32_t>(plan.view_push),
+                               static_cast<std::uint32_t>(p));
+        for (auto t : view) {
+          if (is_malicious(t) || is_crashed(t)) continue;  // wasted fan-out
+          if (rng.chance(params.loss)) continue;
+          push_arrivals[t].push_back(
+              {static_cast<std::uint32_t>(p), has_m[p]});
+        }
+      }
+      if (plan.view_pull > 0) {
+        auto view = rng.sample(static_cast<std::uint32_t>(n),
+                               static_cast<std::uint32_t>(plan.view_pull),
+                               static_cast<std::uint32_t>(p));
+        for (auto t : view) {
+          if (is_malicious(t) || is_crashed(t)) continue;
+          if (rng.chance(params.loss)) continue;
+          pull_requests[t].push_back(static_cast<std::uint32_t>(p));
+        }
+      }
+    }
+
+    // --- receive phase ---
+    std::vector<char> new_m = has_m;
+
+    if (plan.shared_bound) {
+      // §9 ablation: one joint bound covers ALL control messages —
+      // pull-requests, push-offers, and push-replies (paper §9). Because
+      // push-replies now compete in the flooded pool instead of having
+      // their own (unattackable, random-port) budget, an attacked process
+      // also loses the ability to COMPLETE ITS OWN outgoing pushes: each
+      // outgoing push needs its push-reply to survive the sender's joint
+      // bound. We model that as thinning each push delivery by the
+      // sender's control-acceptance ratio this round.
+      std::vector<std::size_t> fab(n, 0);
+      std::vector<double> ratio(n, 1.0);
+      for (std::size_t t = first_correct; t < n; ++t) {
+        if (is_attacked(t)) {
+          fab[t] = fabricated_arrivals(plan.x_push, params.loss, rng) +
+                   fabricated_arrivals(plan.x_pull_req, params.loss, rng);
+        }
+        std::size_t total =
+            push_arrivals[t].size() + pull_requests[t].size() + fab[t];
+        ratio[t] = total <= plan.bound_push
+                       ? 1.0
+                       : static_cast<double>(plan.bound_push) /
+                             static_cast<double>(total);
+      }
+      for (std::size_t t = first_correct; t < n; ++t) {
+        std::size_t v_push = push_arrivals[t].size();
+        std::size_t v_pull = pull_requests[t].size();
+        auto accepted =
+            accept_bounded(v_push + v_pull, fab[t], plan.bound_push, rng);
+        for (auto idx : accepted) {
+          if (idx < v_push) {
+            const auto& arr = push_arrivals[t][idx];
+            // Push-reply must survive the sender's joint bound too.
+            if (arr.carries_m && rng.chance(ratio[arr.sender])) new_m[t] = 1;
+          } else {
+            auto requester = pull_requests[t][idx - v_push];
+            if (has_m[t] && !rng.chance(params.loss)) {
+              reply_arrivals[requester].push_back(1);
+            }
+          }
+        }
+      }
+    } else {
+      for (std::size_t t = first_correct; t < n; ++t) {
+        const bool att = is_attacked(t);
+        if (plan.view_push > 0) {
+          std::size_t fab =
+              att ? fabricated_arrivals(plan.x_push, params.loss, rng) : 0;
+          auto accepted = accept_bounded(push_arrivals[t].size(), fab,
+                                         plan.bound_push, rng);
+          for (auto idx : accepted) {
+            if (push_arrivals[t][idx].carries_m) new_m[t] = 1;
+          }
+        }
+        if (plan.view_pull > 0) {
+          std::size_t fab =
+              att ? fabricated_arrivals(plan.x_pull_req, params.loss, rng) : 0;
+          auto accepted = accept_bounded(pull_requests[t].size(), fab,
+                                         plan.bound_pull, rng);
+          for (auto idx : accepted) {
+            auto requester = pull_requests[t][idx];
+            if (has_m[t] && !rng.chance(params.loss)) {
+              reply_arrivals[requester].push_back(1);
+            }
+          }
+        }
+      }
+    }
+
+    // --- pull-reply delivery ---
+    for (std::size_t t = first_correct; t < n; ++t) {
+      auto& replies = reply_arrivals[t];
+      if (replies.empty()) continue;
+      if (plan.bounded_pull_replies) {
+        // §9 ablation: replies land on a well-known, attacked, bounded port.
+        std::size_t fab = is_attacked(t)
+                              ? fabricated_arrivals(plan.x_pull_reply,
+                                                    params.loss, rng)
+                              : 0;
+        auto accepted =
+            accept_bounded(replies.size(), fab, plan.bound_pull, rng);
+        for (auto idx : accepted) {
+          if (replies[idx]) new_m[t] = 1;
+        }
+      } else {
+        for (auto carries_m : replies) {
+          if (carries_m) new_m[t] = 1;
+        }
+      }
+    }
+
+    has_m.swap(new_m);
+  }
+  return result;
+}
+
+AggregateResult simulate_many(const SimParams& params, std::size_t runs,
+                              std::uint64_t seed) {
+  AggregateResult agg;
+  util::Rng master(seed);
+  for (std::size_t r = 0; r < runs; ++r) {
+    util::Rng rng = master.fork();
+    RunResult res = simulate_run(params, rng);
+    agg.rounds_to_target.add(static_cast<double>(res.rounds_to_target));
+    if (params.alpha > 0 && params.x > 0) {
+      agg.rounds_to_target_attacked.add(
+          static_cast<double>(res.rounds_to_target_attacked));
+      agg.rounds_to_target_non_attacked.add(
+          static_cast<double>(res.rounds_to_target_non_attacked));
+    }
+    agg.rounds_to_leave_source.add(
+        static_cast<double>(res.rounds_to_leave_source));
+    agg.coverage.add_run(res.coverage_by_round);
+    if (!res.reached) ++agg.unreached_runs;
+  }
+  return agg;
+}
+
+}  // namespace drum::sim

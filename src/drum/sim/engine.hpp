@@ -1,0 +1,101 @@
+// Round-synchronized Monte-Carlo simulator of gossip multicast under DoS
+// attack — the model of the paper's §5 and §7 (originally MATLAB):
+//
+//  * synchronized rounds; fan-out F; per-round acceptance bound F
+//    (Drum splits both F/2 push + F/2 pull);
+//  * one tracked message M originating at a single source; every process
+//    gossips every round regardless of holding M (they have other traffic),
+//    so contention at the acceptance bounds is always present;
+//  * push modelled without push-offers, pull-replies always accepted
+//    (random ports), both as in the paper's simulation section;
+//  * iid link loss on every traversal (requests, replies, data, and the
+//    attacker's fabricated messages alike);
+//  * a fraction of group members is malicious: they emit the fabricated
+//    traffic, never forward valid messages, but remain legitimate gossip
+//    targets (wasted fan-out), exactly as in §7;
+//  * the attacked set is a fraction alpha of the group (all correct), and
+//    the source is attacked.
+//
+// Two ablation variants of §9 are also modelled:
+//  * kDrumWkPorts — pull-replies go to a well-known (attackable) port; the
+//    adversary splits the pull budget between the request and reply ports;
+//  * kDrumSharedBounds — one joint acceptance bound over push + pull-request
+//    arrivals instead of separate per-operation bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "drum/util/rng.hpp"
+#include "drum/util/stats.hpp"
+
+namespace drum::sim {
+
+enum class SimProtocol {
+  kDrum,
+  kPush,
+  kPull,
+  kDrumWkPorts,       ///< §9 ablation: no random ports on pull-replies
+  kDrumSharedBounds,  ///< §9 ablation: joint bound on control channels
+};
+
+const char* protocol_name(SimProtocol p);
+
+struct SimParams {
+  SimProtocol protocol = SimProtocol::kDrum;
+  std::size_t n = 120;              ///< group size
+  std::size_t fanout = 4;           ///< F
+  double loss = 0.01;               ///< per-link loss probability
+  double malicious_fraction = 0.1;  ///< adversary-controlled group members
+  double crashed_fraction = 0.0;    ///< crashed-before-M members (Fig. 2(b))
+  double alpha = 0.0;               ///< attacked fraction of the group
+  double x = 0.0;                   ///< fabricated msgs/round per attacked proc
+  std::size_t max_rounds = 300;     ///< simulation horizon
+  double coverage_target = 0.99;    ///< "propagation time" threshold
+  /// Ablation of Drum's even fan-out split: for the kDrum protocol, use
+  /// this push-view size (pull view = fanout - this). 0 = even split F/2.
+  /// The attacker still splits its budget x/2 push + x/2 pull (it cannot
+  /// observe the victim's split).
+  std::size_t drum_push_view = 0;
+  /// Ablation of the ATTACKER's budget split against kDrum: fraction of x
+  /// aimed at the push (offer) channel, remainder at the pull-request
+  /// channel. Default 0.5 (the paper's attack). Drum's point is that no
+  /// split helps: whichever channel the attacker abandons carries the data.
+  double attack_push_fraction = 0.5;
+};
+
+/// Outcome of a single simulated run.
+struct RunResult {
+  /// Rounds until `coverage_target` of all correct processes hold M
+  /// (max_rounds + 1 when not reached within the horizon).
+  std::size_t rounds_to_target = 0;
+  /// Same threshold restricted to the attacked / non-attacked correct
+  /// subsets (paper Fig. 6). Zero-size subsets report 0.
+  std::size_t rounds_to_target_attacked = 0;
+  std::size_t rounds_to_target_non_attacked = 0;
+  /// First round at the start of which some process other than the source
+  /// holds M (Pull's dominant latency term, §7.2).
+  std::size_t rounds_to_leave_source = 0;
+  /// coverage_by_round[r] = fraction of correct processes holding M at the
+  /// beginning of round r.
+  std::vector<double> coverage_by_round;
+  bool reached = false;
+};
+
+/// Simulates one run. `rng` supplies all randomness (deterministic replay).
+RunResult simulate_run(const SimParams& params, util::Rng& rng);
+
+/// Aggregate of `runs` independent runs.
+struct AggregateResult {
+  util::Samples rounds_to_target;
+  util::Samples rounds_to_target_attacked;
+  util::Samples rounds_to_target_non_attacked;
+  util::Samples rounds_to_leave_source;
+  util::CoverageCurve coverage;
+  std::size_t unreached_runs = 0;
+};
+
+AggregateResult simulate_many(const SimParams& params, std::size_t runs,
+                              std::uint64_t seed);
+
+}  // namespace drum::sim

@@ -1,0 +1,80 @@
+#include "drum/util/bytes.hpp"
+
+namespace drum::util {
+
+void ByteWriter::bytes(ByteSpan b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  raw(b);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+ByteSpan ByteReader::raw(std::size_t n) {
+  if (remaining() < n) throw DecodeError("short raw read");
+  ByteSpan out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Bytes ByteReader::bytes() {
+  std::uint32_t n = u32();
+  if (remaining() < n) throw DecodeError("length prefix exceeds buffer");
+  ByteSpan b = raw(n);
+  return Bytes(b.begin(), b.end());
+}
+
+std::string ByteReader::str() {
+  std::uint32_t n = u32();
+  if (remaining() < n) throw DecodeError("length prefix exceeds buffer");
+  ByteSpan b = raw(n);
+  return std::string(b.begin(), b.end());
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) throw DecodeError("trailing bytes after message");
+}
+
+std::string to_hex(ByteSpan b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_val(hex[i]);
+    int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+bool ct_equal(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace drum::util

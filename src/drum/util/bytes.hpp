@@ -1,0 +1,116 @@
+// Byte-buffer serialization primitives used by every wire format in the
+// repository. All multi-byte integers are encoded little-endian; this is the
+// single canonical encoding for drum wire messages, certificates and digests.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drum::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Thrown by ByteReader when a read runs past the end of the buffer or a
+/// length prefix is inconsistent. Deserialization of untrusted network input
+/// must catch this (fabricated packets routinely trigger it).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only encoder. Grows an internal buffer; take() moves it out.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw_le(v); }
+  void u32(std::uint32_t v) { raw_le(v); }
+  void u64(std::uint64_t v) { raw_le(v); }
+  void i64(std::int64_t v) { raw_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    raw_le(bits);
+  }
+
+  /// Raw bytes, no length prefix (fixed-size fields: hashes, keys, nonces).
+  void raw(ByteSpan b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  /// Length-prefixed (u32) variable-size field.
+  void bytes(ByteSpan b);
+  void str(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void raw_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buf_;
+};
+
+/// Bounds-checked decoder over a non-owning span. Every accessor throws
+/// DecodeError instead of reading out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint16_t u16() { return take_le<std::uint16_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take_le<std::uint64_t>()); }
+  double f64() {
+    std::uint64_t bits = take_le<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  /// Fixed-size raw field.
+  ByteSpan raw(std::size_t n);
+  /// Length-prefixed variable-size field (u32 prefix).
+  Bytes bytes();
+  std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+  /// Throws unless the whole buffer has been consumed — call at the end of
+  /// every message decode so trailing garbage is rejected.
+  void expect_done() const;
+
+ private:
+  template <typename T>
+  T take_le() {
+    if (remaining() < sizeof(T)) throw DecodeError("short read");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+/// Lowercase hex encoding of a byte span ("deadbeef").
+std::string to_hex(ByteSpan b);
+/// Inverse of to_hex; returns nullopt on odd length or non-hex characters.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Constant-time equality for secrets (MAC tags, keys).
+bool ct_equal(ByteSpan a, ByteSpan b);
+
+}  // namespace drum::util

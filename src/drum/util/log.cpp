@@ -1,0 +1,42 @@
+#include "drum/util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace drum::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  using namespace std::chrono;
+  auto now = duration_cast<milliseconds>(
+                 steady_clock::now().time_since_epoch())
+                 .count();
+  auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFF;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %lld.%03lld t%04zx] %s\n", level_name(level),
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), tid, msg.c_str());
+}
+
+}  // namespace drum::util

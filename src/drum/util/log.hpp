@@ -1,0 +1,48 @@
+// Minimal leveled logger. Thread-safe (a single global mutex serializes
+// lines). Off by default above WARN so simulation hot loops stay silent;
+// examples enable INFO/DEBUG explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace drum::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr: "[level ts thread] message".
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace drum::util
+
+#define DRUM_LOG(level)                                      \
+  if (::drum::util::log_level() <= ::drum::util::level)      \
+  ::drum::util::detail::LogStream(::drum::util::level)
+
+#define DRUM_DEBUG DRUM_LOG(LogLevel::kDebug)
+#define DRUM_INFO DRUM_LOG(LogLevel::kInfo)
+#define DRUM_WARN DRUM_LOG(LogLevel::kWarn)
+#define DRUM_ERROR DRUM_LOG(LogLevel::kError)

@@ -1,0 +1,98 @@
+#include "drum/util/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace drum::util {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform() {
+  // 53 random bits into the mantissa: uniform on [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::uint32_t> Rng::sample(std::uint32_t n, std::uint32_t k,
+                                       std::uint32_t exclude) {
+  const std::uint32_t pop = exclude < n ? n - 1 : n;
+  k = std::min(k, pop);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= pop) {
+    // Dense: partial Fisher-Yates over the explicit population.
+    std::vector<std::uint32_t> ids;
+    ids.reserve(pop);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (i != exclude) ids.push_back(i);
+    }
+    for (std::uint32_t i = 0; i < k; ++i) {
+      std::size_t j = i + below(ids.size() - i);
+      std::swap(ids[i], ids[j]);
+      out.push_back(ids[i]);
+    }
+  } else {
+    // Sparse: rejection sampling with a small hash set.
+    std::unordered_set<std::uint32_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      auto v = static_cast<std::uint32_t>(below(n));
+      if (v == exclude || !seen.insert(v).second) continue;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+}  // namespace drum::util

@@ -1,0 +1,111 @@
+#include "drum/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace drum::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  auto n = static_cast<double>(n_ + other.n_);
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.n_) / n;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ = mean;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
+         static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0.0;
+  for (double x : xs_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::ci95_halfwidth() const {
+  if (xs_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(xs_.size()));
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  std::vector<double> s = sorted();
+  if (p <= 0) return s.front();
+  if (p >= 1) return s.back();
+  double pos = p * static_cast<double>(s.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1 - frac) + s[lo + 1] * frac;
+}
+
+double Samples::cdf_at(double x) const {
+  if (xs_.empty()) return 0.0;
+  std::size_t c = 0;
+  for (double v : xs_) c += (v <= x) ? 1 : 0;
+  return static_cast<double>(c) / static_cast<double>(xs_.size());
+}
+
+std::vector<double> Samples::sorted() const {
+  std::vector<double> s = xs_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+void CoverageCurve::add_run(const std::vector<double>& coverage_by_round) {
+  if (coverage_by_round.size() > sum_.size()) {
+    // Back-fill: all past runs extend with their final (monotone) value.
+    sum_.resize(coverage_by_round.size(), finals_sum_);
+  }
+  double fin = coverage_by_round.empty() ? 0.0 : coverage_by_round.back();
+  for (std::size_t r = 0; r < sum_.size(); ++r) {
+    sum_[r] += r < coverage_by_round.size() ? coverage_by_round[r] : fin;
+  }
+  finals_sum_ += fin;
+  ++runs_;
+}
+
+std::vector<double> CoverageCurve::average() const {
+  std::vector<double> out(sum_.size());
+  for (std::size_t r = 0; r < sum_.size(); ++r) {
+    out[r] = runs_ ? sum_[r] / static_cast<double>(runs_) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace drum::util

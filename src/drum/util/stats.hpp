@@ -1,0 +1,75 @@
+// Statistics accumulators used by the simulator and the measurement harness:
+// streaming mean/variance (Welford), sample collections with percentiles and
+// empirical CDFs, and per-round coverage curves averaged over runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace drum::util {
+
+/// Streaming mean / variance / min / max (Welford's algorithm). O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores raw samples; supports percentiles and CDF extraction.
+/// Used for latency distributions (paper Fig. 11) and propagation times.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// p in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean: 1.96 * s / sqrt(n). Zero with fewer than two samples.
+  [[nodiscard]] double ci95_halfwidth() const;
+  /// Fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+  [[nodiscard]] const std::vector<double>& raw() const { return xs_; }
+  /// Sorted copy of the samples.
+  [[nodiscard]] std::vector<double> sorted() const;
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Average per-round coverage curve over many runs: curve[r] = expected
+/// fraction of processes holding the message at the start of round r
+/// (paper Figs. 5, 13, 14). Runs may have different lengths; shorter runs
+/// are extended with their final value (coverage is monotone).
+class CoverageCurve {
+ public:
+  /// Adds a single run's coverage-by-round series.
+  void add_run(const std::vector<double>& coverage_by_round);
+  /// Averaged curve across all added runs.
+  [[nodiscard]] std::vector<double> average() const;
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+
+ private:
+  std::vector<double> sum_;
+  std::size_t runs_ = 0;
+  double finals_sum_ = 0.0;  // sum of past runs' final values, for back-fill
+};
+
+}  // namespace drum::util

@@ -1,0 +1,37 @@
+// Aligned-console + CSV table printer. Every bench binary reports its
+// figure's series through this so outputs are uniform and machine-parseable
+// (EXPERIMENTS.md is assembled from the CSV blocks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace drum::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::vector<double>& cells, int precision = 3);
+
+  /// Aligned, human-readable rendering.
+  [[nodiscard]] std::string pretty() const;
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  [[nodiscard]] std::string csv() const;
+
+  /// Prints a titled block: title line, pretty table, then a "# csv" block.
+  void print(const std::string& title) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, trimming trailing zeros.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace drum::util

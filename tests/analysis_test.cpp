@@ -1,0 +1,346 @@
+// Tests for the numerical analysis engine (paper §6 and Appendices A-C):
+// checks the published closed-form properties (Lemma 8's p_u > 0.6, the
+// p_a < F/x bound, the paper's quoted Pull stuck-probabilities, monotonicity
+// in x and alpha) and internal consistency of the Markov recursions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drum/analysis/appendix_a.hpp"
+#include "drum/analysis/appendix_b.hpp"
+#include "drum/analysis/appendix_c.hpp"
+#include "drum/analysis/asymptotics.hpp"
+#include "drum/analysis/binomial.hpp"
+
+namespace drum::analysis {
+namespace {
+
+// -------------------------------------------------------------- binomial
+
+TEST(Binomial, ChooseMatchesSmallCases) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(52, 5)), 2598960.0, 1e-3);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  for (double p : {0.0, 0.01, 0.3, 0.5, 0.99, 1.0}) {
+    auto pmf = binom_pmf_vector(200, p);
+    double sum = 0;
+    for (double v : pmf) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Binomial, PmfMatchesDirectComputation) {
+  // Bin(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+  auto pmf = binom_pmf_vector(4, 0.5);
+  EXPECT_NEAR(pmf[0], 1.0 / 16, 1e-12);
+  EXPECT_NEAR(pmf[1], 4.0 / 16, 1e-12);
+  EXPECT_NEAR(pmf[2], 6.0 / 16, 1e-12);
+  EXPECT_NEAR(pmf[3], 4.0 / 16, 1e-12);
+  EXPECT_NEAR(pmf[4], 1.0 / 16, 1e-12);
+  EXPECT_EQ(binom_pmf(10, 11, 0.5), 0.0);
+}
+
+// -------------------------------------------------------- Appendix A
+
+TEST(AppendixA, PuExceeds06ForAllF) {
+  // Paper Lemma 8 + Fig. 1(a): p_u > 0.6 for every F >= 1.
+  for (std::size_t f = 1; f <= 16; ++f) {
+    double pu = p_u(1000, f);
+    EXPECT_GT(pu, 0.6) << "F=" << f;
+    EXPECT_LE(pu, 1.0);
+  }
+}
+
+TEST(AppendixA, PuGrowsWithF) {
+  // More acceptance slots, easier acceptance (Fig. 1(a) trend).
+  double prev = 0;
+  for (std::size_t f : {1u, 2u, 4u, 8u, 16u}) {
+    double pu = p_u(1000, f);
+    EXPECT_GT(pu, prev);
+    prev = pu;
+  }
+}
+
+TEST(AppendixA, PaBelowFOverX) {
+  // Paper's coarse bound p_a < F/x (§6).
+  for (double x : {8.0, 32.0, 128.0, 360.0}) {
+    double pa = p_a(1000, 4, x);
+    EXPECT_LT(pa, 4.0 / x) << "x=" << x;
+    EXPECT_GT(pa, 0.0);
+  }
+}
+
+TEST(AppendixA, PaDecreasesInX) {
+  double prev = 1.0;
+  for (double x : {0.0, 8.0, 16.0, 64.0, 256.0}) {
+    double pa = p_a(120, 4, x);
+    EXPECT_LT(pa, prev + 1e-12);
+    prev = pa;
+  }
+}
+
+TEST(AppendixA, PaAtZeroEqualsPu) {
+  EXPECT_NEAR(p_a(500, 4, 0.0), p_u(500, 4), 1e-12);
+}
+
+// -------------------------------------------------------- Appendix B
+
+TEST(AppendixB, PaperQuotedStuckProbabilities) {
+  // §7.2: with F = 4 and x = 128, P[M stays at source for 5, 10, 15 rounds]
+  // is 0.54, 0.3, 0.16 respectively (n = 1000).
+  EXPECT_NEAR(pull_stuck_probability(1000, 4, 128, 5), 0.54, 0.02);
+  EXPECT_NEAR(pull_stuck_probability(1000, 4, 128, 10), 0.30, 0.02);
+  EXPECT_NEAR(pull_stuck_probability(1000, 4, 128, 15), 0.16, 0.02);
+}
+
+TEST(AppendixB, PaperQuotedStd) {
+  // §7.2: numerical calculation of p̃ with F = 4, x = 128 yields an STD of
+  // 8.17 rounds for the rounds-to-leave-source.
+  EXPECT_NEAR(pull_std_rounds_to_leave_source(1000, 4, 128), 8.17, 0.15);
+}
+
+TEST(AppendixB, NoAttackEscapesQuickly) {
+  // Without an attack every read is valid, so M leaves the source in the
+  // first round a request arrives.
+  double p = p_tilde(1000, 4, 0.0);
+  double p_any_request = 1.0 - std::pow(1.0 - 4.0 / 999.0, 999.0);
+  EXPECT_NEAR(p, p_any_request, 1e-9);
+}
+
+TEST(AppendixB, EscapeRoundsGrowLinearlyInX) {
+  // Lemma 6 / Corollary 2: expected escape time is Ω(x).
+  double r32 = pull_expected_rounds_to_leave_source(1000, 4, 32);
+  double r64 = pull_expected_rounds_to_leave_source(1000, 4, 64);
+  double r128 = pull_expected_rounds_to_leave_source(1000, 4, 128);
+  EXPECT_NEAR(r64 / r32, 2.0, 0.3);
+  EXPECT_NEAR(r128 / r64, 2.0, 0.3);
+}
+
+// -------------------------------------------------------- Appendix C
+
+TEST(AppendixC, ChannelProbabilitiesSane) {
+  DetailedParams p;
+  p.protocol = Protocol::kDrum;
+  p.n = 120;
+  p.b = 12;
+  p.alpha = 0.1;
+  p.x = 128;
+  auto probs = channel_probabilities(p);
+  // Discard probabilities are probabilities.
+  for (double d : {probs.d_push_u, probs.d_push_a, probs.d_pull_u,
+                   probs.d_pull_a}) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+  // Attack makes discarding (much) more likely.
+  EXPECT_GT(probs.d_push_a, probs.d_push_u + 0.5);
+  EXPECT_GT(probs.d_pull_a, probs.d_pull_u + 0.5);
+  // Delivery probabilities shrink accordingly.
+  EXPECT_LT(probs.p_push_a, probs.p_push_u);
+  EXPECT_LT(probs.p_pull_a, probs.p_pull_u);
+}
+
+TEST(AppendixC, CoverageMonotoneAndReachesOne) {
+  DetailedParams p;
+  p.protocol = Protocol::kPush;
+  p.n = 120;
+  p.b = 0;
+  p.loss = 0.01;
+  auto curve = expected_coverage(p, 30);
+  ASSERT_EQ(curve.size(), 31u);
+  EXPECT_NEAR(curve[0], 1.0 / 120.0, 1e-12);
+  for (std::size_t r = 1; r < curve.size(); ++r) {
+    EXPECT_GE(curve[r], curve[r - 1] - 1e-12);
+  }
+  EXPECT_GT(curve.back(), 0.999);
+}
+
+TEST(AppendixC, AllProtocolsSimilarWithoutAttack) {
+  // §7.2: "the three protocols perform virtually the same without DoS
+  // attacks" (Drum is slightly slower due to its strict per-channel bounds).
+  std::size_t horizon = 40;
+  DetailedParams p;
+  p.n = 120;
+  p.b = 12;
+  std::size_t drum_r, push_r, pull_r;
+  p.protocol = Protocol::kDrum;
+  drum_r = rounds_to_coverage(p, 0.99, horizon);
+  p.protocol = Protocol::kPush;
+  push_r = rounds_to_coverage(p, 0.99, horizon);
+  p.protocol = Protocol::kPull;
+  pull_r = rounds_to_coverage(p, 0.99, horizon);
+  EXPECT_LE(drum_r, push_r + 4);
+  EXPECT_LE(drum_r, pull_r + 4);
+  EXPECT_LT(drum_r, 15u);
+}
+
+TEST(AppendixC, DrumBoundedInXWhilePushPullDegrade) {
+  // The paper's headline claim (Fig. 3(a), Lemma 1 vs Corollaries 1-2) as
+  // reproduced by the detailed analysis: alpha = 10%, increasing x.
+  DetailedParams p;
+  p.n = 120;
+  p.b = 12;
+  p.alpha = 0.1;
+  std::size_t horizon = 150;
+
+  auto rounds = [&](Protocol proto, double x) {
+    p.protocol = proto;
+    p.x = x;
+    return rounds_to_coverage(p, 0.99, horizon);
+  };
+
+  std::size_t drum32 = rounds(Protocol::kDrum, 32);
+  std::size_t drum128 = rounds(Protocol::kDrum, 128);
+  EXPECT_LE(drum128, drum32 + 2);  // bounded in x
+
+  std::size_t push32 = rounds(Protocol::kPush, 32);
+  std::size_t push128 = rounds(Protocol::kPush, 128);
+  EXPECT_GT(push128, push32 + 5);  // grows roughly linearly
+
+  std::size_t pull32 = rounds(Protocol::kPull, 32);
+  std::size_t pull128 = rounds(Protocol::kPull, 128);
+  EXPECT_GT(pull128, pull32 + 5);
+
+  // And Drum beats both baselines under the strong attack.
+  EXPECT_LT(drum128 + 5, push128);
+  EXPECT_LT(drum128 + 5, pull128);
+}
+
+TEST(AppendixC, CrashesDegradeGracefully) {
+  // Fig. 2(b): crash failures have mild impact.
+  DetailedParams p;
+  p.protocol = Protocol::kDrum;
+  p.n = 120;
+  std::size_t horizon = 60;
+  p.b = 0;
+  auto r0 = rounds_to_coverage(p, 0.99, horizon);
+  p.b = 36;  // 30% crashed
+  auto r30 = rounds_to_coverage(p, 0.99, horizon);
+  EXPECT_LE(r30, r0 + 3);
+}
+
+TEST(AppendixC, RejectsBadParams) {
+  DetailedParams p;
+  p.n = 2;
+  EXPECT_THROW(channel_probabilities(p), std::invalid_argument);
+  p.n = 100;
+  p.b = 100;
+  EXPECT_THROW(channel_probabilities(p), std::invalid_argument);
+  p.b = 10;
+  p.alpha = 1.0;  // 100 attacked > 90 correct
+  p.x = 10;
+  EXPECT_THROW(expected_coverage(p, 5), std::invalid_argument);
+}
+
+// ------------------------------------------------------ §6 asymptotics
+
+TEST(Asymptotics, DrumFansBoundedBelowInX) {
+  // Lemma 1: for fixed alpha < 1, Drum's effective fans are bounded below by
+  // a constant independent of x.
+  const double floor_non_attacked =
+      4.0 * (2 - 0.1) / 2 * 0.6;  // F * (2-alpha)/2 * 0.6 < O^u
+  for (double x : {32.0, 128.0, 512.0, 4096.0}) {
+    auto fans = drum_effective_fans(1000, 4, 0.1, x);
+    EXPECT_GT(fans.non_attacked, floor_non_attacked * 0.9) << "x=" << x;
+    EXPECT_GT(fans.attacked, 4.0 * (1 - 0.1) / 2 * 0.6 * 0.9) << "x=" << x;
+  }
+}
+
+TEST(Asymptotics, DrumFansDecreaseWithAlphaUnderStrongAttack) {
+  // Lemma 2: for c > 5 the fans decrease monotonically in alpha, so the
+  // attacker gains nothing by concentrating.
+  const std::size_t n = 1000, f = 4;
+  const double c = 10;  // B = c * F * n
+  double prev_att = 1e9, prev_non = 1e9;
+  for (double alpha : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+    double x = c * static_cast<double>(f) / alpha;
+    auto fans = drum_effective_fans(n, f, alpha, x);
+    EXPECT_LT(fans.attacked, prev_att);
+    EXPECT_LT(fans.non_attacked, prev_non);
+    prev_att = fans.attacked;
+    prev_non = fans.non_attacked;
+  }
+}
+
+TEST(Asymptotics, PushLowerBoundLinearInX) {
+  // Corollary 1.
+  double b32 = push_propagation_lower_bound(1000, 4, 0.1, 32);
+  double b128 = push_propagation_lower_bound(1000, 4, 0.1, 128);
+  double b512 = push_propagation_lower_bound(1000, 4, 0.1, 512);
+  EXPECT_GT(b128, 2.5 * b32);
+  EXPECT_GT(b512, 2.5 * b128);
+}
+
+TEST(Asymptotics, PullEscapeLinearInX) {
+  double e64 = pull_source_escape_rounds(1000, 4, 64);
+  double e256 = pull_source_escape_rounds(1000, 4, 256);
+  EXPECT_NEAR(e256 / e64, 4.0, 0.8);
+}
+
+}  // namespace
+}  // namespace drum::analysis
+
+namespace drum::analysis {
+namespace {
+
+TEST(AppendixC, SplitCoverageMatchesFig6Shape) {
+  // Fig. 6: Push reaches non-attacked processes fast but attacked ones
+  // slowly; Drum reaches both fast. The two-population analysis reproduces
+  // this directly.
+  DetailedParams p;
+  p.n = 120;
+  p.b = 12;
+  p.alpha = 0.1;
+  p.x = 128;
+
+  p.protocol = Protocol::kPush;
+  auto push = expected_coverage_split(p, 60);
+  p.protocol = Protocol::kDrum;
+  auto drum = expected_coverage_split(p, 60);
+
+  auto rounds_to = [](const std::vector<double>& v, double thr) {
+    for (std::size_t r = 0; r < v.size(); ++r) {
+      if (v[r] >= thr) return r;
+    }
+    return v.size();
+  };
+  // Push: big gap between populations.
+  auto push_non = rounds_to(push.non_attacked, 0.95);
+  auto push_att = rounds_to(push.attacked, 0.95);
+  EXPECT_GT(push_att, push_non * 3);
+  // Drum: small gap, and attacked coverage far faster than Push's.
+  auto drum_att = rounds_to(drum.attacked, 0.95);
+  auto drum_non = rounds_to(drum.non_attacked, 0.95);
+  EXPECT_LE(drum_att, drum_non + 4);
+  EXPECT_LT(drum_att * 2, push_att);
+  // Sanity: curves are monotone and within [0,1].
+  for (const auto* curve : {&push.non_attacked, &push.attacked,
+                            &drum.non_attacked, &drum.attacked}) {
+    for (std::size_t r = 0; r < curve->size(); ++r) {
+      ASSERT_GE((*curve)[r], 0.0);
+      ASSERT_LE((*curve)[r], 1.0 + 1e-9);
+      if (r) ASSERT_GE((*curve)[r], (*curve)[r - 1] - 1e-9);
+    }
+  }
+  // Consistency with the combined curve: weighted average reconstructs it.
+  p.protocol = Protocol::kDrum;
+  auto combined = expected_coverage(p, 60);
+  double na = 12, nu = 96;  // alpha*n attacked, rest of 108 correct
+  for (std::size_t r = 0; r < combined.size(); ++r) {
+    double reconstructed =
+        (drum.non_attacked[r] * nu + drum.attacked[r] * na) / (nu + na);
+    ASSERT_NEAR(combined[r], reconstructed, 1e-9) << "round " << r;
+  }
+}
+
+TEST(AppendixC, SplitCoverageRequiresAttack) {
+  DetailedParams p;
+  p.n = 120;
+  EXPECT_THROW(expected_coverage_split(p, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drum::analysis

@@ -1,0 +1,167 @@
+// Cross-validation: the three evaluation vehicles must agree with each
+// other, as the paper demonstrates (Figs. 9, 13, 14):
+//  * Appendix C analysis vs the Monte-Carlo simulator (coverage CDFs);
+//  * Appendix A/B closed forms vs the simulator's escape statistics;
+//  * the simulator vs the real implementation (propagation in rounds).
+// These are the strongest property tests in the repository: three
+// independently-written models of the same protocol matching numerically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "drum/analysis/appendix_a.hpp"
+#include "drum/analysis/appendix_b.hpp"
+#include "drum/analysis/appendix_c.hpp"
+#include "drum/harness/cluster.hpp"
+#include "drum/sim/engine.hpp"
+
+namespace drum {
+namespace {
+
+// Max |analysis - simulation| over the first `rounds` rounds of the
+// coverage CDF.
+double coverage_gap(analysis::Protocol ap, sim::SimProtocol sp, double alpha,
+                    double x, std::size_t rounds, std::size_t runs) {
+  const std::size_t n = 120;
+  analysis::DetailedParams dp;
+  dp.protocol = ap;
+  dp.n = n;
+  dp.b = 12;
+  dp.alpha = alpha;
+  dp.x = x;
+  auto ana = analysis::expected_coverage(dp, rounds);
+
+  sim::SimParams s;
+  s.protocol = sp;
+  s.n = n;
+  s.alpha = alpha;
+  s.x = x;
+  s.max_rounds = 600;
+  auto agg = sim::simulate_many(s, runs, 77);
+  auto simc = agg.coverage.average();
+
+  double gap = 0;
+  for (std::size_t r = 0; r <= rounds; ++r) {
+    double a = r < ana.size() ? ana[r] : ana.back();
+    double b = r < simc.size() ? simc[r] : simc.back();
+    gap = std::max(gap, std::abs(a - b));
+  }
+  return gap;
+}
+
+struct CrossCase {
+  analysis::Protocol ap;
+  sim::SimProtocol sp;
+  double alpha, x;
+  double tolerance;
+};
+
+class AnalysisVsSim : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(AnalysisVsSim, CoverageCurvesAgree) {
+  const auto& c = GetParam();
+  double gap = coverage_gap(c.ap, c.sp, c.alpha, c.x, 25, 200);
+  EXPECT_LT(gap, c.tolerance)
+      << analysis::protocol_name(c.ap) << " alpha=" << c.alpha
+      << " x=" << c.x;
+}
+
+// Tolerances: MC noise at 200 runs is ~3%; the paper's own curves show the
+// analysis under-estimating slightly (the p_ij independence approximation),
+// so allow a bit more for the fast-growth protocols.
+INSTANTIATE_TEST_SUITE_P(
+    Fig13And14, AnalysisVsSim,
+    ::testing::Values(
+        CrossCase{analysis::Protocol::kDrum, sim::SimProtocol::kDrum, 0, 0,
+                  0.10},
+        CrossCase{analysis::Protocol::kPush, sim::SimProtocol::kPush, 0, 0,
+                  0.10},
+        CrossCase{analysis::Protocol::kPull, sim::SimProtocol::kPull, 0, 0,
+                  0.10},
+        CrossCase{analysis::Protocol::kDrum, sim::SimProtocol::kDrum, 0.1, 64,
+                  0.10},
+        CrossCase{analysis::Protocol::kPush, sim::SimProtocol::kPush, 0.1, 64,
+                  0.10},
+        CrossCase{analysis::Protocol::kPull, sim::SimProtocol::kPull, 0.1, 64,
+                  0.08},
+        CrossCase{analysis::Protocol::kDrum, sim::SimProtocol::kDrum, 0.4, 128,
+                  0.10},
+        CrossCase{analysis::Protocol::kPull, sim::SimProtocol::kPull, 0.4, 128,
+                  0.08}));
+
+TEST(CrossValidation, PullEscapeMatchesAppendixB) {
+  // The simulator's rounds-to-leave-source under attack vs 1/p̃ from the
+  // closed form. (Appendix B has no loss term and the sim has 1% loss, so
+  // expect agreement within ~15%.)
+  const std::size_t n = 120;
+  sim::SimParams s;
+  s.protocol = sim::SimProtocol::kPull;
+  s.n = n;
+  s.alpha = 0.1;
+  s.x = 128;
+  s.max_rounds = 900;
+  auto agg = sim::simulate_many(s, 400, 3);
+  double sim_escape = agg.rounds_to_leave_source.mean();
+
+  // p̃ inputs: requests reaching the source come from the n-b-1 correct
+  // processes; fabricated messages experience loss in the sim.
+  double expected = analysis::pull_expected_rounds_to_leave_source(
+      n - 12, 4, 128 * 0.99);
+  EXPECT_NEAR(sim_escape, expected, expected * 0.25);
+}
+
+TEST(CrossValidation, SimMatchesMeasurementForDrum) {
+  // Fig. 9's claim at one representative point: the real implementation's
+  // per-message propagation (round counters) matches the round-based
+  // simulation for Drum under attack.
+  const std::size_t n = 50;
+  auto agg = sim::simulate_many(
+      [] {
+        sim::SimParams s;
+        s.protocol = sim::SimProtocol::kDrum;
+        s.n = 50;
+        s.alpha = 0.1;
+        s.x = 128;
+        return s;
+      }(),
+      150, 9);
+  double sim_rounds = agg.rounds_to_target.mean();
+
+  harness::ClusterConfig cfg;
+  cfg.variant = core::Variant::kDrum;
+  cfg.n = n;
+  cfg.alpha = 0.1;
+  cfg.x = 128;
+  cfg.rate = 8;
+  cfg.verify_signatures = false;
+  cfg.seed = 12;
+  harness::Cluster cluster(cfg);
+  cluster.run_rounds(5, true);
+  cluster.begin_measurement();
+  cluster.run_rounds(25, true);
+  cluster.end_measurement();
+  cluster.run_rounds(25, false);
+  double measured = cluster.metrics().propagation_rounds.mean();
+
+  EXPECT_GT(cluster.metrics().messages_completed, 50u);
+  EXPECT_NEAR(measured, sim_rounds, 3.0);
+}
+
+TEST(CrossValidation, PaPuBoundsHoldInSimulation) {
+  // p_a < F/x (§6): the sim's per-round acceptance at an attacked process
+  // stays below the closed-form bound. Indirect check via Drum's bounded
+  // propagation: rounds at x and at 4x differ by less than 50%.
+  sim::SimParams s;
+  s.protocol = sim::SimProtocol::kDrum;
+  s.n = 120;
+  s.alpha = 0.1;
+  s.x = 64;
+  auto a = sim::simulate_many(s, 100, 4);
+  s.x = 256;
+  auto b = sim::simulate_many(s, 100, 4);
+  EXPECT_LT(b.rounds_to_target.mean(), a.rounds_to_target.mean() * 1.5);
+}
+
+}  // namespace
+}  // namespace drum

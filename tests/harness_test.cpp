@@ -1,0 +1,328 @@
+// Integration tests: real protocol nodes gossiping over the in-memory (and
+// real UDP) transports via the measurement harness — dissemination,
+// deduplication, resource bounds under flood, the §9 ablations, and the
+// headline Drum-vs-Push/Pull DoS behaviour, all with the full wire protocol,
+// port boxes, and signatures.
+#include <gtest/gtest.h>
+
+#include "drum/harness/cluster.hpp"
+
+namespace drum::harness {
+namespace {
+
+ClusterConfig small_config(core::Variant v) {
+  ClusterConfig cfg;
+  cfg.variant = v;
+  cfg.n = 20;
+  cfg.malicious_fraction = 0.1;
+  cfg.round_us = 10'000;  // virtual time: speed is CPU-bound, not wall-bound
+  cfg.rate = 4;
+  cfg.seed = 42;
+  return cfg;
+}
+
+// Runs warmup + a measured window; returns the cluster for inspection.
+std::unique_ptr<Cluster> run_scenario(const ClusterConfig& cfg,
+                                      double warmup_rounds = 5,
+                                      double measured_rounds = 25) {
+  auto cluster = std::make_unique<Cluster>(cfg);
+  cluster->run_rounds(warmup_rounds, /*workload=*/true);
+  cluster->begin_measurement();
+  cluster->run_rounds(measured_rounds, /*workload=*/true);
+  cluster->end_measurement();
+  // Drain in-flight messages so per-message completion is observed.
+  cluster->run_rounds(15, /*workload=*/false);
+  return cluster;
+}
+
+TEST(Cluster, DrumDisseminatesToEveryone) {
+  auto cluster = run_scenario(small_config(core::Variant::kDrum));
+  const auto& m = cluster->metrics();
+  EXPECT_GT(m.messages_sent, 50u);
+  // Nearly every message reached >= 99% of correct receivers.
+  EXPECT_GT(m.messages_completed, m.messages_sent * 8 / 10);
+  // Propagation takes a handful of rounds, as in the paper (~5).
+  EXPECT_LT(m.propagation_rounds.mean(), 10.0);
+  EXPECT_GE(m.propagation_rounds.mean(), 2.0);
+}
+
+TEST(Cluster, PushAndPullAlsoWorkWithoutAttack) {
+  for (auto v : {core::Variant::kPush, core::Variant::kPull}) {
+    auto cluster = run_scenario(small_config(v));
+    const auto& m = cluster->metrics();
+    EXPECT_GT(m.messages_completed, m.messages_sent * 7 / 10)
+        << core::variant_name(v);
+  }
+}
+
+TEST(Cluster, SignaturesVerifiedEndToEnd) {
+  auto cfg = small_config(core::Variant::kDrum);
+  cfg.verify_signatures = true;
+  auto cluster = run_scenario(cfg, 3, 10);
+  auto stats = cluster->total_stats();
+  EXPECT_GT(stats.delivered, 100u);
+  EXPECT_EQ(stats.sig_failures, 0u);  // honest traffic always verifies
+  // Every node delivered each message at most once.
+  EXPECT_GT(stats.duplicates, 0u);    // gossip redundancy exists...
+}
+
+TEST(Cluster, FloodIsReadBoundedAndDiscarded) {
+  auto cfg = small_config(core::Variant::kDrum);
+  cfg.alpha = 0.2;
+  cfg.x = 100;
+  auto cluster = run_scenario(cfg, 3, 15);
+  auto stats = cluster->total_stats();
+  // The flood shows up as box failures (type-correct garbage) and as
+  // unread datagrams flushed at round ends — not as deliveries.
+  EXPECT_GT(stats.box_failures, 100u);
+  EXPECT_GT(stats.flushed_unread, 500u);
+  EXPECT_EQ(stats.sig_failures, 0u);
+  // And the protocol still works.
+  EXPECT_GT(cluster->metrics().messages_completed, 0u);
+}
+
+TEST(Cluster, DrumThroughputSurvivesTargetedAttack) {
+  // Paper Fig. 10(a): Drum's throughput is roughly unaffected by x.
+  auto base_cfg = small_config(core::Variant::kDrum);
+  base_cfg.verify_signatures = false;  // CPU: see EXPERIMENTS.md
+  auto baseline = run_scenario(base_cfg);
+  double base_tp = baseline->metrics().mean_throughput_msgs_per_sec();
+
+  auto attack_cfg = base_cfg;
+  attack_cfg.alpha = 0.1;
+  attack_cfg.x = 128;
+  auto attacked = run_scenario(attack_cfg);
+  double att_tp = attacked->metrics().mean_throughput_msgs_per_sec();
+
+  ASSERT_GT(base_tp, 0.0);
+  EXPECT_GT(att_tp, base_tp * 0.7);
+}
+
+TEST(Cluster, PullThroughputCollapsesUnderTargetedAttack) {
+  // Paper Fig. 10(a): Pull's throughput decreases dramatically with x —
+  // the attacked source serves almost no pull-requests, so messages purge
+  // before they can be pulled. Needs a generation rate near the drain
+  // limit, as in the paper's 40 msg/round workload.
+  auto base_cfg = small_config(core::Variant::kPull);
+  base_cfg.verify_signatures = false;
+  base_cfg.rate = 30;
+  auto baseline = run_scenario(base_cfg);
+  double base_tp = baseline->metrics().mean_throughput_msgs_per_sec();
+
+  auto attack_cfg = base_cfg;
+  attack_cfg.alpha = 0.1;
+  attack_cfg.x = 256;
+  auto attacked = run_scenario(attack_cfg);
+  double att_tp = attacked->metrics().mean_throughput_msgs_per_sec();
+
+  ASSERT_GT(base_tp, 0.0);
+  EXPECT_LT(att_tp, base_tp * 0.5);
+
+  // Drum at the same rate and attack keeps nearly full throughput.
+  auto drum_cfg = attack_cfg;
+  drum_cfg.variant = core::Variant::kDrum;
+  auto drum = run_scenario(drum_cfg);
+  EXPECT_GT(drum->metrics().mean_throughput_msgs_per_sec(), base_tp * 0.8);
+}
+
+TEST(Cluster, PushLatencyToAttackedNodesSuffersDrumDoesNot) {
+  // Paper Fig. 11(a): attacked processes measure ~4x longer latency under
+  // Push; Drum keeps the gap small.
+  auto push_cfg = small_config(core::Variant::kPush);
+  push_cfg.verify_signatures = false;
+  push_cfg.alpha = 0.2;
+  push_cfg.x = 32;  // moderate: attacked nodes still receive, just slower
+  auto push = run_scenario(push_cfg, 5, 30);
+
+  double push_att = 0, push_non = 0;
+  int att_n = 0, non_n = 0;
+  for (const auto& pn : push->metrics().nodes) {
+    if (pn.latency_us.count() == 0) continue;
+    if (pn.attacked) {
+      push_att += pn.hops.mean();
+      ++att_n;
+    } else {
+      push_non += pn.hops.mean();
+      ++non_n;
+    }
+  }
+  ASSERT_GT(att_n, 0);
+  ASSERT_GT(non_n, 0);
+  push_att /= att_n;
+  push_non /= non_n;
+  EXPECT_GT(push_att, push_non * 1.5);
+
+  auto drum_cfg = push_cfg;
+  drum_cfg.variant = core::Variant::kDrum;
+  auto drum = run_scenario(drum_cfg, 5, 30);
+  double drum_att = 0, drum_non = 0;
+  att_n = non_n = 0;
+  for (const auto& pn : drum->metrics().nodes) {
+    if (pn.latency_us.count() == 0) continue;
+    (pn.attacked ? drum_att : drum_non) += pn.hops.mean();
+    ++(pn.attacked ? att_n : non_n);
+  }
+  ASSERT_GT(att_n, 0);
+  ASSERT_GT(non_n, 0);
+  drum_att /= att_n;
+  drum_non /= non_n;
+  EXPECT_LT(drum_att, drum_non * 1.6);
+  EXPECT_LT(drum_att, push_att);
+}
+
+TEST(Cluster, SharedBoundsDegradeUnderAttack) {
+  // Paper Fig. 12(b): a joint control-message bound lets the flood starve
+  // the (otherwise unattackable) push-reply channel, so the attacked source
+  // can no longer disseminate; separate bounds keep Drum unaffected.
+  auto shared_cfg = small_config(core::Variant::kDrumSharedBounds);
+  shared_cfg.verify_signatures = false;
+  shared_cfg.rate = 30;
+  shared_cfg.alpha = 0.2;
+  shared_cfg.x = 256;
+  auto shared = run_scenario(shared_cfg, 5, 25);
+
+  auto drum_cfg = shared_cfg;
+  drum_cfg.variant = core::Variant::kDrum;
+  auto drum = run_scenario(drum_cfg, 5, 25);
+
+  double shared_tp = shared->metrics().mean_throughput_msgs_per_sec();
+  double drum_tp = drum->metrics().mean_throughput_msgs_per_sec();
+  EXPECT_LT(shared_tp, drum_tp * 0.5);
+  // And the source's push path is specifically what dies: it acts on
+  // (nearly) no push-replies, while plain Drum keeps pushing.
+  EXPECT_LT(shared->node(0).stats().push_replies_acted + 10,
+            drum->node(0).stats().push_replies_acted);
+}
+
+TEST(Cluster, WellKnownPortsDegradeUnderAttack) {
+  // Paper Fig. 12(a): with pull-replies on a well-known (attackable) port,
+  // attacked processes lose their receive path; random ports keep it open.
+  auto wk_cfg = small_config(core::Variant::kDrumWkPorts);
+  wk_cfg.verify_signatures = false;
+  wk_cfg.rate = 30;
+  wk_cfg.alpha = 0.2;
+  wk_cfg.x = 256;
+  auto wk = run_scenario(wk_cfg, 5, 25);
+
+  auto drum_cfg = wk_cfg;
+  drum_cfg.variant = core::Variant::kDrum;
+  auto drum = run_scenario(drum_cfg, 5, 25);
+
+  auto attacked_deliveries = [](const Cluster& c) {
+    double sum = 0;
+    int count = 0;
+    for (const auto& pn : c.metrics().nodes) {
+      if (pn.attacked) {
+        sum += static_cast<double>(pn.delivered);
+        ++count;
+      }
+    }
+    return count ? sum / count : 0.0;
+  };
+  double wk_att = attacked_deliveries(*wk);
+  double drum_att = attacked_deliveries(*drum);
+  EXPECT_LT(wk_att, drum_att * 0.5);
+  EXPECT_LT(wk->metrics().messages_completed,
+            drum->metrics().messages_completed);
+}
+
+TEST(Cluster, WorksOverRealUdpLoopback) {
+  auto cfg = small_config(core::Variant::kDrum);
+  cfg.n = 12;
+  cfg.use_udp = true;
+  cfg.udp_base_port = 23000;
+  cfg.rate = 3;
+  auto cluster = run_scenario(cfg, 3, 12);
+  EXPECT_GT(cluster->metrics().messages_completed, 0u);
+  EXPECT_GT(cluster->total_stats().delivered, 50u);
+}
+
+TEST(Cluster, RejectsDegenerateConfig) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  EXPECT_THROW(Cluster{cfg}, std::invalid_argument);
+  ClusterConfig cfg2;
+  cfg2.n = 10;
+  cfg2.malicious_fraction = 1.0;
+  EXPECT_THROW(Cluster{cfg2}, std::invalid_argument);
+}
+
+TEST(Cluster, DeterministicGivenSeed) {
+  auto cfg = small_config(core::Variant::kDrum);
+  auto a = run_scenario(cfg, 3, 10);
+  auto b = run_scenario(cfg, 3, 10);
+  EXPECT_EQ(a->metrics().messages_sent, b->metrics().messages_sent);
+  EXPECT_EQ(a->metrics().messages_completed, b->metrics().messages_completed);
+  EXPECT_DOUBLE_EQ(a->metrics().propagation_rounds.mean(),
+                   b->metrics().propagation_rounds.mean());
+}
+
+}  // namespace
+}  // namespace drum::harness
+
+namespace drum::harness {
+namespace {
+
+TEST(Cluster, RobustToElevatedLinkLoss) {
+  // The paper assumes 1% loss; the implementation should also survive a
+  // much lossier network (gossip redundancy pays for itself).
+  auto cfg = small_config(core::Variant::kDrum);
+  cfg.loss = 0.05;
+  cfg.verify_signatures = false;
+  auto cluster = std::make_unique<Cluster>(cfg);
+  cluster->run_rounds(5, true);
+  cluster->begin_measurement();
+  cluster->run_rounds(25, true);
+  cluster->end_measurement();
+  cluster->run_rounds(15, false);
+  const auto& m = cluster->metrics();
+  EXPECT_GT(m.messages_completed, m.messages_sent * 7 / 10);
+}
+
+TEST(Cluster, UmbrellaHeaderCompiles) {
+  // drum.hpp is exercised by this TU's includes indirectly; the real check
+  // is the dedicated example binaries. Here: the public API surface used by
+  // a downstream adopter is callable end-to-end.
+  ClusterConfig cfg;
+  cfg.n = 10;
+  cfg.round_us = 5000;
+  cfg.rate = 2;
+  Cluster cluster(cfg);
+  cluster.run_rounds(8, true);
+  EXPECT_GT(cluster.total_stats().delivered, 0u);
+}
+
+}  // namespace
+}  // namespace drum::harness
+
+namespace drum::harness {
+namespace {
+
+TEST(Cluster, UdpClusterUnderAttackStillDelivers) {
+  // Exercises the real-socket attacker path: fabricated datagrams are sent
+  // from a genuine UDP socket at the victims' well-known ports.
+  auto cfg = small_config(core::Variant::kDrum);
+  cfg.n = 12;
+  cfg.use_udp = true;
+  cfg.udp_base_port = 24200;
+  cfg.rate = 3;
+  cfg.alpha = 0.2;
+  cfg.x = 64;
+  cfg.verify_signatures = false;
+  auto cluster = run_scenario(cfg, 3, 12);
+  // The flood arrived (box failures at victims) and gossip still works.
+  EXPECT_GT(cluster->total_stats().box_failures, 20u);
+  EXPECT_GT(cluster->metrics().messages_completed, 0u);
+}
+
+TEST(Cluster, LargerFanoutConfig) {
+  // F = 6: Drum splits 3+3; everything still works end to end.
+  auto cfg = small_config(core::Variant::kDrum);
+  cfg.fanout = 6;
+  auto cluster = run_scenario(cfg, 3, 12);
+  EXPECT_GT(cluster->metrics().messages_completed,
+            cluster->metrics().messages_sent * 8 / 10);
+}
+
+}  // namespace
+}  // namespace drum::harness

@@ -1,0 +1,434 @@
+// Focused Node-level tests: construction contracts, manual round driving
+// over the in-memory network, per-channel budget enforcement, port rotation,
+// directory updates, and rejection of invalid input — below the harness
+// layer, so failures localize precisely.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "drum/core/node.hpp"
+#include "drum/crypto/portbox.hpp"
+#include "drum/net/mem_transport.hpp"
+
+namespace drum::core {
+namespace {
+
+struct Pair {
+  util::Rng rng{5};
+  net::MemNetwork net;
+  std::vector<crypto::Identity> ids;
+  std::vector<Peer> dir;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<std::vector<Node::Delivery>> got;
+
+  explicit Pair(std::size_t n, Variant v = Variant::kDrum) {
+    dir.resize(n);
+    for (std::uint32_t id = 0; id < n; ++id) {
+      ids.push_back(crypto::Identity::generate(rng));
+      dir[id] = {id,
+                 id,
+                 static_cast<std::uint16_t>(3000 + 3 * id),
+                 static_cast<std::uint16_t>(3001 + 3 * id),
+                 static_cast<std::uint16_t>(3002 + 3 * id),
+                 ids[id].sign_public(),
+                 ids[id].dh_public(),
+                 true};
+    }
+    got.resize(n);
+    for (std::uint32_t id = 0; id < n; ++id) {
+      transports.push_back(net.transport(id));
+      NodeConfig cfg = make_node_config(v, id);
+      cfg.wk_pull_port = dir[id].wk_pull_port;
+      cfg.wk_offer_port = dir[id].wk_offer_port;
+      cfg.wk_pull_reply_port = dir[id].wk_pull_reply_port;
+      nodes.push_back(std::make_unique<Node>(
+          cfg, ids[id], dir, *transports.back(), rng.next(),
+          [this, id](const Node::Delivery& d) { got[id].push_back(d); }));
+    }
+  }
+
+  void run(std::size_t rounds, int sweeps = 4) {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (auto& n : nodes) n->on_round();
+      for (int s = 0; s < sweeps; ++s) {
+        for (auto& n : nodes) n->poll();
+      }
+    }
+  }
+};
+
+TEST(Node, RequiresIdIndexedDirectory) {
+  util::Rng rng(1);
+  net::MemNetwork net;
+  auto tr = net.transport(0);
+  auto id = crypto::Identity::generate(rng);
+  std::vector<Peer> bad_dir(2);
+  bad_dir[0].id = 1;  // mis-indexed
+  bad_dir[1].id = 0;
+  NodeConfig cfg = make_node_config(Variant::kDrum, 0);
+  cfg.wk_pull_port = 100;
+  cfg.wk_offer_port = 101;
+  EXPECT_THROW(Node(cfg, id, bad_dir, *tr, 1, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Node, FailsOnTakenWellKnownPort) {
+  util::Rng rng(2);
+  net::MemNetwork net;
+  auto tr = net.transport(0);
+  auto blocker = tr->bind(100);
+  ASSERT_TRUE(blocker);
+  auto id = crypto::Identity::generate(rng);
+  std::vector<Peer> dir(1);
+  dir[0] = {0, 0, 100, 101, 0, id.sign_public(), id.dh_public(), true};
+  NodeConfig cfg = make_node_config(Variant::kDrum, 0);
+  cfg.wk_pull_port = 100;
+  cfg.wk_offer_port = 101;
+  EXPECT_THROW(Node(cfg, id, dir, *tr, 1, nullptr), std::runtime_error);
+}
+
+TEST(Node, MulticastAssignsSequentialIds) {
+  Pair p(4);
+  util::Bytes data = {1};
+  auto a = p.nodes[0]->multicast(util::ByteSpan(data));
+  auto b = p.nodes[0]->multicast(util::ByteSpan(data));
+  EXPECT_EQ(a.source, 0u);
+  EXPECT_EQ(b.seqno, a.seqno + 1);
+  EXPECT_TRUE(p.nodes[0]->has_message(a));
+  EXPECT_EQ(p.nodes[0]->buffered(), 2u);
+}
+
+TEST(Node, DeliversToAllAndExactlyOnce) {
+  Pair p(6);
+  util::Bytes data = {'m', 's', 'g'};
+  p.nodes[2]->multicast(util::ByteSpan(data));
+  p.run(6);
+  for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+    if (i == 2) continue;
+    ASSERT_EQ(p.got[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(p.got[i][0].msg.payload, data);
+    EXPECT_EQ(p.got[i][0].msg.id.source, 2u);
+    EXPECT_GE(p.got[i][0].hops, 1u);
+  }
+}
+
+TEST(Node, PullOnlyAndPushOnlyAlsoDeliver) {
+  for (auto v : {Variant::kPush, Variant::kPull}) {
+    Pair p(6, v);
+    util::Bytes data = {'x'};
+    p.nodes[0]->multicast(util::ByteSpan(data));
+    p.run(8);
+    std::size_t received = 0;
+    for (std::size_t i = 1; i < p.nodes.size(); ++i) {
+      received += p.got[i].size();
+    }
+    EXPECT_EQ(received, 5u) << variant_name(v);
+  }
+}
+
+TEST(Node, RoundCounterGrowsWithDistance) {
+  // A message delivered after k rounds carries round counter ~k (paper §8.1).
+  Pair p(8);
+  util::Bytes data = {'h'};
+  p.nodes[0]->multicast(util::ByteSpan(data));
+  p.run(1);
+  std::vector<std::uint32_t> first_wave;
+  for (std::size_t i = 1; i < 8; ++i) {
+    for (auto& d : p.got[i]) first_wave.push_back(d.hops);
+  }
+  ASSERT_FALSE(first_wave.empty());
+  for (auto h : first_wave) EXPECT_LE(h, 2u);
+  p.run(5);
+  for (std::size_t i = 1; i < 8; ++i) {
+    ASSERT_EQ(p.got[i].size(), 1u);
+    EXPECT_LE(p.got[i][0].hops, 7u);
+  }
+}
+
+// Directory with 3 peers but only node 0 live: a quiet network where the
+// test controls every datagram (the Pair fixture's nodes gossip on their
+// own, which perturbs exact budget counts).
+struct Solo {
+  util::Rng rng{5};
+  net::MemNetwork net;
+  std::vector<crypto::Identity> ids;
+  std::vector<Peer> dir;
+  std::unique_ptr<net::Transport> transport;
+  std::unique_ptr<Node> node;
+  std::vector<Node::Delivery> got;
+
+  explicit Solo(Variant v = Variant::kDrum) {
+    dir.resize(3);
+    for (std::uint32_t id = 0; id < 3; ++id) {
+      ids.push_back(crypto::Identity::generate(rng));
+      dir[id] = {id,
+                 id,
+                 static_cast<std::uint16_t>(3000 + 3 * id),
+                 static_cast<std::uint16_t>(3001 + 3 * id),
+                 static_cast<std::uint16_t>(3002 + 3 * id),
+                 ids[id].sign_public(),
+                 ids[id].dh_public(),
+                 true};
+    }
+    transport = net.transport(0);
+    NodeConfig cfg = make_node_config(v, 0);
+    cfg.wk_pull_port = 3000;
+    cfg.wk_offer_port = 3001;
+    cfg.wk_pull_reply_port = 3002;
+    node = std::make_unique<Node>(
+        cfg, ids[0], dir, *transport, rng.next(),
+        [this](const Node::Delivery& d) { got.push_back(d); });
+  }
+};
+
+TEST(Node, FloodedChannelIsBudgetBoundedPerRound) {
+  Solo p;
+  // Flood node 0's pull-request port with garbage before its round.
+  util::Bytes junk = {static_cast<std::uint8_t>(MsgType::kPullRequest), 9, 9};
+  for (int i = 0; i < 500; ++i) {
+    p.net.send_raw(net::Address{77, 1}, net::Address{0, 3000},
+                   util::ByteSpan(junk));
+  }
+  p.node->poll();
+  // Budget for pull-requests in Drum with F=4 is 2.
+  EXPECT_EQ(p.node->stats().datagrams_read, 2u);
+  EXPECT_EQ(p.node->stats().decode_errors, 2u);
+  // The round tick flushes the rest unread.
+  p.node->on_round();
+  EXPECT_GE(p.node->stats().flushed_unread, 498u);
+  // Fresh round, fresh budget.
+  for (int i = 0; i < 10; ++i) {
+    p.net.send_raw(net::Address{77, 1}, net::Address{0, 3000},
+                   util::ByteSpan(junk));
+  }
+  p.node->poll();
+  EXPECT_EQ(p.node->stats().datagrams_read, 4u);
+}
+
+TEST(Node, FloodOnPullPortDoesNotConsumeOfferBudget) {
+  // The separate-bounds property at unit level: exhaust the pull-request
+  // budget, then a push-offer must still be processed.
+  Solo p;
+  util::Bytes junk = {static_cast<std::uint8_t>(MsgType::kPullRequest), 1};
+  for (int i = 0; i < 50; ++i) {
+    p.net.send_raw(net::Address{77, 1}, net::Address{0, 3000},
+                   util::ByteSpan(junk));
+  }
+  p.node->poll();
+  auto before = p.node->stats();
+  EXPECT_EQ(before.push_offers_answered, 0u);
+  // A genuine push-offer from node 1 (who targets node 0 via its own round
+  // sometimes; force it by crafting a valid offer ourselves).
+  auto key = p.ids[1].derive_pair_key(p.ids[0].dh_public());
+  PushOffer offer;
+  offer.sender = 1;
+  offer.boxed_reply_port =
+      crypto::portbox_seal_port(util::ByteSpan(key), 49999, p.rng);
+  p.net.send_raw(net::Address{1, 60000}, net::Address{0, 3001},
+                 util::ByteSpan(encode(offer)));
+  p.node->poll();
+  EXPECT_EQ(p.node->stats().push_offers_answered, 1u);
+}
+
+TEST(Node, FabricatedControlCountsAsBoxFailure) {
+  Solo p;
+  PushOffer offer;
+  offer.sender = 1;  // real member id, but the box is garbage
+  offer.boxed_reply_port = util::Bytes(crypto::kPortBoxOverhead + 2, 0xAB);
+  p.net.send_raw(net::Address{9, 9}, net::Address{0, 3001},
+                 util::ByteSpan(encode(offer)));
+  p.node->poll();
+  EXPECT_EQ(p.node->stats().box_failures, 1u);
+  EXPECT_EQ(p.node->stats().push_offers_answered, 0u);
+}
+
+TEST(Node, UnknownOrSelfSenderRejected) {
+  Solo p;
+  PushOffer offer;
+  offer.sender = 99;  // not in the directory
+  offer.boxed_reply_port = util::Bytes(crypto::kPortBoxOverhead + 2, 1);
+  p.net.send_raw(net::Address{9, 9}, net::Address{0, 3001},
+                 util::ByteSpan(encode(offer)));
+  offer.sender = 0;  // claims to be the receiver itself
+  p.net.send_raw(net::Address{9, 9}, net::Address{0, 3001},
+                 util::ByteSpan(encode(offer)));
+  p.node->poll();
+  EXPECT_EQ(p.node->stats().unknown_sender, 2u);
+}
+
+TEST(Node, ForgedDataSignatureRejected) {
+  Pair p(3);
+  // Deliver a PushData with a bogus signature straight to node 0's current
+  // push-data port. We don't know the port (it's random!), so use the pull
+  // path instead: craft a PullReply to the port node 0 boxed in its own
+  // pull-request. Simplest robust approach: tamper a real message mid-run.
+  DataMessage msg;
+  msg.id = {1, 0};
+  msg.payload = {1, 2, 3};
+  msg.round_counter = 1;
+  // signature left zeroed: invalid.
+  PullReply reply{1, {msg}};
+  // Spray it at the whole ephemeral range? No — bind order is deterministic
+  // per seed, but the clean way is via the node's own stats after a flood
+  // on the data channel in the wk-ports variant:
+  Solo q(Variant::kDrumWkPorts);
+  q.net.send_raw(net::Address{9, 9}, net::Address{0, 3002},
+                 util::ByteSpan(encode(reply)));
+  q.node->poll();
+  EXPECT_EQ(q.node->stats().sig_failures, 1u);
+  EXPECT_EQ(q.node->stats().delivered, 0u);
+}
+
+TEST(Node, CarryOverKeepsBacklogAcrossRounds) {
+  // discard_unread=false ablation: the flood survives the round boundary
+  // and keeps eating future budgets (why §4's discard matters).
+  util::Rng rng(9);
+  net::MemNetwork net;
+  auto id = crypto::Identity::generate(rng);
+  std::vector<Peer> dir(2);
+  dir[0] = {0, 0, 3000, 3001, 0, id.sign_public(), id.dh_public(), true};
+  auto id1 = crypto::Identity::generate(rng);
+  dir[1] = {1, 1, 3100, 3101, 0, id1.sign_public(), id1.dh_public(), true};
+  auto tr = net.transport(0);
+  NodeConfig cfg = make_node_config(Variant::kDrum, 0);
+  cfg.wk_pull_port = 3000;
+  cfg.wk_offer_port = 3001;
+  cfg.discard_unread = false;
+  Node node(cfg, id, dir, *tr, 3, nullptr);
+
+  util::Bytes junk = {static_cast<std::uint8_t>(MsgType::kPullRequest), 5};
+  for (int i = 0; i < 20; ++i) {
+    net.send_raw(net::Address{66, 6}, net::Address{0, 3000},
+                 util::ByteSpan(junk));
+  }
+  node.poll();
+  auto read_r1 = node.stats().datagrams_read;
+  EXPECT_EQ(read_r1, 2u);  // budget
+  node.on_round();
+  EXPECT_EQ(node.stats().flushed_unread, 0u);  // nothing discarded
+  node.poll();
+  // The stale backlog is read (and burns budget) in the new round too.
+  EXPECT_EQ(node.stats().datagrams_read, read_r1 + 2);
+}
+
+TEST(Node, UpdatePeersValidation) {
+  Pair p(3);
+  std::vector<Peer> missing_self = p.dir;
+  missing_self[0].present = false;
+  EXPECT_THROW(p.nodes[0]->update_peers(missing_self), std::invalid_argument);
+
+  std::vector<Peer> misindexed = p.dir;
+  misindexed[1].id = 2;
+  EXPECT_THROW(p.nodes[0]->update_peers(misindexed), std::invalid_argument);
+
+  std::vector<Peer> drop_two = p.dir;
+  drop_two[2].present = false;
+  EXPECT_NO_THROW(p.nodes[0]->update_peers(drop_two));
+}
+
+TEST(Node, RemovedPeerNoLongerAccepted) {
+  Solo p;
+  auto dir = p.dir;
+  dir[1].present = false;
+  p.node->update_peers(dir);
+  // Node 1 sends a (genuine) offer; node 0 must treat it as unknown.
+  auto key = p.ids[1].derive_pair_key(p.ids[0].dh_public());
+  PushOffer offer;
+  offer.sender = 1;
+  offer.boxed_reply_port =
+      crypto::portbox_seal_port(util::ByteSpan(key), 50000, p.rng);
+  p.net.send_raw(net::Address{1, 60000}, net::Address{0, 3001},
+                 util::ByteSpan(encode(offer)));
+  p.node->poll();
+  EXPECT_EQ(p.node->stats().unknown_sender, 1u);
+}
+
+TEST(Node, RandomReplyPortsRotateAcrossRoundsAndAreEncrypted) {
+  // Observe the pull-reply ports node 0 advertises: stand in for peer 1 by
+  // binding its well-known pull port ourselves and opening the boxes with
+  // the pair key (paper §4: ports are random, fresh, and encrypted).
+  util::Rng rng(6);
+  net::MemNetwork net;
+  auto id0 = crypto::Identity::generate(rng);
+  auto id1 = crypto::Identity::generate(rng);
+  std::vector<Peer> dir(2);
+  dir[0] = {0, 0, 3000, 3001, 0, id0.sign_public(), id0.dh_public(), true};
+  dir[1] = {1, 1, 3100, 3101, 0, id1.sign_public(), id1.dh_public(), true};
+
+  auto peer_tr = net.transport(1);
+  auto peer_pull_sock = peer_tr->bind(3100);  // we play peer 1
+  ASSERT_TRUE(peer_pull_sock);
+
+  auto node_tr = net.transport(0);
+  NodeConfig cfg = make_node_config(Variant::kDrum, 0);
+  // Pull-only view towards the single peer: with one candidate, every
+  // round's pull-request goes to "peer 1".
+  cfg.wk_pull_port = 3000;
+  cfg.wk_offer_port = 3001;
+  Node node(cfg, id0, dir, *node_tr, 77, nullptr);
+
+  auto key = id1.derive_pair_key(id0.dh_public());
+  std::set<std::uint16_t> ports;
+  int requests = 0;
+  for (int r = 0; r < 8; ++r) {
+    node.on_round();
+    while (auto d = peer_pull_sock->recv()) {
+      auto req = decode_pull_request(util::ByteSpan(d->payload), 4096);
+      EXPECT_EQ(req.sender, 0u);
+      auto port = crypto::portbox_open_port(
+          util::ByteSpan(key), util::ByteSpan(req.boxed_reply_port));
+      ASSERT_TRUE(port.has_value());  // encrypted, but we hold the pair key
+      EXPECT_GE(*port, 49152);        // ephemeral range
+      ports.insert(*port);
+      ++requests;
+    }
+  }
+  EXPECT_GE(requests, 8);
+  // Fresh random port (almost) every round.
+  EXPECT_GE(ports.size(), 6u);
+}
+
+}  // namespace
+}  // namespace drum::core
+
+namespace drum::core {
+namespace {
+
+TEST(Node, SurvivesRandomGarbageOnEveryChannel) {
+  // Fuzz: spray structured and unstructured garbage at the node's
+  // well-known ports (and guess at its ephemeral range) for many rounds.
+  // The node must never crash, never deliver, and account for everything.
+  Solo p(Variant::kDrumWkPorts);  // wk pull-reply port = one more target
+  util::Rng fuzz(0xF022);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 60; ++i) {
+      util::Bytes junk(fuzz.below(96));
+      for (auto& b : junk) b = static_cast<std::uint8_t>(fuzz.below(256));
+      if (!junk.empty() && fuzz.chance(0.7)) {
+        junk[0] = static_cast<std::uint8_t>(1 + fuzz.below(5));
+      }
+      std::uint16_t port;
+      switch (fuzz.below(4)) {
+        case 0: port = 3000; break;          // wk pull
+        case 1: port = 3001; break;          // wk offer
+        case 2: port = 3002; break;          // wk pull-reply (ablation)
+        default:                              // ephemeral guesses
+          port = static_cast<std::uint16_t>(49152 + fuzz.below(16384));
+      }
+      p.net.send_raw(net::Address{0xBAD, 1}, net::Address{0, port},
+                     util::ByteSpan(junk));
+    }
+    p.node->poll();
+    p.node->on_round();
+  }
+  const auto& s = p.node->stats();
+  EXPECT_EQ(s.delivered, 0u);
+  EXPECT_EQ(s.sig_failures + s.delivered, s.sig_failures);
+  // Everything read was either rejected or flushed; totals reconcile.
+  EXPECT_GT(s.datagrams_read, 0u);
+  EXPECT_GT(s.decode_errors + s.box_failures + s.unknown_sender, 0u);
+}
+
+}  // namespace
+}  // namespace drum::core
