@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymptotics.dir/asymptotics.cpp.o"
+  "CMakeFiles/asymptotics.dir/asymptotics.cpp.o.d"
+  "asymptotics"
+  "asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pu_pa.dir/fig01_pu_pa.cpp.o"
+  "CMakeFiles/fig01_pu_pa.dir/fig01_pu_pa.cpp.o.d"
+  "fig01_pu_pa"
+  "fig01_pu_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pu_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

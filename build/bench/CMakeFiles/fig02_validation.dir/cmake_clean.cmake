@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_validation.dir/fig02_validation.cpp.o"
+  "CMakeFiles/fig02_validation.dir/fig02_validation.cpp.o.d"
+  "fig02_validation"
+  "fig02_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_targeted_attacks.dir/fig03_targeted_attacks.cpp.o"
+  "CMakeFiles/fig03_targeted_attacks.dir/fig03_targeted_attacks.cpp.o.d"
+  "fig03_targeted_attacks"
+  "fig03_targeted_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_targeted_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_std.dir/fig04_std.cpp.o"
+  "CMakeFiles/fig04_std.dir/fig04_std.cpp.o.d"
+  "fig04_std"
+  "fig04_std.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_std.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cdf_rounds.dir/fig05_cdf_rounds.cpp.o"
+  "CMakeFiles/fig05_cdf_rounds.dir/fig05_cdf_rounds.cpp.o.d"
+  "fig05_cdf_rounds"
+  "fig05_cdf_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cdf_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_attacked_vs_not.dir/fig06_attacked_vs_not.cpp.o"
+  "CMakeFiles/fig06_attacked_vs_not.dir/fig06_attacked_vs_not.cpp.o.d"
+  "fig06_attacked_vs_not"
+  "fig06_attacked_vs_not.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_attacked_vs_not.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

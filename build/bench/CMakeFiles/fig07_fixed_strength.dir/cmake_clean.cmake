@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fixed_strength.dir/fig07_fixed_strength.cpp.o"
+  "CMakeFiles/fig07_fixed_strength.dir/fig07_fixed_strength.cpp.o.d"
+  "fig07_fixed_strength"
+  "fig07_fixed_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fixed_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

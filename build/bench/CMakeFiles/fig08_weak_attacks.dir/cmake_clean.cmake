@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_weak_attacks.dir/fig08_weak_attacks.cpp.o"
+  "CMakeFiles/fig08_weak_attacks.dir/fig08_weak_attacks.cpp.o.d"
+  "fig08_weak_attacks"
+  "fig08_weak_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_weak_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

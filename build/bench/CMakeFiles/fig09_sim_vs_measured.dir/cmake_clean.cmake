@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sim_vs_measured.dir/fig09_sim_vs_measured.cpp.o"
+  "CMakeFiles/fig09_sim_vs_measured.dir/fig09_sim_vs_measured.cpp.o.d"
+  "fig09_sim_vs_measured"
+  "fig09_sim_vs_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sim_vs_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_sim_vs_measured.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_throughput.cpp" "bench/CMakeFiles/fig10_throughput.dir/fig10_throughput.cpp.o" "gcc" "bench/CMakeFiles/fig10_throughput.dir/fig10_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drum/sim/CMakeFiles/drum_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/harness/CMakeFiles/drum_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/util/CMakeFiles/drum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/core/CMakeFiles/drum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/crypto/CMakeFiles/drum_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/net/CMakeFiles/drum_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

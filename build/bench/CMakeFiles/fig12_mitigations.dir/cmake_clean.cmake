@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mitigations.dir/fig12_mitigations.cpp.o"
+  "CMakeFiles/fig12_mitigations.dir/fig12_mitigations.cpp.o.d"
+  "fig12_mitigations"
+  "fig12_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

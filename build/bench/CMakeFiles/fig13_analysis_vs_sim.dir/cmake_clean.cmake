@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_analysis_vs_sim.dir/fig13_analysis_vs_sim.cpp.o"
+  "CMakeFiles/fig13_analysis_vs_sim.dir/fig13_analysis_vs_sim.cpp.o.d"
+  "fig13_analysis_vs_sim"
+  "fig13_analysis_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_analysis_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

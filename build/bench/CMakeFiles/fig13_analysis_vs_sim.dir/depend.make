@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_analysis_vs_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_analysis_vs_sim_dos.dir/fig14_analysis_vs_sim_dos.cpp.o"
+  "CMakeFiles/fig14_analysis_vs_sim_dos.dir/fig14_analysis_vs_sim_dos.cpp.o.d"
+  "fig14_analysis_vs_sim_dos"
+  "fig14_analysis_vs_sim_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_analysis_vs_sim_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_analysis_vs_sim_dos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_node.dir/drum_node.cpp.o"
+  "CMakeFiles/drum_node.dir/drum_node.cpp.o.d"
+  "drum_node"
+  "drum_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

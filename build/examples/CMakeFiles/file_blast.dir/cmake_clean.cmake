@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_blast.dir/file_blast.cpp.o"
+  "CMakeFiles/file_blast.dir/file_blast.cpp.o.d"
+  "file_blast"
+  "file_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("drum/util")
+subdirs("drum/crypto")
+subdirs("drum/analysis")
+subdirs("drum/sim")
+subdirs("drum/net")
+subdirs("drum/core")
+subdirs("drum/membership")
+subdirs("drum/runtime")
+subdirs("drum/harness")

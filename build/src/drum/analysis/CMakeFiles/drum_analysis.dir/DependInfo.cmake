@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drum/analysis/appendix_a.cpp" "src/drum/analysis/CMakeFiles/drum_analysis.dir/appendix_a.cpp.o" "gcc" "src/drum/analysis/CMakeFiles/drum_analysis.dir/appendix_a.cpp.o.d"
+  "/root/repo/src/drum/analysis/appendix_b.cpp" "src/drum/analysis/CMakeFiles/drum_analysis.dir/appendix_b.cpp.o" "gcc" "src/drum/analysis/CMakeFiles/drum_analysis.dir/appendix_b.cpp.o.d"
+  "/root/repo/src/drum/analysis/appendix_c.cpp" "src/drum/analysis/CMakeFiles/drum_analysis.dir/appendix_c.cpp.o" "gcc" "src/drum/analysis/CMakeFiles/drum_analysis.dir/appendix_c.cpp.o.d"
+  "/root/repo/src/drum/analysis/asymptotics.cpp" "src/drum/analysis/CMakeFiles/drum_analysis.dir/asymptotics.cpp.o" "gcc" "src/drum/analysis/CMakeFiles/drum_analysis.dir/asymptotics.cpp.o.d"
+  "/root/repo/src/drum/analysis/binomial.cpp" "src/drum/analysis/CMakeFiles/drum_analysis.dir/binomial.cpp.o" "gcc" "src/drum/analysis/CMakeFiles/drum_analysis.dir/binomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drum/util/CMakeFiles/drum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_analysis.dir/appendix_a.cpp.o"
+  "CMakeFiles/drum_analysis.dir/appendix_a.cpp.o.d"
+  "CMakeFiles/drum_analysis.dir/appendix_b.cpp.o"
+  "CMakeFiles/drum_analysis.dir/appendix_b.cpp.o.d"
+  "CMakeFiles/drum_analysis.dir/appendix_c.cpp.o"
+  "CMakeFiles/drum_analysis.dir/appendix_c.cpp.o.d"
+  "CMakeFiles/drum_analysis.dir/asymptotics.cpp.o"
+  "CMakeFiles/drum_analysis.dir/asymptotics.cpp.o.d"
+  "CMakeFiles/drum_analysis.dir/binomial.cpp.o"
+  "CMakeFiles/drum_analysis.dir/binomial.cpp.o.d"
+  "libdrum_analysis.a"
+  "libdrum_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

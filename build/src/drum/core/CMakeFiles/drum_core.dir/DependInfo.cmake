@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drum/core/buffer.cpp" "src/drum/core/CMakeFiles/drum_core.dir/buffer.cpp.o" "gcc" "src/drum/core/CMakeFiles/drum_core.dir/buffer.cpp.o.d"
+  "/root/repo/src/drum/core/config.cpp" "src/drum/core/CMakeFiles/drum_core.dir/config.cpp.o" "gcc" "src/drum/core/CMakeFiles/drum_core.dir/config.cpp.o.d"
+  "/root/repo/src/drum/core/groupfile.cpp" "src/drum/core/CMakeFiles/drum_core.dir/groupfile.cpp.o" "gcc" "src/drum/core/CMakeFiles/drum_core.dir/groupfile.cpp.o.d"
+  "/root/repo/src/drum/core/message.cpp" "src/drum/core/CMakeFiles/drum_core.dir/message.cpp.o" "gcc" "src/drum/core/CMakeFiles/drum_core.dir/message.cpp.o.d"
+  "/root/repo/src/drum/core/node.cpp" "src/drum/core/CMakeFiles/drum_core.dir/node.cpp.o" "gcc" "src/drum/core/CMakeFiles/drum_core.dir/node.cpp.o.d"
+  "/root/repo/src/drum/core/ordered.cpp" "src/drum/core/CMakeFiles/drum_core.dir/ordered.cpp.o" "gcc" "src/drum/core/CMakeFiles/drum_core.dir/ordered.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drum/util/CMakeFiles/drum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/crypto/CMakeFiles/drum_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/net/CMakeFiles/drum_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_core.dir/buffer.cpp.o"
+  "CMakeFiles/drum_core.dir/buffer.cpp.o.d"
+  "CMakeFiles/drum_core.dir/config.cpp.o"
+  "CMakeFiles/drum_core.dir/config.cpp.o.d"
+  "CMakeFiles/drum_core.dir/groupfile.cpp.o"
+  "CMakeFiles/drum_core.dir/groupfile.cpp.o.d"
+  "CMakeFiles/drum_core.dir/message.cpp.o"
+  "CMakeFiles/drum_core.dir/message.cpp.o.d"
+  "CMakeFiles/drum_core.dir/node.cpp.o"
+  "CMakeFiles/drum_core.dir/node.cpp.o.d"
+  "CMakeFiles/drum_core.dir/ordered.cpp.o"
+  "CMakeFiles/drum_core.dir/ordered.cpp.o.d"
+  "libdrum_core.a"
+  "libdrum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drum/crypto/bigint.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/bigint.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/drum/crypto/chacha20.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/chacha20.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/drum/crypto/ed25519.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/ed25519.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/ed25519.cpp.o.d"
+  "/root/repo/src/drum/crypto/fe25519.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/fe25519.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/fe25519.cpp.o.d"
+  "/root/repo/src/drum/crypto/hmac.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/hmac.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/drum/crypto/keys.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/keys.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/keys.cpp.o.d"
+  "/root/repo/src/drum/crypto/portbox.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/portbox.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/portbox.cpp.o.d"
+  "/root/repo/src/drum/crypto/sha256.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/sha256.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/drum/crypto/sha512.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/sha512.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/sha512.cpp.o.d"
+  "/root/repo/src/drum/crypto/x25519.cpp" "src/drum/crypto/CMakeFiles/drum_crypto.dir/x25519.cpp.o" "gcc" "src/drum/crypto/CMakeFiles/drum_crypto.dir/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drum/util/CMakeFiles/drum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/drum_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/drum_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/drum_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/drum_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/drum_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/drum_crypto.dir/fe25519.cpp.o"
+  "CMakeFiles/drum_crypto.dir/fe25519.cpp.o.d"
+  "CMakeFiles/drum_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/drum_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/drum_crypto.dir/keys.cpp.o"
+  "CMakeFiles/drum_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/drum_crypto.dir/portbox.cpp.o"
+  "CMakeFiles/drum_crypto.dir/portbox.cpp.o.d"
+  "CMakeFiles/drum_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/drum_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/drum_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/drum_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/drum_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/drum_crypto.dir/x25519.cpp.o.d"
+  "libdrum_crypto.a"
+  "libdrum_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_harness.dir/cluster.cpp.o"
+  "CMakeFiles/drum_harness.dir/cluster.cpp.o.d"
+  "libdrum_harness.a"
+  "libdrum_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

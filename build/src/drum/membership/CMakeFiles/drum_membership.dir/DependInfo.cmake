@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drum/membership/ca.cpp" "src/drum/membership/CMakeFiles/drum_membership.dir/ca.cpp.o" "gcc" "src/drum/membership/CMakeFiles/drum_membership.dir/ca.cpp.o.d"
+  "/root/repo/src/drum/membership/ca_server.cpp" "src/drum/membership/CMakeFiles/drum_membership.dir/ca_server.cpp.o" "gcc" "src/drum/membership/CMakeFiles/drum_membership.dir/ca_server.cpp.o.d"
+  "/root/repo/src/drum/membership/certificate.cpp" "src/drum/membership/CMakeFiles/drum_membership.dir/certificate.cpp.o" "gcc" "src/drum/membership/CMakeFiles/drum_membership.dir/certificate.cpp.o.d"
+  "/root/repo/src/drum/membership/failure_detector.cpp" "src/drum/membership/CMakeFiles/drum_membership.dir/failure_detector.cpp.o" "gcc" "src/drum/membership/CMakeFiles/drum_membership.dir/failure_detector.cpp.o.d"
+  "/root/repo/src/drum/membership/service.cpp" "src/drum/membership/CMakeFiles/drum_membership.dir/service.cpp.o" "gcc" "src/drum/membership/CMakeFiles/drum_membership.dir/service.cpp.o.d"
+  "/root/repo/src/drum/membership/table.cpp" "src/drum/membership/CMakeFiles/drum_membership.dir/table.cpp.o" "gcc" "src/drum/membership/CMakeFiles/drum_membership.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drum/core/CMakeFiles/drum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/crypto/CMakeFiles/drum_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/net/CMakeFiles/drum_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/drum/util/CMakeFiles/drum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_membership.dir/ca.cpp.o"
+  "CMakeFiles/drum_membership.dir/ca.cpp.o.d"
+  "CMakeFiles/drum_membership.dir/ca_server.cpp.o"
+  "CMakeFiles/drum_membership.dir/ca_server.cpp.o.d"
+  "CMakeFiles/drum_membership.dir/certificate.cpp.o"
+  "CMakeFiles/drum_membership.dir/certificate.cpp.o.d"
+  "CMakeFiles/drum_membership.dir/failure_detector.cpp.o"
+  "CMakeFiles/drum_membership.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/drum_membership.dir/service.cpp.o"
+  "CMakeFiles/drum_membership.dir/service.cpp.o.d"
+  "CMakeFiles/drum_membership.dir/table.cpp.o"
+  "CMakeFiles/drum_membership.dir/table.cpp.o.d"
+  "libdrum_membership.a"
+  "libdrum_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

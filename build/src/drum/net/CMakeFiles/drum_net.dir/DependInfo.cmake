@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drum/net/address.cpp" "src/drum/net/CMakeFiles/drum_net.dir/address.cpp.o" "gcc" "src/drum/net/CMakeFiles/drum_net.dir/address.cpp.o.d"
+  "/root/repo/src/drum/net/mem_transport.cpp" "src/drum/net/CMakeFiles/drum_net.dir/mem_transport.cpp.o" "gcc" "src/drum/net/CMakeFiles/drum_net.dir/mem_transport.cpp.o.d"
+  "/root/repo/src/drum/net/udp_transport.cpp" "src/drum/net/CMakeFiles/drum_net.dir/udp_transport.cpp.o" "gcc" "src/drum/net/CMakeFiles/drum_net.dir/udp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drum/util/CMakeFiles/drum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

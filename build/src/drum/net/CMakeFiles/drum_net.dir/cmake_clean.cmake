@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_net.dir/address.cpp.o"
+  "CMakeFiles/drum_net.dir/address.cpp.o.d"
+  "CMakeFiles/drum_net.dir/mem_transport.cpp.o"
+  "CMakeFiles/drum_net.dir/mem_transport.cpp.o.d"
+  "CMakeFiles/drum_net.dir/udp_transport.cpp.o"
+  "CMakeFiles/drum_net.dir/udp_transport.cpp.o.d"
+  "libdrum_net.a"
+  "libdrum_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

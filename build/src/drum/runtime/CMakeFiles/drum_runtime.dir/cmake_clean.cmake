@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_runtime.dir/runner.cpp.o"
+  "CMakeFiles/drum_runtime.dir/runner.cpp.o.d"
+  "libdrum_runtime.a"
+  "libdrum_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_sim.dir/engine.cpp.o"
+  "CMakeFiles/drum_sim.dir/engine.cpp.o.d"
+  "libdrum_sim.a"
+  "libdrum_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drum/util/bytes.cpp" "src/drum/util/CMakeFiles/drum_util.dir/bytes.cpp.o" "gcc" "src/drum/util/CMakeFiles/drum_util.dir/bytes.cpp.o.d"
+  "/root/repo/src/drum/util/flags.cpp" "src/drum/util/CMakeFiles/drum_util.dir/flags.cpp.o" "gcc" "src/drum/util/CMakeFiles/drum_util.dir/flags.cpp.o.d"
+  "/root/repo/src/drum/util/log.cpp" "src/drum/util/CMakeFiles/drum_util.dir/log.cpp.o" "gcc" "src/drum/util/CMakeFiles/drum_util.dir/log.cpp.o.d"
+  "/root/repo/src/drum/util/rng.cpp" "src/drum/util/CMakeFiles/drum_util.dir/rng.cpp.o" "gcc" "src/drum/util/CMakeFiles/drum_util.dir/rng.cpp.o.d"
+  "/root/repo/src/drum/util/stats.cpp" "src/drum/util/CMakeFiles/drum_util.dir/stats.cpp.o" "gcc" "src/drum/util/CMakeFiles/drum_util.dir/stats.cpp.o.d"
+  "/root/repo/src/drum/util/table.cpp" "src/drum/util/CMakeFiles/drum_util.dir/table.cpp.o" "gcc" "src/drum/util/CMakeFiles/drum_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drum_util.dir/bytes.cpp.o"
+  "CMakeFiles/drum_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/drum_util.dir/flags.cpp.o"
+  "CMakeFiles/drum_util.dir/flags.cpp.o.d"
+  "CMakeFiles/drum_util.dir/log.cpp.o"
+  "CMakeFiles/drum_util.dir/log.cpp.o.d"
+  "CMakeFiles/drum_util.dir/rng.cpp.o"
+  "CMakeFiles/drum_util.dir/rng.cpp.o.d"
+  "CMakeFiles/drum_util.dir/stats.cpp.o"
+  "CMakeFiles/drum_util.dir/stats.cpp.o.d"
+  "CMakeFiles/drum_util.dir/table.cpp.o"
+  "CMakeFiles/drum_util.dir/table.cpp.o.d"
+  "libdrum_util.a"
+  "libdrum_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drum_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrum_util.a"
+)
