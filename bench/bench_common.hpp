@@ -44,6 +44,12 @@ struct MeasuredPoint {
   double latency_ms_mean = 0;
   std::vector<harness::ClusterMetrics::PerNode> per_node;
   std::uint64_t completed = 0, sent = 0;
+  /// Cluster::metrics_json() snapshot taken after the drain: config +
+  /// merged all/attacked/non-attacked registries (per-channel counters and
+  /// budget histograms) + network registry + flat per-node stats.
+  std::string metrics_json;
+  /// Per-round progression over the measurement window (Cluster CSV).
+  std::string timeseries_csv;
 };
 
 struct MeasureOpts {
@@ -94,8 +100,53 @@ inline MeasuredPoint measured_point(core::Variant variant, double alpha,
   out.per_node = m.nodes;
   out.completed = m.messages_completed;
   out.sent = m.messages_sent;
+  out.metrics_json = cluster.metrics_json();
+  out.timeseries_csv = cluster.timeseries().to_csv();
   return out;
 }
+
+/// Composes per-point snapshots into one JSON artifact:
+/// {"figure":...,"points":[{<labels...>, "metrics": <cluster json>}]}.
+/// Labels are pre-rendered "\"key\": value" fragments.
+class MetricsArtifact {
+ public:
+  explicit MetricsArtifact(std::string figure) : figure_(std::move(figure)) {}
+
+  /// `labels` are complete fragments, e.g. {"\"variant\": \"drum\"",
+  /// "\"x\": 32"}.
+  void add_point(const std::vector<std::string>& labels,
+                 const std::string& metrics_json) {
+    std::string p = "    {";
+    for (const auto& l : labels) p += l + ", ";
+    p += "\"metrics\": " + metrics_json + "}";
+    points_.push_back(std::move(p));
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\n  \"figure\": \"" + figure_ + "\",\n";
+    out += "  \"points\": [\n";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      out += points_[i];
+      out += (i + 1 < points_.size()) ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the artifact; prints where it went (or a warning on failure).
+  void write(const std::string& path) const {
+    if (obs::write_text_file(path, to_json())) {
+      std::printf("# metrics artifact: %s\n", path.c_str());
+    } else {
+      std::printf("# WARNING: could not write metrics artifact %s\n",
+                  path.c_str());
+    }
+  }
+
+ private:
+  std::string figure_;
+  std::vector<std::string> points_;
+};
 
 inline void print_header(const char* figure, const char* description) {
   std::printf("#\n# %s — %s\n#\n", figure, description);

@@ -19,6 +19,12 @@ int main(int argc, char** argv) {
                                "verify Ed25519 signatures (costly on 1 CPU)");
   bool udp = flags.get_bool("udp", false, "use real loopback UDP sockets");
   auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1, "RNG seed"));
+  auto metrics_out = flags.get_string(
+      "metrics-out", "fig10_metrics.json",
+      "per-point instrumentation artifact (empty string disables)");
+  auto timeseries_out = flags.get_string(
+      "timeseries-out", "fig10_timeseries.csv",
+      "per-round progression CSV (empty string disables)");
   flags.done();
 
   bench::print_header("Figure 10",
@@ -38,13 +44,43 @@ int main(int argc, char** argv) {
                 {"push", core::Variant::kPush},
                 {"pull", core::Variant::kPull}};
 
+  bench::MetricsArtifact artifact("fig10");
+  // Combined per-round progression over every point (long format).
+  std::string series = "variant,alpha,x,round,t_us,delivered,flushed_unread,"
+                       "net_dropped\n";
+  auto take_point = [&](const char* name, core::Variant v, double alpha,
+                        double x) {
+    auto meas = bench::measured_point(v, alpha, x, mo);
+    artifact.add_point(
+        {"\"variant\": \"" + std::string(name) + "\"",
+         "\"alpha\": " + util::fmt(alpha, 2),
+         "\"x\": " + util::fmt(x, 0)},
+        meas.metrics_json);
+    // Re-key the point's CSV rows with the point labels (skip its header).
+    std::size_t pos = meas.timeseries_csv.find('\n');
+    if (pos != std::string::npos) {
+      std::string prefix = std::string(name) + "," + util::fmt(alpha, 2) +
+                           "," + util::fmt(x, 0) + ",";
+      std::size_t start = pos + 1;
+      while (start < meas.timeseries_csv.size()) {
+        std::size_t nl = meas.timeseries_csv.find('\n', start);
+        if (nl == std::string::npos) nl = meas.timeseries_csv.size();
+        series += prefix;
+        series.append(meas.timeseries_csv, start, nl - start);
+        series += '\n';
+        start = nl + 1;
+      }
+    }
+    return meas;
+  };
+
   int point = 0;
   util::Table a({"x", "drum msg/round", "push msg/round", "pull msg/round"});
   for (double x : {0.0, 32.0, 64.0, 128.0}) {
     std::vector<double> row{x};
     for (const auto& p : protos) {
       mo.udp_base_port = static_cast<std::uint16_t>(21000 + 200 * point++);
-      auto meas = bench::measured_point(p.v, 0.1, x, mo);
+      auto meas = take_point(p.name, p.v, 0.1, x);
       row.push_back(meas.throughput_msgs_per_round);
     }
     a.add_row(row, 2);
@@ -58,12 +94,21 @@ int main(int argc, char** argv) {
     std::vector<double> row{alpha * 100};
     for (const auto& p : protos) {
       mo.udp_base_port = static_cast<std::uint16_t>(21000 + 200 * point++);
-      auto meas = bench::measured_point(p.v, alpha, 128, mo);
+      auto meas = take_point(p.name, p.v, alpha, 128);
       row.push_back(meas.throughput_msgs_per_round);
     }
     b.add_row(row, 2);
   }
   b.print("Figure 10(b): throughput vs alpha, x=128 (source rate " +
           std::to_string(rate) + "/round)");
+
+  if (!metrics_out.empty()) artifact.write(metrics_out);
+  if (!timeseries_out.empty()) {
+    if (obs::write_text_file(timeseries_out, series)) {
+      std::printf("# timeseries artifact: %s\n", timeseries_out.c_str());
+    } else {
+      std::printf("# WARNING: could not write %s\n", timeseries_out.c_str());
+    }
+  }
   return 0;
 }

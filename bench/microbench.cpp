@@ -1,8 +1,14 @@
 // google-benchmark microbenchmarks of the hot paths: the crypto primitives
 // (what bounds a node's per-round CPU budget, and hence how expensive it is
 // for a victim to process fabricated messages), digest/buffer operations,
-// and one full simulated gossip round.
+// the obs primitives, and one full simulated gossip round. After the
+// registered benchmarks, main() runs an instrumented-vs-uninstrumented
+// cluster comparison (tracing on vs off) and writes microbench_obs.json.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "drum/core/buffer.hpp"
 #include "drum/crypto/chacha20.hpp"
@@ -12,6 +18,10 @@
 #include "drum/crypto/portbox.hpp"
 #include "drum/crypto/sha256.hpp"
 #include "drum/crypto/x25519.hpp"
+#include "drum/harness/cluster.hpp"
+#include "drum/obs/export.hpp"
+#include "drum/obs/metrics.hpp"
+#include "drum/obs/trace.hpp"
 #include "drum/sim/engine.hpp"
 #include "drum/util/rng.hpp"
 
@@ -134,6 +144,40 @@ void BM_BufferSelectMissing(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferSelectMissing);
 
+// The obs hot-path primitives — what every counted event in the node pays.
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c.value);
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("bench.histogram");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 2862933555777941757ULL + 3037000493ULL) >> 40;  // cheap mix
+    benchmark::DoNotOptimize(h.count());
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsTraceRecord(benchmark::State& state) {
+  obs::TraceRing ring(4096);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ring.record(1, static_cast<std::uint32_t>(i++), obs::EventKind::kDeliver,
+                42, 7);
+    benchmark::DoNotOptimize(ring.total_recorded());
+  }
+}
+BENCHMARK(BM_ObsTraceRecord);
+
 void BM_SimRound(benchmark::State& state) {
   // One full simulated run, n as parameter (drum, alpha=10%, x=128).
   sim::SimParams p;
@@ -148,6 +192,68 @@ void BM_SimRound(benchmark::State& state) {
 }
 BENCHMARK(BM_SimRound)->Arg(120)->Arg(500)->Arg(1000);
 
+// Wall-clock µs to run a small attacked cluster for `rounds` virtual rounds
+// — the node poll/handshake hot path end to end. `traced` toggles the only
+// optional instrumentation (the per-node trace ring); the registry counters
+// are always on, replacing the old NodeStats fields at the same cost.
+std::int64_t time_cluster_us(bool traced, double rounds, std::uint64_t seed) {
+  harness::ClusterConfig cfg;
+  cfg.n = 8;
+  cfg.alpha = 0.5;
+  cfg.x = 64;
+  cfg.rate = 10;
+  cfg.seed = seed;
+  cfg.trace_capacity = traced ? 4096 : 0;
+  harness::Cluster cluster(cfg);
+  cluster.run_rounds(2, true);  // warm-up: buffers filled, gossip flowing
+  auto t0 = std::chrono::steady_clock::now();
+  cluster.run_rounds(rounds, true);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+      .count();
+}
+
+// Interleaved best-of-`reps` comparison (single-core box: interleaving and
+// min-taking both defend against scheduling noise).
+void run_obs_overhead_report() {
+  const double rounds = 15;
+  const int reps = 3;
+  std::int64_t best_off = -1, best_on = -1;
+  for (int r = 0; r < reps; ++r) {
+    auto off = time_cluster_us(false, rounds, 100 + r);
+    auto on = time_cluster_us(true, rounds, 100 + r);
+    if (best_off < 0 || off < best_off) best_off = off;
+    if (best_on < 0 || on < best_on) best_on = on;
+  }
+  const double overhead_pct =
+      best_off > 0
+          ? 100.0 * static_cast<double>(best_on - best_off) /
+                static_cast<double>(best_off)
+          : 0.0;
+  std::printf("\nobs overhead (n=8 attacked cluster, %.0f rounds, best of "
+              "%d):\n  trace off: %lld us\n  trace on:  %lld us\n  overhead: "
+              "%.2f%%\n",
+              rounds, reps, static_cast<long long>(best_off),
+              static_cast<long long>(best_on), overhead_pct);
+  char json[512];
+  std::snprintf(json, sizeof json,
+                "{\n  \"rounds\": %.0f,\n  \"reps\": %d,\n"
+                "  \"uninstrumented_us\": %lld,\n  \"instrumented_us\": "
+                "%lld,\n  \"overhead_pct\": %.2f\n}\n",
+                rounds, reps, static_cast<long long>(best_off),
+                static_cast<long long>(best_on), overhead_pct);
+  if (obs::write_text_file("microbench_obs.json", json)) {
+    std::printf("  artifact: microbench_obs.json\n");
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_obs_overhead_report();
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure + build + ctest with ASan/UBSan (DRUM_SANITIZE).
+# Usage: scripts/check.sh [build-dir] — default build-asan, kept separate
+# from the regular build/ tree so the two caches never fight.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDRUM_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+echo "check.sh: all tests passed under address+undefined sanitizers"

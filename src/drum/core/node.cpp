@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "drum/crypto/portbox.hpp"
 #include "drum/util/log.hpp"
 
 namespace drum::core {
+
+namespace {
+// Indexed by static_cast<int>(Channel); used to name per-channel metrics.
+constexpr const char* kChannelNames[5] = {"offer", "pull_req", "push_reply",
+                                          "pull_data", "push_data"};
+}  // namespace
 
 Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
            net::Transport& transport, std::uint64_t rng_seed,
@@ -21,6 +28,7 @@ Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
   if (cfg_.id >= peers_.size() || peers_[cfg_.id].id != cfg_.id) {
     throw std::invalid_argument("peer directory must be indexed by id");
   }
+  init_metrics();
   auto bind_wk = [&](std::uint16_t port, Channel ch) {
     auto sock = transport_.bind(port);
     if (!sock) throw std::runtime_error("failed to bind well-known port");
@@ -36,6 +44,55 @@ Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
   send_gossip();
 }
 
+void Node::init_metrics() {
+  c_.rounds = &registry_.counter("node.rounds");
+  c_.delivered = &registry_.counter("node.delivered");
+  c_.duplicates = &registry_.counter("node.duplicates");
+  c_.datagrams_read = &registry_.counter("node.datagrams_read");
+  c_.flushed_unread = &registry_.counter("node.flushed_unread");
+  c_.decode_errors = &registry_.counter("node.decode_errors");
+  c_.box_failures = &registry_.counter("node.box_failures");
+  c_.sig_failures = &registry_.counter("node.sig_failures");
+  c_.unknown_sender = &registry_.counter("node.unknown_sender");
+  c_.certs_admitted = &registry_.counter("node.certs_admitted");
+  c_.pull_requests_served = &registry_.counter("node.pull_requests_served");
+  c_.push_offers_answered = &registry_.counter("node.push_offers_answered");
+  c_.push_replies_acted = &registry_.counter("node.push_replies_acted");
+  for (int i = 0; i < 5; ++i) {
+    const std::string base = std::string("chan.") + kChannelNames[i] + ".";
+    chan_[i].read = &registry_.counter(base + "read");
+    chan_[i].flushed_unread = &registry_.counter(base + "flushed_unread");
+    chan_[i].decode_errors = &registry_.counter(base + "decode_errors");
+    chan_[i].budget_exhausted = &registry_.counter(base + "budget_exhausted");
+    chan_[i].budget_used = &registry_.histogram(base + "budget_used");
+  }
+  if (cfg_.variant == Variant::kDrumSharedBounds) {
+    shared_control_.budget_exhausted =
+        &registry_.counter("chan.control.budget_exhausted");
+    shared_control_.budget_used =
+        &registry_.histogram("chan.control.budget_used");
+  }
+  h_poll_drained_ = &registry_.histogram("node.poll.drained");
+}
+
+NodeStats Node::stats() const {
+  NodeStats s;
+  s.rounds = c_.rounds->value;
+  s.delivered = c_.delivered->value;
+  s.duplicates = c_.duplicates->value;
+  s.datagrams_read = c_.datagrams_read->value;
+  s.flushed_unread = c_.flushed_unread->value;
+  s.decode_errors = c_.decode_errors->value;
+  s.box_failures = c_.box_failures->value;
+  s.sig_failures = c_.sig_failures->value;
+  s.unknown_sender = c_.unknown_sender->value;
+  s.certs_admitted = c_.certs_admitted->value;
+  s.pull_requests_served = c_.pull_requests_served->value;
+  s.push_offers_answered = c_.push_offers_answered->value;
+  s.push_replies_acted = c_.push_replies_acted->value;
+  return s;
+}
+
 const Peer* Node::find_peer(std::uint32_t id) const {
   if (id >= peers_.size() || !peers_[id].present) return nullptr;
   return &peers_[id];
@@ -46,7 +103,7 @@ const Peer* Node::find_peer(std::uint32_t id) const {
 // unknown; increments the unknown_sender stat in that case.
 const Peer* Node::resolve_sender(std::uint32_t id, const util::Bytes& cert) {
   if (id == cfg_.id) {
-    ++stats_.unknown_sender;
+    c_.unknown_sender->inc();
     return nullptr;
   }
   if (const Peer* p = find_peer(id)) return p;
@@ -55,7 +112,7 @@ const Peer* Node::resolve_sender(std::uint32_t id, const util::Bytes& cert) {
     admitted = cert_validator_(util::ByteSpan(cert));
   }
   if (!admitted || admitted->id != id) {
-    ++stats_.unknown_sender;
+    c_.unknown_sender->inc();
     return nullptr;
   }
   if (admitted->id >= peers_.size()) {
@@ -67,7 +124,7 @@ const Peer* Node::resolve_sender(std::uint32_t id, const util::Bytes& cert) {
     }
   }
   peers_[admitted->id] = *admitted;
-  ++stats_.certs_admitted;
+  c_.certs_admitted->inc();
   return &peers_[id];
 }
 
@@ -134,8 +191,44 @@ void Node::consume_budget(Channel c) {
   }
 }
 
+std::size_t Node::budget_used(Channel c) const {
+  auto it = used_.find(static_cast<int>(c));
+  return it == used_.end() ? 0 : it->second;
+}
+
+// Called at the end of each round, before the per-round usage counters
+// reset: one histogram sample per enabled channel (its budget consumption
+// this round) and an exhaustion count when the flood — or honest load — ate
+// the whole budget. This is the paper's §5 "wasted resources" series.
+void Node::record_round_budgets() {
+  const bool shared = cfg_.variant == Variant::kDrumSharedBounds;
+  if (shared) {
+    shared_control_.budget_used->record(shared_control_used_);
+    if (shared_control_used_ >= cfg_.shared_control_budget()) {
+      shared_control_.budget_exhausted->inc();
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto c = static_cast<Channel>(i);
+    const bool control = c == Channel::kOffer || c == Channel::kPullReq ||
+                         c == Channel::kPushReply;
+    if (shared && control) continue;  // accounted jointly above
+    const std::size_t budget = channel_budget(c);
+    if (budget == 0) continue;  // channel disabled in this variant
+    const std::size_t used = budget_used(c);
+    chan_[i].budget_used->record(used);
+    if (used >= budget) {
+      chan_[i].budget_exhausted->inc();
+      trace(obs::EventKind::kBudgetExhausted, static_cast<std::uint32_t>(i),
+            static_cast<std::uint32_t>(budget));
+    }
+  }
+}
+
 void Node::poll() {
+  std::size_t drained = 0;
   for (auto& bs : sockets_) {
+    ChannelMetrics& cm = chan_[static_cast<int>(bs.channel)];
     while (budget_available(bs.channel)) {
       auto dgram = bs.sock->recv();
       if (!dgram) break;
@@ -143,14 +236,23 @@ void Node::poll() {
       // validity* — processing bogus requests is precisely the resource a
       // DoS attack burns (paper §1, §4).
       consume_budget(bs.channel);
-      ++stats_.datagrams_read;
+      c_.datagrams_read->inc();
+      cm.read->inc();
+      ++drained;
       try {
         process(bs, *dgram);
       } catch (const util::DecodeError&) {
-        ++stats_.decode_errors;
+        c_.decode_errors->inc();
+        cm.decode_errors->inc();
+        trace(obs::EventKind::kDecodeError,
+              static_cast<std::uint32_t>(bs.channel));
       }
     }
   }
+  // Queue drain depth: how much backlog one sweep found. Zero-drain sweeps
+  // (the overwhelming majority between events) are not recorded — the
+  // histogram describes backlog when there was one.
+  if (drained) h_poll_drained_->record(drained);
 }
 
 void Node::process(const BoundSocket& bs, const net::Datagram& dgram) {
@@ -178,16 +280,20 @@ void Node::handle_pull_request(const net::Datagram& dgram) {
   auto req = decode_pull_request(util::ByteSpan(dgram.payload), cfg_.max_digest);
   const Peer* peer = resolve_sender(req.sender, req.cert);
   if (!peer) return;
+  trace(obs::EventKind::kPullReqRecv, req.sender);
   auto port = crypto::portbox_open_port(pair_key(req.sender),
                                         util::ByteSpan(req.boxed_reply_port));
   if (!port) {
-    ++stats_.box_failures;  // fabricated or corrupted request
+    c_.box_failures->inc();  // fabricated or corrupted request
+    trace(obs::EventKind::kBoxFailure, req.sender);
     return;
   }
   auto msgs = buffer_.select_missing(req.digest, cfg_.max_msgs_per_gossip, rng_);
-  ++stats_.pull_requests_served;
+  c_.pull_requests_served->inc();
   if (msgs.empty()) return;
   PullReply reply{cfg_.id, std::move(msgs)};
+  trace(obs::EventKind::kPullReplySend, req.sender,
+        static_cast<std::uint32_t>(reply.messages.size()));
   // The reply goes to the requester's random (boxed) port. We send from our
   // own ephemeral data socket so nothing about our well-known ports leaks
   // extra traffic; any socket may send in UDP.
@@ -199,13 +305,16 @@ void Node::handle_push_offer(const net::Datagram& dgram) {
   auto offer = decode_push_offer(util::ByteSpan(dgram.payload));
   const Peer* peer = resolve_sender(offer.sender, offer.cert);
   if (!peer) return;
+  trace(obs::EventKind::kOfferRecv, offer.sender);
   auto port = crypto::portbox_open_port(pair_key(offer.sender),
                                         util::ByteSpan(offer.boxed_reply_port));
   if (!port) {
-    ++stats_.box_failures;
+    c_.box_failures->inc();
+    trace(obs::EventKind::kBoxFailure, offer.sender);
     return;
   }
-  ++stats_.push_offers_answered;
+  c_.push_offers_answered->inc();
+  trace(obs::EventKind::kPushReplySend, offer.sender);
   PushReply reply;
   reply.sender = cfg_.id;
   reply.digest = buffer_.digest();
@@ -219,20 +328,24 @@ void Node::handle_push_reply(const net::Datagram& dgram) {
   auto reply = decode_push_reply(util::ByteSpan(dgram.payload), cfg_.max_digest);
   const Peer* peer = find_peer(reply.sender);
   if (!peer || reply.sender == cfg_.id) {
-    ++stats_.unknown_sender;
+    c_.unknown_sender->inc();
     return;
   }
+  trace(obs::EventKind::kPushReplyRecv, reply.sender);
   auto port = crypto::portbox_open_port(pair_key(reply.sender),
                                         util::ByteSpan(reply.boxed_data_port));
   if (!port) {
-    ++stats_.box_failures;
+    c_.box_failures->inc();
+    trace(obs::EventKind::kBoxFailure, reply.sender);
     return;
   }
   auto msgs =
       buffer_.select_missing(reply.digest, cfg_.max_msgs_per_gossip, rng_);
-  ++stats_.push_replies_acted;
+  c_.push_replies_acted->inc();
   if (msgs.empty()) return;
   PushData data{cfg_.id, std::move(msgs)};
+  trace(obs::EventKind::kPushDataSend, reply.sender,
+        static_cast<std::uint32_t>(data.messages.size()));
   sockets_.front().sock->send(net::Address{peer->host, *port},
                               util::ByteSpan(encode(data)));
 }
@@ -246,9 +359,12 @@ void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {
     msgs = decode_push_data(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload)
                .messages;
   }
+  trace(is_pull_reply ? obs::EventKind::kPullReplyRecv
+                      : obs::EventKind::kPushDataRecv,
+        0, static_cast<std::uint32_t>(msgs.size()));
   for (auto& msg : msgs) {
     if (buffer_.seen(msg.id)) {
-      ++stats_.duplicates;
+      c_.duplicates->inc();
       continue;
     }
     // Sanity checks (paper §4): known source (possibly admitted via its
@@ -260,12 +376,15 @@ void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {
     if (cfg_.verify_signatures &&
         !crypto::verify(source->sign_pub, util::ByteSpan(msg.signed_bytes()),
                         msg.signature)) {
-      ++stats_.sig_failures;
+      c_.sig_failures->inc();
+      trace(obs::EventKind::kSigFailure, msg.id.source);
       continue;
     }
     Delivery delivery{msg, msg.round_counter};
+    trace(obs::EventKind::kDeliver, msg.id.source,
+          static_cast<std::uint32_t>(msg.id.seqno));
     buffer_.insert(std::move(msg), round_);
-    ++stats_.delivered;
+    c_.delivered->inc();
     if (on_deliver_) on_deliver_(delivery);
   }
 }
@@ -314,6 +433,7 @@ void Node::send_gossip() {
       req.cert = own_cert_;
       req.boxed_reply_port =
           crypto::portbox_seal_port(pair_key(t), cur_pull_reply_port_, rng_);
+      trace(obs::EventKind::kPullReqSend, t);
       sockets_.front().sock->send(
           net::Address{peers_[t].host, peers_[t].wk_pull_port},
           util::ByteSpan(encode(req)));
@@ -329,6 +449,7 @@ void Node::send_gossip() {
       offer.cert = own_cert_;
       offer.boxed_reply_port =
           crypto::portbox_seal_port(pair_key(t), cur_push_reply_port_, rng_);
+      trace(obs::EventKind::kOfferSend, t);
       sockets_.front().sock->send(
           net::Address{peers_[t].host, peers_[t].wk_offer_port},
           util::ByteSpan(encode(offer)));
@@ -343,16 +464,28 @@ void Node::on_round() {
   // keeps coarse drivers that poll rarely faithful to that).
   poll();
 
+  record_round_budgets();
+
   ++round_;
-  ++stats_.rounds;
+  c_.rounds->inc();
+  trace(obs::EventKind::kRoundTick,
+        static_cast<std::uint32_t>(round_ & 0xFFFFFFFFull));
 
   // Discard all unread messages from the incoming buffers (paper §4) —
   // anything beyond this round's budgets, i.e. mostly the flood. (The
   // discard_unread=false ablation keeps the backlog instead; see config.)
   if (cfg_.discard_unread) {
     for (auto& bs : sockets_) {
+      std::uint64_t flushed = 0;
       while (auto d = bs.sock->recv()) {
-        ++stats_.flushed_unread;
+        ++flushed;
+      }
+      if (flushed) {
+        c_.flushed_unread->inc(flushed);
+        chan_[static_cast<int>(bs.channel)].flushed_unread->inc(flushed);
+        trace(obs::EventKind::kFlushUnread,
+              static_cast<std::uint32_t>(bs.channel),
+              static_cast<std::uint32_t>(flushed));
       }
     }
   }

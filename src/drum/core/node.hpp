@@ -36,6 +36,8 @@
 #include "drum/core/message.hpp"
 #include "drum/crypto/keys.hpp"
 #include "drum/net/transport.hpp"
+#include "drum/obs/metrics.hpp"
+#include "drum/obs/trace.hpp"
 #include "drum/util/rng.hpp"
 
 namespace drum::core {
@@ -56,6 +58,10 @@ struct Peer {
   bool present = true;
 };
 
+/// Flat counter summary of a node's activity — a *view* assembled on demand
+/// from the node's obs::MetricsRegistry, which is the single bookkeeping
+/// path (the registry additionally holds per-channel counters and
+/// histograms; see Node::registry()).
 struct NodeStats {
   std::uint64_t rounds = 0;
   std::uint64_t delivered = 0;    ///< new messages handed to the application
@@ -120,7 +126,20 @@ class Node {
   void set_own_certificate(util::Bytes own_cert);
   void set_cert_validator(CertValidator validator);
 
-  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  /// Counter summary, assembled from the registry (see NodeStats).
+  [[nodiscard]] NodeStats stats() const;
+  /// The node's full metric store: the NodeStats counters under "node.*"
+  /// plus per-channel telemetry under "chan.<name>.*" (read, flushed_unread,
+  /// decode_errors, budget_exhausted counters and a per-round budget_used
+  /// histogram) and the "node.poll.drained" queue-drain-depth histogram.
+  [[nodiscard]] const obs::MetricsRegistry& registry() const {
+    return registry_;
+  }
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  /// Attaches (or detaches, with nullptr) a protocol-event trace ring. The
+  /// ring must outlive the node; null means no tracing (the default) and
+  /// costs one predictable branch per event site.
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
   [[nodiscard]] const NodeConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t round() const { return round_; }
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
@@ -147,6 +166,13 @@ class Node {
   bool budget_available(Channel c) const;
   void consume_budget(Channel c);
   std::size_t channel_budget(Channel c) const;
+  std::size_t budget_used(Channel c) const;
+
+  void init_metrics();
+  void record_round_budgets();
+  void trace(obs::EventKind kind, std::uint32_t a = 0, std::uint32_t b = 0) {
+    if (trace_) trace_->record(cfg_.id, round_, kind, a, b);
+  }
 
   const Peer* find_peer(std::uint32_t id) const;
   const Peer* resolve_sender(std::uint32_t id, const util::Bytes& cert);
@@ -177,7 +203,38 @@ class Node {
   std::unordered_map<std::uint32_t, util::Bytes> pair_keys_;
   util::Bytes own_cert_;
   CertValidator cert_validator_;
-  NodeStats stats_;
+
+  // Observability. The registry owns all counters/histograms; the structs
+  // below cache handles resolved once in init_metrics() so the hot path
+  // never does a name lookup.
+  obs::MetricsRegistry registry_;
+  obs::TraceRing* trace_ = nullptr;
+  struct StatCounters {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* duplicates = nullptr;
+    obs::Counter* datagrams_read = nullptr;
+    obs::Counter* flushed_unread = nullptr;
+    obs::Counter* decode_errors = nullptr;
+    obs::Counter* box_failures = nullptr;
+    obs::Counter* sig_failures = nullptr;
+    obs::Counter* unknown_sender = nullptr;
+    obs::Counter* certs_admitted = nullptr;
+    obs::Counter* pull_requests_served = nullptr;
+    obs::Counter* push_offers_answered = nullptr;
+    obs::Counter* push_replies_acted = nullptr;
+  } c_;
+  struct ChannelMetrics {
+    obs::Counter* read = nullptr;
+    obs::Counter* flushed_unread = nullptr;
+    obs::Counter* decode_errors = nullptr;
+    obs::Counter* budget_exhausted = nullptr;
+    obs::Histogram* budget_used = nullptr;
+  };
+  ChannelMetrics chan_[5];
+  /// kDrumSharedBounds only: the joint control budget's telemetry.
+  ChannelMetrics shared_control_;
+  obs::Histogram* h_poll_drained_ = nullptr;
 };
 
 }  // namespace drum::core

@@ -5,6 +5,8 @@
 // Layering (each header is independently includable):
 //
 //   util        — bytes/serialization, RNG, stats, flags, tables, logging
+//   obs         — metrics registry (counters/gauges/histograms), gossip
+//                 trace ring, JSON/CSV exporters
 //   crypto      — SHA-256/512, HMAC/HKDF, ChaCha20, X25519, Ed25519,
 //                 port boxes, identities
 //   net         — Transport abstraction, in-memory LAN, UDP sockets
@@ -43,6 +45,9 @@
 #include "drum/net/mem_transport.hpp"
 #include "drum/net/transport.hpp"
 #include "drum/net/udp_transport.hpp"
+#include "drum/obs/export.hpp"
+#include "drum/obs/metrics.hpp"
+#include "drum/obs/trace.hpp"
 #include "drum/runtime/runner.hpp"
 #include "drum/sim/engine.hpp"
 #include "drum/util/bytes.hpp"

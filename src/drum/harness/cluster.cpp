@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "drum/crypto/portbox.hpp"
 #include "drum/net/udp_transport.hpp"
@@ -36,6 +38,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
     opts.seed = rng_.next();
     opts.latency_us = cfg_.latency_us;
     mem_net_ = std::make_unique<net::MemNetwork>(opts);
+    mem_net_->set_registry(&net_registry_);
   }
 
   // Build identities + directory. Ids [0, n_malicious) are the adversary's
@@ -78,10 +81,15 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
        ++id) {
     LiveNode live;
     live.id = id;
-    live.transport = cfg_.use_udp
-                         ? std::unique_ptr<net::Transport>(
-                               std::make_unique<net::UdpTransport>(udp_host))
-                         : mem_net_->transport(id);
+    if (cfg_.use_udp) {
+      // Real sockets: all nodes' UDP counters land in the shared network
+      // registry (the harness polls every node from one thread).
+      auto udp = std::make_unique<net::UdpTransport>(udp_host);
+      udp->set_registry(&net_registry_);
+      live.transport = std::move(udp);
+    } else {
+      live.transport = mem_net_->transport(id);
+    }
     core::NodeConfig ncfg = core::make_node_config(cfg_.variant, id,
                                                    cfg_.fanout);
     ncfg.wk_pull_port = directory_[id].wk_pull_port;
@@ -92,6 +100,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
     live.node = std::make_unique<core::Node>(
         ncfg, identities[id], directory_, *live.transport, rng_.next(),
         [this, id](const core::Node::Delivery& d) { on_delivery(id, d); });
+    if (cfg_.trace_capacity > 0) {
+      live.trace = std::make_unique<obs::TraceRing>(cfg_.trace_capacity);
+      live.node->set_trace(live.trace.get());
+    }
     live.next_tick_us = jittered_round(rng_);
     node_index_[id] = nodes_.size();
     nodes_.push_back(std::move(live));
@@ -263,6 +275,9 @@ void Cluster::begin_measurement() {
   }
   measuring_ = true;
   measure_start_us_ = now_us_;
+  series_ = obs::TimeSeries(
+      {"round", "t_us", "delivered", "flushed_unread", "net_dropped"});
+  next_sample_us_ = now_us_ + cfg_.round_us;
 }
 
 void Cluster::end_measurement() {
@@ -292,6 +307,7 @@ void Cluster::run_for_us(std::int64_t duration_us, bool workload) {
       next = std::min(next, next_burst_us_);
     }
     if (workload && send_interval > 0) next = std::min(next, next_send_us_);
+    if (measuring_) next = std::min(next, next_sample_us_);
     now_us_ = std::max(now_us_, next);
     if (mem_net_) mem_net_->advance_to(now_us_);
 
@@ -310,27 +326,144 @@ void Cluster::run_for_us(std::int64_t duration_us, bool workload) {
       next_send_us_ = now_us_ + send_interval;
     }
     for (auto& live : nodes_) live.node->poll();
+    maybe_sample_series();
   }
 }
 
+void Cluster::maybe_sample_series() {
+  if (!measuring_ || now_us_ < next_sample_us_) return;
+  std::uint64_t delivered = 0;
+  for (const auto& per : metrics_.nodes) delivered += per.delivered;
+  std::uint64_t flushed = 0;
+  for (const auto& live : nodes_) {
+    flushed += live.node->registry().counter_value("node.flushed_unread");
+  }
+  const std::uint64_t net_dropped = mem_net_ ? mem_net_->dropped() : 0;
+  series_.add_row({static_cast<double>(series_.rows() + 1),
+                   static_cast<double>(now_us_ - measure_start_us_),
+                   static_cast<double>(delivered),
+                   static_cast<double>(flushed),
+                   static_cast<double>(net_dropped)});
+  next_sample_us_ += cfg_.round_us;
+}
+
+namespace {
+
+void accumulate(core::NodeStats& total, const core::NodeStats& s) {
+  total.rounds += s.rounds;
+  total.delivered += s.delivered;
+  total.duplicates += s.duplicates;
+  total.datagrams_read += s.datagrams_read;
+  total.flushed_unread += s.flushed_unread;
+  total.decode_errors += s.decode_errors;
+  total.box_failures += s.box_failures;
+  total.sig_failures += s.sig_failures;
+  total.unknown_sender += s.unknown_sender;
+  total.certs_admitted += s.certs_admitted;
+  total.pull_requests_served += s.pull_requests_served;
+  total.push_offers_answered += s.push_offers_answered;
+  total.push_replies_acted += s.push_replies_acted;
+}
+
+}  // namespace
+
 core::NodeStats Cluster::total_stats() const {
   core::NodeStats total;
+  for (const auto& live : nodes_) accumulate(total, live.node->stats());
+  return total;
+}
+
+std::vector<Cluster::PerNodeStats> Cluster::per_node_stats() const {
+  std::vector<PerNodeStats> out;
+  out.reserve(nodes_.size());
   for (const auto& live : nodes_) {
-    const auto& s = live.node->stats();
-    total.rounds += s.rounds;
-    total.delivered += s.delivered;
-    total.duplicates += s.duplicates;
-    total.datagrams_read += s.datagrams_read;
-    total.flushed_unread += s.flushed_unread;
-    total.decode_errors += s.decode_errors;
-    total.box_failures += s.box_failures;
-    total.sig_failures += s.sig_failures;
-    total.unknown_sender += s.unknown_sender;
-    total.pull_requests_served += s.pull_requests_served;
-    total.push_offers_answered += s.push_offers_answered;
-    total.push_replies_acted += s.push_replies_acted;
+    PerNodeStats per;
+    per.id = live.id;
+    per.attacked = is_attacked(live.id);
+    per.stats = live.node->stats();
+    out.push_back(per);
+  }
+  return out;
+}
+
+core::NodeStats Cluster::split_stats(bool attacked) const {
+  core::NodeStats total;
+  for (const auto& live : nodes_) {
+    if (is_attacked(live.id) == attacked) {
+      accumulate(total, live.node->stats());
+    }
   }
   return total;
+}
+
+obs::MetricsRegistry Cluster::merged_registry(NodeSet set) const {
+  obs::MetricsRegistry merged;
+  for (const auto& live : nodes_) {
+    if (set == NodeSet::kAttacked && !is_attacked(live.id)) continue;
+    if (set == NodeSet::kNonAttacked && is_attacked(live.id)) continue;
+    merged.merge(live.node->registry());
+  }
+  return merged;
+}
+
+std::string Cluster::metrics_json() const {
+  auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  auto dbl = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+
+  std::string out = "{\n  \"config\": {";
+  out += "\"variant\": \"" +
+         obs::json_escape(core::variant_name(cfg_.variant)) + "\"";
+  out += ", \"n\": " + u64(cfg_.n);
+  out += ", \"malicious_fraction\": " + dbl(cfg_.malicious_fraction);
+  out += ", \"alpha\": " + dbl(cfg_.alpha);
+  out += ", \"x\": " + dbl(cfg_.x);
+  out += ", \"fanout\": " + u64(cfg_.fanout);
+  out += ", \"seed\": " + u64(cfg_.seed);
+  out += ", \"round_us\": " + std::to_string(cfg_.round_us);
+  out += ", \"use_udp\": " + std::string(cfg_.use_udp ? "true" : "false");
+  out += "},\n";
+  out += "  \"window_us\": " + std::to_string(metrics_.window_us) + ",\n";
+  out += "  \"nodes\": {\n";
+  out += "    \"all\": " + merged_registry(NodeSet::kAll).to_json() + ",\n";
+  out += "    \"attacked\": " + merged_registry(NodeSet::kAttacked).to_json() +
+         ",\n";
+  out += "    \"non_attacked\": " +
+         merged_registry(NodeSet::kNonAttacked).to_json() + "\n";
+  out += "  },\n";
+  out += "  \"net\": " + net_registry_.to_json() + ",\n";
+  out += "  \"per_node\": [";
+  bool first = true;
+  for (const auto& per : per_node_stats()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const core::NodeStats& s = per.stats;
+    out += "    {\"id\": " + std::to_string(per.id);
+    out += ", \"attacked\": " + std::string(per.attacked ? "true" : "false");
+    out += ", \"rounds\": " + u64(s.rounds);
+    out += ", \"delivered\": " + u64(s.delivered);
+    out += ", \"duplicates\": " + u64(s.duplicates);
+    out += ", \"datagrams_read\": " + u64(s.datagrams_read);
+    out += ", \"flushed_unread\": " + u64(s.flushed_unread);
+    out += ", \"decode_errors\": " + u64(s.decode_errors);
+    out += ", \"box_failures\": " + u64(s.box_failures);
+    out += ", \"sig_failures\": " + u64(s.sig_failures);
+    out += ", \"unknown_sender\": " + u64(s.unknown_sender);
+    out += ", \"certs_admitted\": " + u64(s.certs_admitted);
+    out += ", \"pull_requests_served\": " + u64(s.pull_requests_served);
+    out += ", \"push_offers_answered\": " + u64(s.push_offers_answered);
+    out += ", \"push_replies_acted\": " + u64(s.push_replies_acted);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool Cluster::write_metrics_json(const std::string& path) const {
+  return obs::write_text_file(path, metrics_json());
 }
 
 }  // namespace drum::harness

@@ -24,6 +24,9 @@
 #include "drum/core/config.hpp"
 #include "drum/core/node.hpp"
 #include "drum/net/mem_transport.hpp"
+#include "drum/obs/export.hpp"
+#include "drum/obs/metrics.hpp"
+#include "drum/obs/trace.hpp"
 #include "drum/util/rng.hpp"
 #include "drum/util/stats.hpp"
 
@@ -56,6 +59,8 @@ struct ClusterConfig {
   /// victim's round tick).
   std::size_t attacker_bursts_per_round = 50;
   std::uint16_t udp_base_port = 21000;  ///< well-known port plan for UDP
+  /// Per-node gossip trace ring capacity; 0 (default) disables tracing.
+  std::size_t trace_capacity = 0;
 };
 
 /// Aggregated observations. "Latency" is virtual time (µs) from multicast
@@ -123,14 +128,55 @@ class Cluster {
   [[nodiscard]] const core::Node& node(std::size_t i) const {
     return *nodes_[i].node;
   }
+  /// The node's trace ring; nullptr unless cfg.trace_capacity > 0.
+  [[nodiscard]] const obs::TraceRing* trace(std::size_t i) const {
+    return nodes_[i].trace.get();
+  }
+
   /// Sum of a stat over all live nodes (for tests).
   [[nodiscard]] core::NodeStats total_stats() const;
+
+  /// Per-node (not just summed) stats, so attacked and non-attacked nodes
+  /// are distinguishable — the paper's Fig. 6 split.
+  struct PerNodeStats {
+    std::uint32_t id = 0;
+    bool attacked = false;
+    core::NodeStats stats;
+  };
+  [[nodiscard]] std::vector<PerNodeStats> per_node_stats() const;
+  /// total_stats() restricted to the attacked (or non-attacked) nodes.
+  [[nodiscard]] core::NodeStats split_stats(bool attacked) const;
+
+  /// Which nodes a merged registry covers.
+  enum class NodeSet { kAll, kAttacked, kNonAttacked };
+  /// Folds the selected nodes' metric registries (counters, per-channel
+  /// budget histograms, runner telemetry) into one experiment-wide view.
+  [[nodiscard]] obs::MetricsRegistry merged_registry(
+      NodeSet set = NodeSet::kAll) const;
+  /// Network-layer metrics (drops by cause, queue depth). Shared by all
+  /// nodes; empty until traffic has flowed.
+  [[nodiscard]] const obs::MetricsRegistry& net_registry() const {
+    return net_registry_;
+  }
+
+  /// One JSON document for the whole experiment: the config, the
+  /// all/attacked/non-attacked merged registries, the network registry, and
+  /// flat per-node counters. The machine-readable artifact bench binaries
+  /// write next to their printed tables.
+  [[nodiscard]] std::string metrics_json() const;
+  /// Writes metrics_json() to `path`; returns false on I/O failure.
+  bool write_metrics_json(const std::string& path) const;
+
+  /// Per-round progression sampled during the measurement window: columns
+  /// round, t_us, delivered, flushed_unread, net_dropped (cumulative).
+  [[nodiscard]] const obs::TimeSeries& timeseries() const { return series_; }
 
  private:
   struct LiveNode {
     std::uint32_t id;
     std::unique_ptr<net::Transport> transport;
     std::unique_ptr<core::Node> node;
+    std::unique_ptr<obs::TraceRing> trace;  // null unless tracing enabled
     std::int64_t next_tick_us;
   };
 
@@ -146,6 +192,7 @@ class Cluster {
   void fire_workload();
   void on_delivery(std::uint32_t node_id, const core::Node::Delivery& d);
   std::int64_t jittered_round(util::Rng& rng) const;
+  void maybe_sample_series();
 
   ClusterConfig cfg_;
   util::Rng rng_;
@@ -161,6 +208,9 @@ class Cluster {
   std::int64_t next_send_us_ = 0;
   bool measuring_ = false;
   std::int64_t measure_start_us_ = 0;
+  std::int64_t next_sample_us_ = 0;
+  obs::MetricsRegistry net_registry_;
+  obs::TimeSeries series_;
 
   std::map<core::MessageId, TrackedMessage> tracked_;
   std::map<std::uint32_t, std::size_t> node_index_;  // id -> nodes_ index

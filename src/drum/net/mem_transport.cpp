@@ -73,20 +73,40 @@ void MemNetwork::send_raw(const Address& from, const Address& to,
   deliver(from, to, payload);
 }
 
+void MemNetwork::set_registry(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!registry) {
+    m_delivered_ = nullptr;
+    m_dropped_loss_ = nullptr;
+    m_dropped_no_listener_ = nullptr;
+    m_dropped_overflow_ = nullptr;
+    m_queue_depth_ = nullptr;
+    return;
+  }
+  m_delivered_ = &registry->counter("net.delivered");
+  m_dropped_loss_ = &registry->counter("net.dropped_loss");
+  m_dropped_no_listener_ = &registry->counter("net.dropped_no_listener");
+  m_dropped_overflow_ = &registry->counter("net.dropped_overflow");
+  m_queue_depth_ = &registry->histogram("net.queue_depth");
+}
+
 void MemNetwork::deliver(const Address& from, const Address& to,
                          util::ByteSpan payload) {
   std::lock_guard<std::mutex> lock(mu_);
   if (opts_.loss > 0 && rng_.chance(opts_.loss)) {
     ++dropped_;
+    if (m_dropped_loss_) m_dropped_loss_->inc();
     return;
   }
   auto it = queues_.find(to);
   if (it == queues_.end()) {
     ++dropped_;  // no listener: silently dropped, like UDP
+    if (m_dropped_no_listener_) m_dropped_no_listener_->inc();
     return;
   }
   if (it->second.q.size() >= opts_.queue_capacity) {
     ++dropped_;  // queue overflow: the flood's direct effect
+    if (m_dropped_overflow_) m_dropped_overflow_->inc();
     return;
   }
   std::int64_t ready_at = now_us_;
@@ -100,6 +120,10 @@ void MemNetwork::deliver(const Address& from, const Address& to,
                        Datagram{from, util::Bytes(payload.begin(),
                                                   payload.end())});
   ++delivered_;
+  if (m_delivered_) {
+    m_delivered_->inc();
+    m_queue_depth_->record(it->second.q.size());
+  }
 }
 
 void MemNetwork::advance_to(std::int64_t now_us) {

@@ -17,6 +17,7 @@
 #include <mutex>
 
 #include "drum/net/transport.hpp"
+#include "drum/obs/metrics.hpp"
 #include "drum/util/rng.hpp"
 
 namespace drum::net {
@@ -60,6 +61,15 @@ class MemNetwork {
   /// Total datagrams delivered into some socket queue.
   [[nodiscard]] std::uint64_t delivered() const;
 
+  /// Attaches a metrics registry (nullptr detaches). The network then
+  /// records "net.delivered", per-cause drop counters ("net.dropped_loss",
+  /// "net.dropped_no_listener", "net.dropped_overflow") and the
+  /// "net.queue_depth" histogram (destination queue depth after each
+  /// delivery — what a flood piles up). The registry must outlive the
+  /// network; it is written under the network's lock, so read it only while
+  /// no sends are in flight.
+  void set_registry(obs::MetricsRegistry* registry);
+
  private:
   friend class MemSocket;
   friend class MemTransport;
@@ -81,6 +91,13 @@ class MemNetwork {
   std::int64_t now_us_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t delivered_ = 0;
+
+  // Optional instrumentation (handles cached at attach time).
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_dropped_loss_ = nullptr;
+  obs::Counter* m_dropped_no_listener_ = nullptr;
+  obs::Counter* m_dropped_overflow_ = nullptr;
+  obs::Histogram* m_queue_depth_ = nullptr;
 };
 
 }  // namespace drum::net

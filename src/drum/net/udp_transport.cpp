@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/ioctl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -30,9 +31,19 @@ sockaddr_in make_sockaddr(const Address& a) {
   return sa;
 }
 
+// Instrumentation handles shared by all sockets of one transport; null
+// members mean "not attached".
+struct UdpMetrics {
+  obs::Counter* sent = nullptr;
+  obs::Counter* recv = nullptr;
+  obs::Counter* send_errors = nullptr;
+  obs::Histogram* rx_backlog_bytes = nullptr;
+};
+
 class UdpSocket final : public Socket {
  public:
-  UdpSocket(int fd, Address local) : fd_(fd), local_(local) {}
+  UdpSocket(int fd, Address local, UdpMetrics metrics)
+      : fd_(fd), local_(local), m_(metrics) {}
   ~UdpSocket() override {
     if (fd_ >= 0) ::close(fd_);
   }
@@ -46,6 +57,15 @@ class UdpSocket final : public Socket {
     ssize_t r = ::recvfrom(fd_, buf.data(), buf.size(), 0,
                            reinterpret_cast<sockaddr*>(&from), &from_len);
     if (r < 0) return std::nullopt;  // EAGAIN or error: nothing to read
+    if (m_.recv) {
+      m_.recv->inc();
+      // Kernel receive-buffer occupancy after this read — the backlog a
+      // flood keeps full (and the flush-unread pass later discards).
+      int pending = 0;
+      if (::ioctl(fd_, FIONREAD, &pending) == 0 && pending >= 0) {
+        m_.rx_backlog_bytes->record(static_cast<std::uint64_t>(pending));
+      }
+    }
     Datagram d;
     d.from.host = ntohl(from.sin_addr.s_addr);
     d.from.port = ntohs(from.sin_port);
@@ -57,9 +77,14 @@ class UdpSocket final : public Socket {
     sockaddr_in sa = make_sockaddr(to);
     ssize_t r = ::sendto(fd_, payload.data(), payload.size(), 0,
                          reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
-    if (r < 0 && errno != EAGAIN && errno != ECONNREFUSED) {
-      DRUM_DEBUG << "udp send to " << to_string(to)
-                 << " failed: " << std::strerror(errno);
+    if (r < 0) {
+      if (m_.send_errors) m_.send_errors->inc();
+      if (errno != EAGAIN && errno != ECONNREFUSED) {
+        DRUM_DEBUG << "udp send to " << to_string(to)
+                   << " failed: " << std::strerror(errno);
+      }
+    } else if (m_.sent) {
+      m_.sent->inc();
     }
   }
 
@@ -68,11 +93,16 @@ class UdpSocket final : public Socket {
  private:
   int fd_;
   Address local_;
+  UdpMetrics m_;
 };
 
 }  // namespace
 
 UdpTransport::UdpTransport(std::uint32_t host) : host_(host) {}
+
+void UdpTransport::set_registry(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+}
 
 std::unique_ptr<Socket> UdpTransport::bind(std::uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
@@ -91,7 +121,15 @@ std::unique_ptr<Socket> UdpTransport::bind(std::uint16_t port) {
     return nullptr;
   }
   Address local{host_, ntohs(bound.sin_port)};
-  return std::make_unique<UdpSocket>(fd, local);
+  UdpMetrics metrics;
+  if (registry_) {
+    metrics.sent = &registry_->counter("net.udp.sent");
+    metrics.recv = &registry_->counter("net.udp.recv");
+    metrics.send_errors = &registry_->counter("net.udp.send_errors");
+    metrics.rx_backlog_bytes =
+        &registry_->histogram("net.udp.rx_backlog_bytes");
+  }
+  return std::make_unique<UdpSocket>(fd, local, metrics);
 }
 
 }  // namespace drum::net

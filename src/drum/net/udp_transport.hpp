@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "drum/net/transport.hpp"
+#include "drum/obs/metrics.hpp"
 
 namespace drum::net {
 
@@ -23,8 +24,17 @@ class UdpTransport final : public Transport {
   std::unique_ptr<Socket> bind(std::uint16_t port) override;
   [[nodiscard]] std::uint32_t host() const override { return host_; }
 
+  /// Attaches a metrics registry (nullptr detaches); applies to sockets
+  /// bound afterwards. Records "net.udp.sent" / "net.udp.recv" /
+  /// "net.udp.send_errors" counters and the "net.udp.rx_backlog_bytes"
+  /// histogram — the OS receive-buffer occupancy (FIONREAD) left after each
+  /// read, i.e. the kernel-queue backlog a flood builds. Same ownership and
+  /// threading contract as the sockets themselves (one polling thread).
+  void set_registry(obs::MetricsRegistry* registry);
+
  private:
   std::uint32_t host_;
+  obs::MetricsRegistry* registry_ = nullptr;
 };
 
 }  // namespace drum::net

@@ -1,0 +1,61 @@
+#include "drum/obs/export.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace drum::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) std::fclose(f);
+  return ok;
+}
+
+TimeSeries::TimeSeries(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TimeSeries::add_row(const std::vector<double>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::invalid_argument("time series row width mismatch");
+  }
+  rows_.push_back(values);
+}
+
+std::string TimeSeries::to_csv() const {
+  std::string out;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ",";
+    out += columns_[i];
+  }
+  out += "\n";
+  char buf[64];
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ",";
+      std::snprintf(buf, sizeof buf, "%.6g", row[i]);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool TimeSeries::write_csv(const std::string& path) const {
+  return write_text_file(path, to_csv());
+}
+
+}  // namespace drum::obs

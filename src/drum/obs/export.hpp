@@ -1,0 +1,46 @@
+// Exporters for the observability subsystem: JSON snapshot files (the
+// machine-readable companion of every results/*.txt table) and CSV time
+// series (per-round progressions within one experiment). Both are plain
+// strings/files so bench binaries can compose larger documents — e.g. one
+// JSON artifact holding a snapshot per (variant, x) point.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drum::obs {
+
+/// Escapes `"` and `\` for embedding in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+/// Writes `content` to `path` (truncating). Returns false on I/O failure —
+/// callers report, never throw, since metrics export must not kill a run.
+bool write_text_file(const std::string& path, std::string_view content);
+
+/// Column-oriented CSV builder for per-round time series: fixed columns,
+/// one add_row per sample.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<std::string> columns);
+
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<std::vector<double>>& data() const {
+    return rows_;
+  }
+
+  [[nodiscard]] std::string to_csv() const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace drum::obs

@@ -1,0 +1,214 @@
+#include "drum/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "drum/obs/export.hpp"
+
+namespace drum::obs {
+
+namespace {
+
+constexpr int kSubBits = 5;                    // 32 sub-buckets per power of 2
+constexpr std::uint64_t kSub = 1ull << kSubBits;
+constexpr std::uint64_t kLinearLimit = 2 * kSub;  // values < 64 are exact
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kLinearLimit) return static_cast<std::size_t>(value);
+  const int msb = std::bit_width(value) - 1;  // >= kSubBits + 1
+  const int shift = msb - kSubBits;
+  const auto sub = static_cast<std::size_t>((value >> shift) - kSub);
+  return kLinearLimit +
+         static_cast<std::size_t>(msb - (kSubBits + 1)) * kSub + sub;
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t index) {
+  if (index < kLinearLimit) return index;
+  const std::size_t rem = index - kLinearLimit;
+  const int msb = kSubBits + 1 + static_cast<int>(rem / kSub);
+  const std::uint64_t sub = rem % kSub;
+  const std::uint64_t width = 1ull << (msb - kSubBits);
+  return (1ull << msb) + sub * width;
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t index) {
+  if (index < kLinearLimit) return index + 1;
+  const std::size_t rem = index - kLinearLimit;
+  const int msb = kSubBits + 1 + static_cast<int>(rem / kSub);
+  const std::uint64_t width = 1ull << (msb - kSubBits);
+  return bucket_lo(index) + width;
+}
+
+void Histogram::record(std::uint64_t value) {
+  const std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                : 0.0;
+}
+
+double Histogram::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Target rank in [0, count-1], matching linear interpolation between
+  // order statistics (util::Samples::percentile).
+  const double target = p * static_cast<double>(count_ - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double first = static_cast<double>(cum);
+    cum += buckets_[i];
+    if (target < static_cast<double>(cum)) {
+      const double frac =
+          (target - first) / static_cast<double>(buckets_[i]);
+      const auto lo = static_cast<double>(bucket_lo(i));
+      const auto hi = static_cast<double>(bucket_hi(i));
+      const double v = lo + frac * (hi - lo);
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    out.push_back(Bucket{bucket_lo(i), bucket_hi(i), buckets_[i]});
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const Counter* c = find_counter(name);
+  return c ? c->value : 0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).value += c.value;
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).value += g.value;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).merge(h);
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + fmt_double(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h.count());
+    out += ",\"sum\":" + std::to_string(h.sum());
+    out += ",\"min\":" + std::to_string(h.min());
+    out += ",\"max\":" + std::to_string(h.max());
+    out += ",\"mean\":" + fmt_double(h.mean());
+    out += ",\"p50\":" + fmt_double(h.quantile(0.5));
+    out += ",\"p90\":" + fmt_double(h.quantile(0.9));
+    out += ",\"p99\":" + fmt_double(h.quantile(0.99));
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& b : h.nonzero_buckets()) {
+      if (!bfirst) out += ",";
+      bfirst = false;
+      out += "[" + std::to_string(b.lo) + "," + std::to_string(b.hi) + "," +
+             std::to_string(b.count) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace drum::obs

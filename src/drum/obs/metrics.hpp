@@ -1,0 +1,124 @@
+// drum::obs — the observability subsystem (DESIGN.md §1 row 10).
+//
+// The paper's methodology (§5, §8) is measurement: quantifying latency,
+// throughput, and wasted resources *per reception channel* under targeted
+// DoS. This module is the substrate those measurements flow through:
+//
+//  * MetricsRegistry — named counters, gauges, and log-linear histograms.
+//    Recording is O(1); callers cache the returned handle (a stable
+//    reference) at registration time so the hot path never touches the name
+//    map. Registries from many nodes merge into one experiment-wide view.
+//  * Histogram — fixed log-linear bucketing (HdrHistogram-style): exact for
+//    values < 64, then 32 linear sub-buckets per power of two, giving a
+//    bounded ~3% relative quantile error with no allocation on record.
+//
+// Threading: a registry belongs to one thread at a time (one per node, like
+// the node itself); merge/export happen after the owning thread has quiesced
+// (runner stopped, or the single-threaded harness between events).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drum::obs {
+
+/// Monotonic event count. Not atomic — see the threading note above.
+struct Counter {
+  std::uint64_t value = 0;
+
+  void inc(std::uint64_t delta = 1) { value += delta; }
+};
+
+/// Last-written instantaneous value. merge() sums, so merged gauges read as
+/// cluster-wide totals (e.g. queue occupancy across nodes).
+struct Gauge {
+  double value = 0.0;
+
+  void set(double v) { value = v; }
+  void add(double v) { value += v; }
+};
+
+/// Log-linear histogram of non-negative integer samples.
+///
+/// Bucket layout: values in [0, 64) get their own bucket (exact); each
+/// subsequent power-of-two range [2^m, 2^(m+1)) is split into 32 linear
+/// sub-buckets, so the relative width of any bucket is at most 1/32.
+/// Buckets are allocated lazily up to the largest value seen, which keeps
+/// small-valued histograms (per-round budgets, queue depths) tiny.
+class Histogram {
+ public:
+  struct Bucket {
+    std::uint64_t lo = 0;     ///< inclusive lower bound
+    std::uint64_t hi = 0;     ///< exclusive upper bound
+    std::uint64_t count = 0;
+  };
+
+  void record(std::uint64_t value);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+
+  /// p in [0,1]; linear interpolation inside the containing bucket, clamped
+  /// to [min, max]. Cross-checked against util::Samples::percentile in
+  /// tests/obs_test.cpp.
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Non-empty buckets in value order (for export).
+  [[nodiscard]] std::vector<Bucket> nonzero_buckets() const;
+
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_lo(std::size_t index);
+  static std::uint64_t bucket_hi(std::size_t index);
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // lazily grown to max seen index
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metric store. Lookup creates on first use and returns a stable
+/// reference (node-based map), so instrumented code resolves each handle
+/// once and records through it thereafter.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Read-only lookups; nullptr when the metric was never touched.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// Convenience: the counter's value, or 0 when absent.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Adds the other registry's contents into this one: counters and
+  /// histograms add, gauges sum. Associative and commutative, so per-node
+  /// registries fold into one experiment snapshot in any order.
+  void merge(const MetricsRegistry& other);
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}} with
+  /// names sorted, histograms exported as summary + non-empty buckets.
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace drum::obs

@@ -1,0 +1,72 @@
+#include "drum/obs/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drum::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRoundTick: return "round_tick";
+    case EventKind::kOfferSend: return "offer_send";
+    case EventKind::kOfferRecv: return "offer_recv";
+    case EventKind::kPullReqSend: return "pull_req_send";
+    case EventKind::kPullReqRecv: return "pull_req_recv";
+    case EventKind::kPushReplySend: return "push_reply_send";
+    case EventKind::kPushReplyRecv: return "push_reply_recv";
+    case EventKind::kPushDataSend: return "push_data_send";
+    case EventKind::kPushDataRecv: return "push_data_recv";
+    case EventKind::kPullReplySend: return "pull_reply_send";
+    case EventKind::kPullReplyRecv: return "pull_reply_recv";
+    case EventKind::kDeliver: return "deliver";
+    case EventKind::kBudgetExhausted: return "budget_exhausted";
+    case EventKind::kFlushUnread: return "flush_unread";
+    case EventKind::kDecodeError: return "decode_error";
+    case EventKind::kBoxFailure: return "box_failure";
+    case EventKind::kSigFailure: return "sig_failure";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity) : ring_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("trace capacity must be > 0");
+}
+
+void TraceRing::record(std::uint32_t node, std::uint64_t round,
+                       EventKind kind, std::uint32_t a, std::uint32_t b) {
+  TraceEvent& slot = ring_[next_seq_ % ring_.size()];
+  slot.seq = next_seq_++;
+  slot.round = round;
+  slot.node = node;
+  slot.kind = kind;
+  slot.a = a;
+  slot.b = b;
+}
+
+std::size_t TraceRing::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(next_seq_, ring_.size()));
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = next_seq_ - n;
+  for (std::uint64_t s = first; s < next_seq_; ++s) {
+    out.push_back(ring_[s % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRing::to_csv() const {
+  std::string out = "seq,node,round,kind,a,b\n";
+  for (const auto& e : snapshot()) {
+    out += std::to_string(e.seq) + "," + std::to_string(e.node) + "," +
+           std::to_string(e.round) + "," + to_string(e.kind) + "," +
+           std::to_string(e.a) + "," + std::to_string(e.b) + "\n";
+  }
+  return out;
+}
+
+}  // namespace drum::obs

@@ -1,0 +1,80 @@
+// Gossip trace ring: a fixed-capacity ring buffer of typed protocol events,
+// cheap enough to leave on in measurement runs. Where the metrics registry
+// answers "how much", the trace answers "in what order" — e.g. whether a
+// push offer→reply→data handshake completed before the victim's round-end
+// flush discarded the reply (the paper's §4 failure mode under flood).
+//
+// Each ring has its own monotonically increasing sequence number; events
+// also carry the recording node's id and round so rings from several nodes
+// can be interleaved offline. Recording is O(1) with no allocation; when the
+// ring is full the oldest event is overwritten (dropped() counts how many).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drum::obs {
+
+/// Protocol event vocabulary (paper §4's message types plus the resource-
+/// bound events §5/§8 measure). `a`/`b` meanings per kind are noted inline.
+enum class EventKind : std::uint8_t {
+  kRoundTick,        ///< a = round (low 32 bits)
+  kOfferSend,        ///< a = target id
+  kOfferRecv,        ///< a = sender id
+  kPullReqSend,      ///< a = target id
+  kPullReqRecv,      ///< a = sender id
+  kPushReplySend,    ///< a = target id
+  kPushReplyRecv,    ///< a = sender id
+  kPushDataSend,     ///< a = target id, b = message count
+  kPushDataRecv,     ///< b = message count
+  kPullReplySend,    ///< a = target id, b = message count
+  kPullReplyRecv,    ///< b = message count
+  kDeliver,          ///< a = source id, b = seqno (low 32 bits)
+  kBudgetExhausted,  ///< a = channel, b = budget
+  kFlushUnread,      ///< a = channel, b = datagrams discarded
+  kDecodeError,      ///< a = channel
+  kBoxFailure,       ///< a = claimed sender id
+  kSigFailure,       ///< a = claimed source id
+};
+
+const char* to_string(EventKind kind);
+
+struct TraceEvent {
+  std::uint64_t seq = 0;    ///< per-ring sequence number
+  std::uint64_t round = 0;  ///< recorder's local round
+  std::uint32_t node = 0;   ///< recorder's id
+  EventKind kind = EventKind::kRoundTick;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void record(std::uint32_t node, std::uint64_t round, EventKind kind,
+              std::uint32_t a = 0, std::uint32_t b = 0);
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Events ever recorded, including overwritten ones.
+  [[nodiscard]] std::uint64_t total_recorded() const { return next_seq_; }
+  /// Events lost to wraparound.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return next_seq_ - size();
+  }
+
+  /// Held events, oldest first (sequence numbers ascending).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// CSV with header "seq,node,round,kind,a,b", oldest first.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace drum::obs

@@ -30,23 +30,56 @@ void NodeRunner::with_node(const std::function<void(core::Node&)>& fn) {
 }
 
 void NodeRunner::loop() {
-  auto next_tick = std::chrono::steady_clock::now();
+  using clock = std::chrono::steady_clock;
+  using std::chrono::duration_cast;
+  using std::chrono::microseconds;
+
+  // Runner telemetry lands in the node's own registry so one merge per node
+  // carries protocol and execution-timing metrics together. Handles are
+  // resolved once, under the lock, before the loop starts.
+  obs::Counter* m_ticks = nullptr;
+  obs::Counter* m_polls = nullptr;
+  obs::Histogram* m_poll_us = nullptr;
+  obs::Histogram* m_tick_interval_us = nullptr;
+
+  auto next_tick = clock::now();
+  auto last_tick = clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.instrument) {
+      auto& reg = node_.registry();
+      m_ticks = &reg.counter("runner.ticks");
+      m_polls = &reg.counter("runner.polls");
+      m_poll_us = &reg.histogram("runner.poll_us");
+      m_tick_interval_us = &reg.histogram("runner.tick_interval_us");
+    }
     double j = 1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0);
-    next_tick += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-        cfg_.round * j);
+    next_tick += duration_cast<clock::duration>(cfg_.round * j);
   }
   while (!stop_requested_.load()) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      node_.poll();
-      if (std::chrono::steady_clock::now() >= next_tick) {
+      if (m_polls) {
+        auto t0 = clock::now();
+        node_.poll();
+        auto dt = duration_cast<microseconds>(clock::now() - t0).count();
+        m_polls->inc();
+        m_poll_us->record(static_cast<std::uint64_t>(dt));
+      } else {
+        node_.poll();
+      }
+      auto now = clock::now();
+      if (now >= next_tick) {
         node_.on_round();
+        if (m_ticks) {
+          m_ticks->inc();
+          auto gap = duration_cast<microseconds>(now - last_tick).count();
+          m_tick_interval_us->record(static_cast<std::uint64_t>(gap));
+          last_tick = now;
+        }
         double j = 1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0);
-        next_tick = std::chrono::steady_clock::now() +
-                    std::chrono::duration_cast<
-                        std::chrono::steady_clock::duration>(cfg_.round * j);
+        next_tick =
+            clock::now() + duration_cast<clock::duration>(cfg_.round * j);
       }
     }
     std::this_thread::sleep_for(cfg_.poll_interval);

@@ -324,5 +324,107 @@ TEST(Cluster, LargerFanoutConfig) {
             cluster->metrics().messages_sent * 8 / 10);
 }
 
+TEST(Cluster, PerNodeStatsDistinguishAttackedFromNot) {
+  auto cfg = small_config(core::Variant::kDrum);
+  cfg.alpha = 0.25;
+  cfg.x = 64;
+  auto cluster = run_scenario(cfg);
+
+  auto per = cluster->per_node_stats();
+  EXPECT_EQ(per.size(), cluster->correct_count());
+  std::uint64_t att_flushed = 0, non_flushed = 0;
+  std::size_t n_att = 0;
+  core::NodeStats sum;
+  for (const auto& p : per) {
+    (p.attacked ? att_flushed : non_flushed) += p.stats.flushed_unread;
+    n_att += p.attacked ? 1 : 0;
+    sum.flushed_unread += p.stats.flushed_unread;
+    sum.delivered += p.stats.delivered;
+  }
+  EXPECT_GT(n_att, 0u);
+  EXPECT_LT(n_att, per.size());
+  // Only the victims receive the flood, so only they discard unread input.
+  EXPECT_GT(att_flushed, 0u);
+  EXPECT_GT(att_flushed, non_flushed);
+  // The splits partition the totals.
+  auto total = cluster->total_stats();
+  auto att = cluster->split_stats(true);
+  auto non = cluster->split_stats(false);
+  EXPECT_EQ(att.flushed_unread + non.flushed_unread, total.flushed_unread);
+  EXPECT_EQ(att.delivered + non.delivered, total.delivered);
+  EXPECT_EQ(sum.flushed_unread, total.flushed_unread);
+  EXPECT_EQ(sum.delivered, total.delivered);
+}
+
+TEST(Cluster, MergedRegistryAndJsonCoverChannels) {
+  auto cfg = small_config(core::Variant::kDrum);
+  cfg.alpha = 0.25;
+  cfg.x = 64;
+  auto cluster = run_scenario(cfg);
+
+  auto all = cluster->merged_registry(Cluster::NodeSet::kAll);
+  auto att = cluster->merged_registry(Cluster::NodeSet::kAttacked);
+  auto non = cluster->merged_registry(Cluster::NodeSet::kNonAttacked);
+  EXPECT_EQ(all.counter_value("node.rounds"),
+            att.counter_value("node.rounds") +
+                non.counter_value("node.rounds"));
+  // Attacked nodes flushed the flood from their control channels.
+  EXPECT_GT(att.counter_value("chan.offer.flushed_unread") +
+                att.counter_value("chan.pull_req.flushed_unread"),
+            0u);
+  // Per-channel budget-consumption histograms exist and have samples.
+  const auto* h = all.find_histogram("chan.offer.budget_used");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->count(), 0u);
+
+  std::string json = cluster->metrics_json();
+  for (const char* key :
+       {"\"config\"", "\"nodes\"", "\"attacked\"", "\"non_attacked\"",
+        "\"net\"", "\"per_node\"", "\"chan.offer.flushed_unread\"",
+        "\"chan.offer.budget_used\"", "\"chan.offer.budget_exhausted\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Cluster, TimeSeriesSamplesMeasurementWindow) {
+  auto cfg = small_config(core::Variant::kDrum);
+  auto cluster = run_scenario(cfg, 3, 12);
+  const auto& ts = cluster->timeseries();
+  ASSERT_EQ(ts.columns().size(), 5u);
+  EXPECT_EQ(ts.columns()[0], "round");
+  // ~one sample per round of the 12-round window.
+  EXPECT_GE(ts.rows(), 10u);
+  EXPECT_LE(ts.rows(), 14u);
+  // Cumulative columns are monotone.
+  const auto& data = ts.data();
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    EXPECT_GE(data[i][1], data[i - 1][1]);  // t_us
+    EXPECT_GE(data[i][2], data[i - 1][2]);  // delivered
+  }
+  EXPECT_GT(data.back()[2], 0);  // workload delivered during the window
+}
+
+TEST(Cluster, TraceRingCapturesRoundTicksWhenEnabled) {
+  auto cfg = small_config(core::Variant::kDrum);
+  cfg.trace_capacity = 1 << 14;
+  auto cluster = run_scenario(cfg, 2, 6);
+  // Index 0 is the source (it never delivers its own messages); inspect a
+  // plain receiver.
+  ASSERT_NE(cluster->trace(1), nullptr);
+  auto events = cluster->trace(1)->snapshot();
+  ASSERT_FALSE(events.empty());
+  bool saw_tick = false, saw_deliver = false;
+  for (const auto& e : events) {
+    saw_tick |= e.kind == obs::EventKind::kRoundTick;
+    saw_deliver |= e.kind == obs::EventKind::kDeliver;
+  }
+  EXPECT_TRUE(saw_tick);
+  EXPECT_TRUE(saw_deliver);
+  // Tracing off by default.
+  ClusterConfig plain = small_config(core::Variant::kDrum);
+  Cluster off(plain);
+  EXPECT_EQ(off.trace(0), nullptr);
+}
+
 }  // namespace
 }  // namespace drum::harness

@@ -1,0 +1,277 @@
+// Tests for drum::obs — histogram bucket math and quantile accuracy
+// (cross-checked against util::Samples' exact percentiles), registry merge
+// semantics, trace-ring wraparound, and a node-level test asserting that a
+// full push offer→reply→data handshake appears in the trace in order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "drum/core/node.hpp"
+#include "drum/net/mem_transport.hpp"
+#include "drum/obs/export.hpp"
+#include "drum/obs/metrics.hpp"
+#include "drum/obs/trace.hpp"
+#include "drum/util/rng.hpp"
+#include "drum/util/stats.hpp"
+
+namespace drum::obs {
+namespace {
+
+TEST(Histogram, BucketBoundsContainTheirValues) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 63ull, 64ull, 65ull, 100ull, 127ull, 128ull, 1000ull,
+        4096ull, 65535ull, 1000000ull, (1ull << 40) + 12345ull}) {
+    std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_LE(Histogram::bucket_lo(idx), v) << v;
+    EXPECT_GT(Histogram::bucket_hi(idx), v) << v;
+  }
+  // Values below 64 are exact: one bucket per value.
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lo(v), v);
+    EXPECT_EQ(Histogram::bucket_hi(v), v + 1);
+  }
+  // Indices are monotone in the value.
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 200000; v += 7) {
+    std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  util::Samples exact;
+  util::Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    auto v = rng.below(64);
+    h.record(v);
+    exact.add(static_cast<double>(v));
+  }
+  for (double p : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_NEAR(h.quantile(p), exact.percentile(p), 1.0) << "p=" << p;
+  }
+  EXPECT_NEAR(h.mean(), exact.mean(), 1e-9);
+}
+
+TEST(Histogram, QuantilesTrackExactPercentiles) {
+  // Wide-range samples: bucket width is <= 1/32 of the value, so quantiles
+  // must land within ~3% of the exact order statistics (5% tolerance).
+  Histogram h;
+  util::Samples exact;
+  util::Rng rng(12);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t v = rng.below(1u << (1 + rng.below(20)));
+    h.record(v);
+    exact.add(static_cast<double>(v));
+  }
+  EXPECT_EQ(h.count(), 20000u);
+  for (double p : {0.5, 0.9, 0.99}) {
+    double want = exact.percentile(p);
+    double got = h.quantile(p);
+    EXPECT_NEAR(got, want, 0.05 * want + 1.0) << "p=" << p;
+  }
+  EXPECT_EQ(static_cast<double>(h.min()), exact.percentile(0.0));
+  EXPECT_EQ(static_cast<double>(h.max()), exact.percentile(1.0));
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Histogram a, b, combined;
+  util::Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    std::uint64_t v = rng.below(100000);
+    (i % 2 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.quantile(p), combined.quantile(p));
+  }
+}
+
+MetricsRegistry make_registry(std::uint64_t seed) {
+  MetricsRegistry r;
+  util::Rng rng(seed);
+  r.counter("shared.count").inc(rng.below(100));
+  r.counter("only." + std::to_string(seed)).inc(seed);
+  r.gauge("shared.gauge").set(static_cast<double>(rng.below(50)));
+  auto& h = r.histogram("shared.hist");
+  for (int i = 0; i < 500; ++i) h.record(rng.below(10000));
+  return r;
+}
+
+TEST(Registry, MergeIsAssociativeAndCommutative) {
+  auto json_of = [](const MetricsRegistry& r) { return r.to_json(); };
+
+  MetricsRegistry left = make_registry(1);   // (A + B) + C
+  left.merge(make_registry(2));
+  left.merge(make_registry(3));
+
+  MetricsRegistry bc = make_registry(2);     // A + (B + C)
+  bc.merge(make_registry(3));
+  MetricsRegistry right = make_registry(1);
+  right.merge(bc);
+
+  MetricsRegistry rev = make_registry(3);    // C + B + A
+  rev.merge(make_registry(2));
+  rev.merge(make_registry(1));
+
+  EXPECT_EQ(json_of(left), json_of(right));
+  EXPECT_EQ(json_of(left), json_of(rev));
+  EXPECT_EQ(left.counter_value("shared.count"),
+            make_registry(1).counter_value("shared.count") +
+                make_registry(2).counter_value("shared.count") +
+                make_registry(3).counter_value("shared.count"));
+}
+
+TEST(Registry, JsonIsWellFormedAndComplete) {
+  MetricsRegistry r = make_registry(7);
+  std::string j = r.to_json();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"shared.hist\""), std::string::npos);
+  EXPECT_NE(j.find("\"p99\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int depth = 0;
+  bool in_string = false;
+  for (char c : j) {
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceRing, WraparoundKeepsNewestEvents) {
+  TraceRing ring(8);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    ring.record(1, i, EventKind::kRoundTick, i);
+  }
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.total_recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12 + i);  // oldest surviving first
+    EXPECT_EQ(events[i].a, 12 + i);
+  }
+}
+
+TEST(TraceRing, CsvHasHeaderAndOneLinePerEvent) {
+  TraceRing ring(16);
+  ring.record(3, 1, EventKind::kOfferSend, 4);
+  ring.record(3, 1, EventKind::kFlushUnread, 0, 9);
+  std::string csv = ring.to_csv();
+  EXPECT_EQ(csv.rfind("seq,node,round,kind,a,b\n", 0), 0u);
+  EXPECT_NE(csv.find("offer_send"), std::string::npos);
+  EXPECT_NE(csv.find("flush_unread"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(TraceRing, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceRing(0), std::invalid_argument);
+}
+
+// Two real nodes on the in-memory network (push variant): after a
+// multicast, the shared trace must contain the full push handshake as an
+// ordered subsequence — offer received, reply sent, reply received, data
+// sent, data received, message delivered.
+TEST(NodeTrace, PushHandshakeAppearsInOrder) {
+  util::Rng rng(5);
+  net::MemNetwork net;
+  std::vector<crypto::Identity> ids;
+  std::vector<core::Peer> dir(2);
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<core::Node>> nodes;
+  std::size_t delivered = 0;
+  for (std::uint32_t id = 0; id < 2; ++id) {
+    ids.push_back(crypto::Identity::generate(rng));
+    dir[id] = {id,
+               id,
+               static_cast<std::uint16_t>(3000 + 3 * id),
+               static_cast<std::uint16_t>(3001 + 3 * id),
+               static_cast<std::uint16_t>(3002 + 3 * id),
+               ids[id].sign_public(),
+               ids[id].dh_public(),
+               true};
+  }
+  for (std::uint32_t id = 0; id < 2; ++id) {
+    core::NodeConfig cfg = core::make_node_config(core::Variant::kPush, id);
+    cfg.wk_pull_port = dir[id].wk_pull_port;
+    cfg.wk_offer_port = dir[id].wk_offer_port;
+    cfg.wk_pull_reply_port = dir[id].wk_pull_reply_port;
+    transports.push_back(net.transport(id));
+    nodes.push_back(std::make_unique<core::Node>(
+        cfg, ids[id], dir, *transports.back(), rng.next(),
+        [&](const core::Node::Delivery&) { ++delivered; }));
+  }
+  // One shared ring: with a single-threaded pump, record order is temporal
+  // order, so both nodes' events interleave correctly.
+  TraceRing ring(4096);
+  for (auto& n : nodes) n->set_trace(&ring);
+
+  util::Bytes data = {'h', 'i'};
+  nodes[0]->multicast(util::ByteSpan(data));
+  for (int round = 0; round < 4 && delivered == 0; ++round) {
+    for (auto& n : nodes) n->on_round();
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      for (auto& n : nodes) n->poll();
+    }
+  }
+  ASSERT_EQ(delivered, 1u);
+
+  const EventKind want[] = {EventKind::kOfferRecv,
+                            EventKind::kPushReplySend,
+                            EventKind::kPushReplyRecv,
+                            EventKind::kPushDataSend,
+                            EventKind::kPushDataRecv,
+                            EventKind::kDeliver};
+  auto events = ring.snapshot();
+  std::size_t next = 0;
+  for (const auto& e : events) {
+    if (next < std::size(want) && e.kind == want[next]) ++next;
+  }
+  EXPECT_EQ(next, std::size(want))
+      << "handshake stopped after step " << next << ":\n"
+      << ring.to_csv();
+
+  // The registry view agrees with the legacy stats() view.
+  const auto& reg = nodes[1]->registry();
+  EXPECT_EQ(reg.counter_value("node.delivered"), 1u);
+  EXPECT_EQ(nodes[1]->stats().delivered, 1u);
+  EXPECT_GE(reg.counter_value("chan.offer.read"), 1u);
+}
+
+TEST(Export, TimeSeriesCsvRoundTrips) {
+  TimeSeries ts({"t", "a", "b"});
+  ts.add_row({0, 1, 2});
+  ts.add_row({1, 3.5, 4});
+  std::string csv = ts.to_csv();
+  EXPECT_EQ(csv.rfind("t,a,b\n", 0), 0u);
+  EXPECT_NE(csv.find("1,3.5,4"), std::string::npos);
+  EXPECT_EQ(ts.rows(), 2u);
+  EXPECT_THROW(ts.add_row({1, 2}), std::invalid_argument);
+}
+
+TEST(Export, JsonEscapeHandlesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+}  // namespace
+}  // namespace drum::obs
