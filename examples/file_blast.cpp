@@ -9,8 +9,8 @@
 // anyway — swap --variant pull to watch the baseline struggle.
 //
 //   ./build/examples/file_blast --size-kb 128 --rate 40 --x 256 --alpha 0.1
-//   ./build/examples/file_blast --size-kb 128 --rate 40 --x 256 --alpha 0.1 \
-//       --variant pull    # watch the baseline fail the same transfer
+//   ./build/examples/file_blast --size-kb 128 --rate 40 --x 256 --alpha 0.1
+//       ... --variant pull  # watch the baseline fail the same transfer
 #include <cstdio>
 #include <cstring>
 

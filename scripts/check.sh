@@ -1,16 +1,46 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure + build + ctest with ASan/UBSan (DRUM_SANITIZE).
-# Usage: scripts/check.sh [build-dir] — default build-asan, kept separate
-# from the regular build/ tree so the two caches never fight.
+# Sanitizer gate: configure + build + ctest under sanitizers, with the
+# drum::check contract macros compiled in (DRUM_CHECKED=ON).
+#
+# Usage: scripts/check.sh [asan|tsan|all]     (default: all)
+#
+#   asan — AddressSanitizer + UndefinedBehaviorSanitizer: lifetime,
+#          bounds, aliasing, UB. Build dir: build-asan/.
+#   tsan — ThreadSanitizer: races on the NodeRunner / MemNetwork /
+#          contract-layer paths (tests/stress_test.cpp hammers them).
+#          Build dir: build-tsan/.
+#   all  — both, in sequence.
+#
+# Each mode keeps its own build tree so the caches never fight (TSan and
+# ASan cannot share objects). JOBS=<n> overrides the build parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-asan}"
+MODE="${1:-all}"
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDRUM_SANITIZE=ON
-cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
-echo "check.sh: all tests passed under address+undefined sanitizers"
+run_mode() {
+  local mode="$1" sanitize="$2" build_dir="$3"
+  echo "== check.sh: ${mode} (${build_dir}) =="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDRUM_CHECKED=ON \
+    -DDRUM_SANITIZE="$sanitize"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+  echo "check.sh: all tests passed under ${mode}"
+}
+
+case "$MODE" in
+  asan) run_mode "address+undefined sanitizers" address build-asan ;;
+  tsan) run_mode "thread sanitizer" thread build-tsan ;;
+  all)
+    run_mode "address+undefined sanitizers" address build-asan
+    run_mode "thread sanitizer" thread build-tsan
+    ;;
+  *)
+    echo "usage: scripts/check.sh [asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "check.sh: done (${MODE})"

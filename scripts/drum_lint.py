@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""drum_lint — small repo-specific checks clang-tidy cannot express.
+
+Rules (scanned over src/, fuzz/, examples/, bench/, tools/, tests/ after
+stripping comments and string literals):
+
+  naked-new      No `new` expressions. Ownership flows through
+                 std::make_unique / containers; a naked new is either a leak
+                 or a hand-rolled owner.
+  libc-rand      No std::rand / srand / bare rand(). All randomness must
+                 flow through util::Rng so every run is seed-reproducible
+                 (the fuzzers and the simulator depend on it).
+  unbounded-decode
+                 Any function that both reads wire integers (ByteReader
+                 read_*) and sizes a container (reserve/resize) must
+                 reference a max_* bound AND DecodeError: a fabricated
+                 length field must hit a cap, not an allocation (the
+                 paper's memory-DoS surface).
+
+A finding can be suppressed with `// drum-lint: allow(<rule>)` on the same
+line (checked before stripping).
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ["src", "fuzz", "examples", "bench", "tools", "tests"]
+EXTS = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+ALLOW_RE = re.compile(r"//\s*drum-lint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_code(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving newlines
+    (so reported line numbers stay correct)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def allowed_lines(raw: str, rule: str) -> set[int]:
+    lines = set()
+    for lineno, line in enumerate(raw.splitlines(), 1):
+        m = ALLOW_RE.search(line)
+        if m and m.group(1) == rule:
+            lines.add(lineno)
+    return lines
+
+
+NAKED_NEW_RE = re.compile(r"(?<![_\w.])new\s+[\w:<(]")
+LIBC_RAND_RE = re.compile(r"(?:std::|(?<![_\w:.]))s?rand\s*\(")
+
+
+def check_tokens(path: Path, raw: str, code: str, findings: list[str]) -> None:
+    new_ok = allowed_lines(raw, "naked-new")
+    rand_ok = allowed_lines(raw, "libc-rand")
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if NAKED_NEW_RE.search(line) and lineno not in new_ok:
+            findings.append(
+                f"{path}:{lineno}: [naked-new] use std::make_unique or a "
+                "container, not a naked new")
+        if LIBC_RAND_RE.search(line) and lineno not in rand_ok:
+            findings.append(
+                f"{path}:{lineno}: [libc-rand] use util::Rng (seeded, "
+                "reproducible), not libc rand")
+
+
+FUNC_OPEN_RE = re.compile(r"^[^\s#].*\)\s*(?:const\s*)?\{", re.MULTILINE)
+READS_WIRE_RE = re.compile(r"\bread_u(?:8|16|32|64)\b")
+SIZES_CONTAINER_RE = re.compile(r"\.(?:reserve|resize)\s*\(")
+BOUND_RE = re.compile(r"\bmax_\w+|\bkMax\w+")
+
+
+def function_bodies(code: str):
+    """Yields (start_line, body_text) for top-ish-level function bodies,
+    found by brace matching from definition-looking lines."""
+    for m in FUNC_OPEN_RE.finditer(code):
+        open_idx = code.index("{", m.start())
+        depth = 0
+        i = open_idx
+        while i < len(code):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        body = code[open_idx:i + 1]
+        start_line = code.count("\n", 0, m.start()) + 1
+        yield start_line, body
+
+
+def check_bounded_decode(path: Path, raw: str, code: str,
+                         findings: list[str]) -> None:
+    ok = allowed_lines(raw, "unbounded-decode")
+    for start_line, body in function_bodies(code):
+        if not (READS_WIRE_RE.search(body) and
+                SIZES_CONTAINER_RE.search(body)):
+            continue
+        if start_line in ok:
+            continue
+        if not BOUND_RE.search(body):
+            findings.append(
+                f"{path}:{start_line}: [unbounded-decode] wire-driven "
+                "reserve/resize without a max_* / kMax* cap")
+        elif "DecodeError" not in body:
+            findings.append(
+                f"{path}:{start_line}: [unbounded-decode] wire-driven "
+                "allocation must throw DecodeError when the cap is hit")
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    findings: list[str] = []
+    scanned = 0
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTS:
+                continue
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            code = strip_code(raw)
+            rel = path.relative_to(root)
+            check_tokens(rel, raw, code, findings)
+            check_bounded_decode(rel, raw, code, findings)
+            scanned += 1
+    for f in findings:
+        print(f)
+    print(f"drum_lint: {scanned} files scanned, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+#include "drum/check/check.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+
+#include "drum/util/log.hpp"
+
+namespace drum::check {
+
+namespace {
+
+std::atomic<FailureHandler> g_handler{nullptr};
+std::atomic<std::uint64_t> g_failures{0};
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kRequire: return "REQUIRE";
+    case Kind::kAssert: return "ASSERT";
+    case Kind::kInvariant: return "INVARIANT";
+  }
+  return "CHECK";
+}
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+std::uint64_t failure_count() { return g_failures.load(); }
+
+void fail(Kind kind, const char* expr, const char* file, int line,
+          const std::string& detail) {
+  g_failures.fetch_add(1);
+  std::string msg = std::string("DRUM_") + kind_name(kind) + " failed: " +
+                    expr + " at " + file + ":" + std::to_string(line);
+  if (!detail.empty()) msg += " — " + detail;
+  if (FailureHandler h = g_handler.load()) {
+    h(kind, expr, file, line, detail);  // may throw (tests)
+    return;  // a handler that returns means "observed"; see check_test.cpp
+  }
+  util::log_line(util::LogLevel::kError, msg);
+  std::abort();
+}
+
+// ---- nonce tracker --------------------------------------------------------
+
+namespace {
+
+std::mutex g_nonce_mu;
+// key||nonce blob -> hash of the plaintext sealed under it. A nonce may
+// repeat across different keys (fine and expected), so the key participates
+// in identity. The plaintext hash distinguishes the dangerous case
+// (keystream reuse: same pair, different plaintext) from a byte-identical
+// replay, which deterministic simulations produce on purpose (two worlds
+// built from the same seed emit the same seals).
+std::unordered_map<std::string, std::size_t> g_nonces;
+
+}  // namespace
+
+bool note_nonce(util::ByteSpan key, util::ByteSpan nonce,
+                util::ByteSpan plaintext) {
+  std::string entry;
+  entry.reserve(key.size() + nonce.size());
+  entry.append(reinterpret_cast<const char*>(key.data()), key.size());
+  entry.append(reinterpret_cast<const char*>(nonce.data()), nonce.size());
+  const std::size_t pt_hash = std::hash<std::string_view>{}(std::string_view(
+      reinterpret_cast<const char*>(plaintext.data()), plaintext.size()));
+  std::lock_guard<std::mutex> lock(g_nonce_mu);
+  if (g_nonces.size() >= kNonceTrackerCap) g_nonces.clear();
+  auto [it, inserted] = g_nonces.emplace(std::move(entry), pt_hash);
+  return inserted || it->second == pt_hash;
+}
+
+void reset_nonce_tracker() {
+  std::lock_guard<std::mutex> lock(g_nonce_mu);
+  g_nonces.clear();
+}
+
+}  // namespace drum::check

@@ -1,0 +1,126 @@
+// drum::check — the contract and invariant layer (DESIGN.md §7).
+//
+// The paper's resilience claims (§3–§4, §8) assume the implementation itself
+// cannot be wedged: no state machine escapes, no budget over-spend, no nonce
+// reuse. These macros make those assumptions executable:
+//
+//   DRUM_REQUIRE(cond, ...)    — API precondition (caller misuse)
+//   DRUM_ASSERT(cond, ...)     — internal consistency at one point
+//   DRUM_INVARIANT(cond, ...)  — data-structure invariant (whole-object)
+//
+// All three are compiled out entirely when DRUM_CHECKED is 0 (Release
+// builds): the condition is not evaluated and costs nothing. In checked
+// builds (the default for Debug/RelWithDebInfo and all sanitizer builds) a
+// failure logs the expression, location, and optional streamed detail, then
+// aborts — unless a test installs a throwing handler via
+// set_failure_handler() to observe the failure instead.
+//
+// The extra arguments are streamed (operator<<) into the failure message:
+//   DRUM_INVARIANT(used <= budget, "channel ", i, ": ", used, "/", budget);
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "drum/util/bytes.hpp"
+
+#ifndef DRUM_CHECKED
+#define DRUM_CHECKED 0
+#endif
+
+namespace drum::check {
+
+/// Kind of contract that failed; reported to the failure handler.
+enum class Kind { kRequire, kAssert, kInvariant };
+
+const char* kind_name(Kind k);
+
+/// Invoked on contract failure. Handlers may throw (tests) or return, in
+/// which case fail() aborts the process — a violated contract must never be
+/// executed past.
+using FailureHandler = void (*)(Kind kind, const char* expr, const char* file,
+                                int line, const std::string& detail);
+
+/// Installs a handler and returns the previous one (nullptr = the default
+/// log-and-abort handler). Thread-safe swap; intended for tests.
+FailureHandler set_failure_handler(FailureHandler handler);
+
+/// Reports a failure through the current handler; aborts if it returns.
+void fail(Kind kind, const char* expr, const char* file, int line,
+          const std::string& detail);
+
+/// Number of contract failures reported so far in this process (including
+/// ones intercepted by a test handler).
+std::uint64_t failure_count();
+
+/// True when the contract macros are compiled in.
+constexpr bool enabled() { return DRUM_CHECKED != 0; }
+
+// ---- portbox nonce-uniqueness tracker (checked builds only) --------------
+// Paper §4 encrypts the random ports; the encrypt-then-MAC construction is
+// only sound if a (key, nonce) pair never covers two different plaintexts
+// (keystream reuse). note_nonce() records a seal and returns false on that
+// dangerous reuse; portbox_seal() turns it into a DRUM_INVARIANT failure.
+// A byte-identical replay — same key, nonce, AND plaintext — is allowed:
+// it yields the same box, and deterministic simulations replay seeded
+// worlds on purpose. Process-global and mutex-guarded (nodes seal from
+// many threads under the runner). Memory is capped: after kNonceTrackerCap
+// entries the tracker resets — a restarted window, not a leak.
+inline constexpr std::size_t kNonceTrackerCap = 1u << 20;
+
+bool note_nonce(util::ByteSpan key, util::ByteSpan nonce,
+                util::ByteSpan plaintext);
+/// Clears the tracker (tests that deliberately exercise reuse windows).
+void reset_nonce_tracker();
+
+namespace detail {
+
+inline void stream_all(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void stream_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  stream_all(os, rest...);
+}
+
+template <typename... Args>
+std::string format_detail(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream os;
+    stream_all(os, args...);
+    return os.str();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace drum::check
+
+#if DRUM_CHECKED
+
+#define DRUM_CHECK_IMPL(kind, cond, ...)                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::drum::check::fail(kind, #cond, __FILE__, __LINE__,                  \
+                          ::drum::check::detail::format_detail(__VA_ARGS__)); \
+    }                                                                       \
+  } while (0)
+
+#define DRUM_REQUIRE(cond, ...) \
+  DRUM_CHECK_IMPL(::drum::check::Kind::kRequire, cond, ##__VA_ARGS__)
+#define DRUM_ASSERT(cond, ...) \
+  DRUM_CHECK_IMPL(::drum::check::Kind::kAssert, cond, ##__VA_ARGS__)
+#define DRUM_INVARIANT(cond, ...) \
+  DRUM_CHECK_IMPL(::drum::check::Kind::kInvariant, cond, ##__VA_ARGS__)
+
+#else  // !DRUM_CHECKED — compiled out, condition not evaluated.
+
+#define DRUM_REQUIRE(cond, ...) ((void)0)
+#define DRUM_ASSERT(cond, ...) ((void)0)
+#define DRUM_INVARIANT(cond, ...) ((void)0)
+
+#endif  // DRUM_CHECKED

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "drum/check/check.hpp"
+
 namespace drum::core {
 
 MessageBuffer::MessageBuffer(std::size_t buffer_rounds,
@@ -37,6 +39,28 @@ void MessageBuffer::on_round(std::uint64_t current_round) {
       ++it;
     }
   }
+}
+
+void MessageBuffer::check_invariants(
+    [[maybe_unused]] std::uint64_t current_round) const {
+#if DRUM_CHECKED
+  DRUM_INVARIANT(digest().size() == size(),
+                 "digest/size mismatch: ", digest().size(), " vs ", size());
+  for (const auto& [id, entry] : buffer_) {
+    DRUM_INVARIANT(seen_.contains(id),
+                   "buffered message missing from seen set: source ",
+                   id.source, " seqno ", id.seqno);
+    DRUM_INVARIANT(entry.expires > current_round,
+                   "expired entry survived purge: expires ", entry.expires,
+                   " round ", current_round);
+    DRUM_INVARIANT(entry.msg.id == id, "entry keyed under wrong id");
+  }
+  for (const auto& [id, expires] : seen_) {
+    DRUM_INVARIANT(expires > current_round,
+                   "expired seen id survived purge: expires ", expires,
+                   " round ", current_round);
+  }
+#endif
 }
 
 Digest MessageBuffer::digest() const {

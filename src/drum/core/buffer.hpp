@@ -40,6 +40,13 @@ class MessageBuffer {
   [[nodiscard]] std::vector<DataMessage> select_missing(
       const Digest& peer_digest, std::size_t max_count, util::Rng& rng) const;
 
+  /// drum::check invariants: digest/size coherence (digest() lists exactly
+  /// the buffered ids), every buffered id is still in the seen set (a
+  /// buffered-but-forgotten message would be re-delivered on the next copy),
+  /// and no entry has outlived its expiry given `current_round`. No-op in
+  /// Release builds.
+  void check_invariants(std::uint64_t current_round) const;
+
  private:
   struct Entry {
     DataMessage msg;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "drum/check/check.hpp"
 #include "drum/crypto/portbox.hpp"
 #include "drum/util/log.hpp"
 
@@ -13,6 +14,16 @@ namespace {
 // Indexed by static_cast<int>(Channel); used to name per-channel metrics.
 constexpr const char* kChannelNames[5] = {"offer", "pull_req", "push_reply",
                                           "pull_data", "push_data"};
+
+// Flips a re-entrancy flag for a scope; exception-safe so a throwing
+// delivery callback cannot leave the node looking permanently "in poll".
+struct ReentryGuard {
+  explicit ReentryGuard(bool& flag) : flag_(flag) { flag_ = true; }
+  ~ReentryGuard() { flag_ = false; }
+  ReentryGuard(const ReentryGuard&) = delete;
+  ReentryGuard& operator=(const ReentryGuard&) = delete;
+  bool& flag_;
+};
 }  // namespace
 
 Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
@@ -203,6 +214,9 @@ std::size_t Node::budget_used(Channel c) const {
 void Node::record_round_budgets() {
   const bool shared = cfg_.variant == Variant::kDrumSharedBounds;
   if (shared) {
+    DRUM_INVARIANT(shared_control_used_ <= cfg_.shared_control_budget(),
+                   "joint control budget over-spent: ", shared_control_used_,
+                   "/", cfg_.shared_control_budget());
     shared_control_.budget_used->record(shared_control_used_);
     if (shared_control_used_ >= cfg_.shared_control_budget()) {
       shared_control_.budget_exhausted->inc();
@@ -214,8 +228,11 @@ void Node::record_round_budgets() {
                          c == Channel::kPushReply;
     if (shared && control) continue;  // accounted jointly above
     const std::size_t budget = channel_budget(c);
+    const std::size_t spent = budget_used(c);
+    DRUM_INVARIANT(spent <= budget, "channel ", kChannelNames[i],
+                   " budget over-spent: ", spent, "/", budget);
     if (budget == 0) continue;  // channel disabled in this variant
-    const std::size_t used = budget_used(c);
+    const std::size_t used = spent;
     chan_[i].budget_used->record(used);
     if (used >= budget) {
       chan_[i].budget_exhausted->inc();
@@ -226,6 +243,8 @@ void Node::record_round_budgets() {
 }
 
 void Node::poll() {
+  DRUM_REQUIRE(!in_poll_, "poll() re-entered (delivery callback drove node?)");
+  ReentryGuard guard(in_poll_);
   std::size_t drained = 0;
   for (auto& bs : sockets_) {
     ChannelMetrics& cm = chan_[static_cast<int>(bs.channel)];
@@ -458,6 +477,10 @@ void Node::send_gossip() {
 }
 
 void Node::on_round() {
+  DRUM_REQUIRE(!in_round_, "on_round() re-entered");
+  DRUM_REQUIRE(!in_poll_, "on_round() called from inside poll()");
+  ReentryGuard guard(in_round_);
+
   // Final processing pass for the ending round: anything that arrived since
   // the last poll() is still "this round's" input and deserves its shot at
   // the remaining budgets (the Java implementation reads continuously; this
@@ -495,6 +518,52 @@ void Node::on_round() {
   buffer_.on_round(round_);
   rotate_random_ports();
   send_gossip();
+
+  check_invariants();
+}
+
+void Node::check_invariants() const {
+#if DRUM_CHECKED
+  // Budget accounting: nothing spends past its bound, and disabled channels
+  // never see traffic (no socket is bound for them).
+  for (int i = 0; i < 5; ++i) {
+    const auto c = static_cast<Channel>(i);
+    const bool control = c == Channel::kOffer || c == Channel::kPullReq ||
+                         c == Channel::kPushReply;
+    if (cfg_.variant == Variant::kDrumSharedBounds && control) continue;
+    DRUM_INVARIANT(budget_used(c) <= channel_budget(c), "channel ",
+                   kChannelNames[i], " over budget: ", budget_used(c), "/",
+                   channel_budget(c));
+  }
+  DRUM_INVARIANT(shared_control_used_ <= cfg_.shared_control_budget(),
+                 "joint control budget over-spent");
+
+  // Directory: indexed by id, our own entry present.
+  DRUM_INVARIANT(cfg_.id < peers_.size() && peers_[cfg_.id].present,
+                 "own directory entry missing");
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    DRUM_INVARIANT(!peers_[i].present || peers_[i].id == i,
+                   "directory not indexed by id at slot ", i);
+  }
+
+  // Socket/port round-state: the well-known sockets bound at construction
+  // stay first and alive; random sockets never outlive their rotation
+  // window; the wk-ports ablation pins the pull-reply port.
+  DRUM_INVARIANT(!sockets_.empty() && sockets_.front().well_known,
+                 "well-known sockets must head the socket list");
+  for (const auto& bs : sockets_) {
+    DRUM_INVARIANT(bs.sock != nullptr, "null socket in socket list");
+    DRUM_INVARIANT(bs.well_known ||
+                       bs.created_round + cfg_.port_lifetime_rounds > round_,
+                   "random socket outlived its lifetime");
+  }
+  if (cfg_.variant == Variant::kDrumWkPorts) {
+    DRUM_INVARIANT(cur_pull_reply_port_ == cfg_.wk_pull_reply_port,
+                   "wk-ports ablation must keep the fixed pull-reply port");
+  }
+
+  buffer_.check_invariants(round_);
+#endif
 }
 
 void Node::set_own_certificate(util::Bytes own_cert) {

@@ -147,6 +147,14 @@ class Node {
     return buffer_.seen(id);
   }
 
+  /// drum::check invariants over the whole node: per-channel budget
+  /// accounting never exceeds the configured bounds, the peer directory
+  /// stays indexed by id with our own entry present, well-known sockets
+  /// stay bound (random ones within their lifetime), and the message
+  /// buffer's digest/size/seen coherence holds. Called automatically at the
+  /// end of every on_round() in checked builds; no-op in Release.
+  void check_invariants() const;
+
  private:
   enum class Channel { kOffer, kPullReq, kPushReply, kPullData, kPushData };
 
@@ -190,6 +198,14 @@ class Node {
   MessageBuffer buffer_;
   std::uint64_t round_ = 0;
   std::uint64_t next_seqno_ = 0;
+
+  // Round-state machine legality (drum::check): a Node is single-threaded
+  // and neither poll() nor on_round() may re-enter — a delivery callback
+  // that drives the same node again would corrupt budgets mid-flight.
+  // multicast() from a callback is legal. Maintained unconditionally
+  // (two bools), asserted only in checked builds.
+  bool in_poll_ = false;
+  bool in_round_ = false;
 
   std::vector<BoundSocket> sockets_;  // well-known first, then rotating
   std::uint16_t cur_pull_reply_port_ = 0;

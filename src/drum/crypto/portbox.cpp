@@ -1,7 +1,9 @@
 #include "drum/crypto/portbox.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
+#include "drum/check/check.hpp"
 #include "drum/crypto/chacha20.hpp"
 #include "drum/crypto/hmac.hpp"
 
@@ -13,8 +15,16 @@ namespace {
 std::array<std::uint8_t, kPortBoxTagSize> compute_tag(util::ByteSpan key,
                                                       util::ByteSpan nonce,
                                                       util::ByteSpan ct) {
-  util::Bytes mac_input(nonce.begin(), nonce.end());
-  mac_input.insert(mac_input.end(), ct.begin(), ct.end());
+  // Sized buffer + memcpy rather than insert-after-construct: GCC 12's
+  // -Warray-bounds mis-attributes the vector growth to the fixed-size
+  // nonce array the buffer was seeded from.
+  util::Bytes mac_input(nonce.size() + ct.size());
+  if (!nonce.empty()) {
+    std::memcpy(mac_input.data(), nonce.data(), nonce.size());
+  }
+  if (!ct.empty()) {
+    std::memcpy(mac_input.data() + nonce.size(), ct.data(), ct.size());
+  }
   auto full = hmac_sha256(key, util::ByteSpan(mac_input.data(), mac_input.size()));
   std::array<std::uint8_t, kPortBoxTagSize> tag{};
   std::copy(full.begin(), full.begin() + kPortBoxTagSize, tag.begin());
@@ -30,15 +40,26 @@ util::Bytes portbox_seal(util::ByteSpan key, util::ByteSpan plaintext,
   }
   std::array<std::uint8_t, kPortBoxNonceSize> nonce;
   for (auto& b : nonce) b = static_cast<std::uint8_t>(rng.below(256));
+  // Checked builds: a (key, nonce) pair must never cover two different
+  // plaintexts — that is keystream reuse, which breaks the stream cipher.
+  // (A byte-identical replay is tolerated: deterministic simulations replay
+  // seeded worlds on purpose; see check::note_nonce.)
+  DRUM_INVARIANT(
+      check::note_nonce(key, util::ByteSpan(nonce.data(), nonce.size()),
+                        plaintext),
+      "portbox nonce reuse under one pair key");
 
   ChaCha20 cipher(key, util::ByteSpan(nonce.data(), nonce.size()), 1);
   util::Bytes ct = cipher.crypt_copy(plaintext);
   auto tag = compute_tag(key, util::ByteSpan(nonce.data(), nonce.size()),
                          util::ByteSpan(ct.data(), ct.size()));
 
-  util::Bytes out(nonce.begin(), nonce.end());
-  out.insert(out.end(), ct.begin(), ct.end());
-  out.insert(out.end(), tag.begin(), tag.end());
+  util::Bytes out(nonce.size() + ct.size() + tag.size());
+  std::memcpy(out.data(), nonce.data(), nonce.size());
+  if (!ct.empty()) {
+    std::memcpy(out.data() + nonce.size(), ct.data(), ct.size());
+  }
+  std::memcpy(out.data() + nonce.size() + ct.size(), tag.data(), tag.size());
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "drum/check/check.hpp"
 #include "drum/crypto/portbox.hpp"
 #include "drum/net/udp_transport.hpp"
 
@@ -26,6 +27,10 @@ double ClusterMetrics::mean_latency_ms() const {
 }
 
 Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  // A cluster is a fresh simulated world: open a new portbox nonce-tracker
+  // window so deliberately re-seeded worlds (variant sweeps, re-runs) are
+  // not mistaken for keystream reuse within one execution.
+  check::reset_nonce_tracker();
   const std::size_t n = cfg_.n;
   if (n < 4) throw std::invalid_argument("cluster too small");
   n_malicious_ = static_cast<std::size_t>(
@@ -116,6 +121,38 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
                                        std::max<std::size_t>(
                                            1, cfg_.attacker_bursts_per_round));
   next_send_us_ = 0;
+
+  check_invariants();
+}
+
+void Cluster::check_invariants() const {
+#if DRUM_CHECKED
+  DRUM_INVARIANT(node_index_.size() == nodes_.size(),
+                 "node_index_ must cover every live node exactly once");
+  for (const auto& [id, idx] : node_index_) {
+    DRUM_INVARIANT(idx < nodes_.size() && nodes_[idx].id == id,
+                   "node_index_ entry points at the wrong node: id ", id);
+    DRUM_INVARIANT(nodes_[idx].node != nullptr && nodes_[idx].transport,
+                   "live node missing its node or transport: id ", id);
+    DRUM_INVARIANT(id >= n_malicious_,
+                   "a malicious member must never be instantiated: id ", id);
+  }
+  DRUM_INVARIANT(node_index_.contains(source_),
+                 "source must be a live correct node");
+  for (auto v : victims_) {
+    DRUM_INVARIANT(node_index_.contains(v),
+                   "victim must be a live correct node: id ", v);
+  }
+  for (const auto& live : nodes_) {
+    DRUM_INVARIANT(live.next_tick_us > now_us_,
+                   "round tick armed in the past: node ", live.id);
+  }
+  for (const auto& [id, t] : tracked_) {
+    DRUM_INVARIANT(t.deliveries <= nodes_.size() - 1,
+                   "more deliveries than receivers for source ", id.source,
+                   " seqno ", id.seqno, ": ", t.deliveries);
+  }
+#endif
 }
 
 Cluster::~Cluster() = default;
@@ -328,6 +365,7 @@ void Cluster::run_for_us(std::int64_t duration_us, bool workload) {
     for (auto& live : nodes_) live.node->poll();
     maybe_sample_series();
   }
+  check_invariants();
 }
 
 void Cluster::maybe_sample_series() {

@@ -136,6 +136,13 @@ class Cluster {
   /// Sum of a stat over all live nodes (for tests).
   [[nodiscard]] core::NodeStats total_stats() const;
 
+  /// drum::check invariants over the harness: node_index_ is a bijection
+  /// onto live nodes, victims and the source are correct (instantiated)
+  /// members, every armed round tick lies in the future, and tracked
+  /// messages never record more deliveries than there are receivers.
+  /// Called at construction and after every run_for_us(); no-op in Release.
+  void check_invariants() const;
+
   /// Per-node (not just summed) stats, so attacked and non-attacked nodes
   /// are distinguishable — the paper's Fig. 6 split.
   struct PerNodeStats {

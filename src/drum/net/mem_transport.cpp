@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "drum/check/check.hpp"
+
 namespace drum::net {
 
 namespace {
@@ -61,7 +63,13 @@ class MemTransport final : public Transport {
 };
 
 MemNetwork::MemNetwork() : MemNetwork(Options{}) {}
-MemNetwork::MemNetwork(Options opts) : opts_(opts), rng_(opts.seed) {}
+MemNetwork::MemNetwork(Options opts) : opts_(opts), rng_(opts.seed) {
+  DRUM_REQUIRE(opts.loss >= 0.0 && opts.loss <= 1.0,
+               "loss must be a probability: ", opts.loss);
+  DRUM_REQUIRE(opts.latency_jitter >= 0.0 && opts.latency_jitter <= 1.0,
+               "latency jitter must be in [0, 1]: ", opts.latency_jitter);
+  DRUM_REQUIRE(opts.queue_capacity > 0, "queue capacity must be positive");
+}
 MemNetwork::~MemNetwork() = default;
 
 std::unique_ptr<Transport> MemNetwork::transport(std::uint32_t host) {
@@ -116,9 +124,15 @@ void MemNetwork::deliver(const Address& from, const Address& to,
     ready_at += static_cast<std::int64_t>(
         static_cast<double>(opts_.latency_us) * jitter);
   }
+  DRUM_ASSERT(ready_at >= now_us_, "datagram scheduled in the past");
   it->second.q.emplace(ready_at,
                        Datagram{from, util::Bytes(payload.begin(),
                                                   payload.end())});
+  // The overflow branch above is the only admission control; a queue past
+  // its capacity means the bounded-socket-buffer model is broken.
+  DRUM_INVARIANT(it->second.q.size() <= opts_.queue_capacity,
+                 "receive queue exceeded its capacity: ", it->second.q.size(),
+                 "/", opts_.queue_capacity);
   ++delivered_;
   if (m_delivered_) {
     m_delivered_->inc();

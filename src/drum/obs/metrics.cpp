@@ -174,21 +174,29 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, c] : counters_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + json_escape(name) + "\":" + std::to_string(c.value);
+    out += "\"";
+    out += json_escape(name);
+    out += "\":";
+    out += std::to_string(c.value);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, g] : gauges_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + json_escape(name) + "\":" + fmt_double(g.value);
+    out += "\"";
+    out += json_escape(name);
+    out += "\":";
+    out += fmt_double(g.value);
   }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + json_escape(name) + "\":{";
+    out += "\"";
+    out += json_escape(name);
+    out += "\":{";
     out += "\"count\":" + std::to_string(h.count());
     out += ",\"sum\":" + std::to_string(h.sum());
     out += ",\"min\":" + std::to_string(h.min());
@@ -202,8 +210,15 @@ std::string MetricsRegistry::to_json() const {
     for (const auto& b : h.nonzero_buckets()) {
       if (!bfirst) out += ",";
       bfirst = false;
-      out += "[" + std::to_string(b.lo) + "," + std::to_string(b.hi) + "," +
-             std::to_string(b.count) + "]";
+      // Plain appends: GCC 12's -Wrestrict false-positives on chained
+      // `const char* + std::string&&` concatenation (PR105651).
+      out += "[";
+      out += std::to_string(b.lo);
+      out += ",";
+      out += std::to_string(b.hi);
+      out += ",";
+      out += std::to_string(b.count);
+      out += "]";
     }
     out += "]}";
   }

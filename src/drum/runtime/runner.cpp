@@ -1,13 +1,22 @@
 #include "drum/runtime/runner.hpp"
 
+#include "drum/check/check.hpp"
+
 namespace drum::runtime {
 
 NodeRunner::NodeRunner(core::Node& node, RunnerConfig cfg, std::uint64_t seed)
-    : node_(node), cfg_(cfg), rng_(seed) {}
+    : node_(node), cfg_(cfg), rng_(seed) {
+  DRUM_REQUIRE(cfg.round.count() > 0, "round duration must be positive");
+  DRUM_REQUIRE(cfg.jitter >= 0.0 && cfg.jitter < 1.0,
+               "jitter must be in [0, 1): ", cfg.jitter);
+  DRUM_REQUIRE(cfg.poll_interval.count() >= 0,
+               "poll interval must be non-negative");
+}
 
 NodeRunner::~NodeRunner() { stop(); }
 
 void NodeRunner::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (running_.exchange(true)) return;
   stop_requested_.store(false);
   thread_ = std::thread([this] { loop(); });
@@ -15,6 +24,9 @@ void NodeRunner::start() {
 
 void NodeRunner::stop() {
   stop_requested_.store(true);
+  // The join must be exclusive: pre-fix, two concurrent stop() calls could
+  // both see joinable() and race on join() (caught by the TSan stress test).
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (thread_.joinable()) thread_.join();
   running_.store(false);
 }
@@ -25,6 +37,7 @@ core::MessageId NodeRunner::multicast(util::ByteSpan payload) {
 }
 
 void NodeRunner::with_node(const std::function<void(core::Node&)>& fn) {
+  DRUM_REQUIRE(fn != nullptr, "with_node requires a callable");
   std::lock_guard<std::mutex> lock(mu_);
   fn(node_);
 }

@@ -68,6 +68,10 @@ class NodeRunner {
   RunnerConfig cfg_;
   util::Rng rng_;
   std::mutex mu_;  // guards node_ and rng_
+  /// Serializes start()/stop() against each other: two threads stopping (or
+  /// one stopping while another restarts) must not both observe a joinable
+  /// thread and race on join().
+  std::mutex lifecycle_mu_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};

@@ -322,7 +322,9 @@ TEST(AppendixC, SplitCoverageMatchesFig6Shape) {
     for (std::size_t r = 0; r < curve->size(); ++r) {
       ASSERT_GE((*curve)[r], 0.0);
       ASSERT_LE((*curve)[r], 1.0 + 1e-9);
-      if (r) ASSERT_GE((*curve)[r], (*curve)[r - 1] - 1e-9);
+      if (r) {
+        ASSERT_GE((*curve)[r], (*curve)[r - 1] - 1e-9);
+      }
     }
   }
   // Consistency with the combined curve: weighted average reconstructs it.

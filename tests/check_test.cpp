@@ -1,0 +1,205 @@
+// drum::check — the contract layer itself (DESIGN.md §7): macro semantics,
+// handler swapping, failure bookkeeping, the portbox nonce-uniqueness
+// tracker, and one end-to-end precondition wired through a real module.
+//
+// Two build modes, both tested:
+//   * DRUM_CHECKED (sanitizer/Debug builds, scripts/check.sh): macros fire
+//     through the installed handler;
+//   * unchecked (Release tier-1): macros compile out entirely — the
+//     condition is not even evaluated. The runtime pieces (fail(), the
+//     nonce tracker) are always linked, so those tests run in both modes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "drum/check/check.hpp"
+#include "drum/net/mem_transport.hpp"
+#include "drum/util/bytes.hpp"
+
+namespace drum::check {
+namespace {
+
+/// What the handler observed. Thrown so the macro's control flow is
+/// interrupted like the real abort would — and so tests can catch it.
+struct Violation {
+  Kind kind;
+  std::string expr;
+  std::string file;
+  int line;
+  std::string detail;
+};
+
+[[noreturn]] void throwing_handler(Kind kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& detail) {
+  throw Violation{kind, expr, file, line, detail};
+}
+
+/// Installs the throwing handler for one test, restores on exit.
+struct HandlerGuard {
+  HandlerGuard() : prev_(set_failure_handler(&throwing_handler)) {}
+  ~HandlerGuard() { set_failure_handler(prev_); }
+  FailureHandler prev_;
+};
+
+TEST(Check, KindNames) {
+  EXPECT_STREQ(kind_name(Kind::kRequire), "REQUIRE");
+  EXPECT_STREQ(kind_name(Kind::kAssert), "ASSERT");
+  EXPECT_STREQ(kind_name(Kind::kInvariant), "INVARIANT");
+}
+
+TEST(Check, SetFailureHandlerReturnsPrevious) {
+  FailureHandler prev = set_failure_handler(&throwing_handler);
+  FailureHandler ours = set_failure_handler(prev);
+  EXPECT_EQ(ours, &throwing_handler);
+}
+
+// fail() is the macros' runtime half and is always linked; drive it
+// directly so this works in unchecked builds too.
+TEST(Check, FailReportsThroughInstalledHandler) {
+  HandlerGuard guard;
+  const auto before = failure_count();
+  try {
+    fail(Kind::kInvariant, "a == b", "some_file.cpp", 42, "a=1 b=2");
+    FAIL() << "handler did not throw";
+  } catch (const Violation& v) {
+    EXPECT_EQ(v.kind, Kind::kInvariant);
+    EXPECT_EQ(v.expr, "a == b");
+    EXPECT_EQ(v.file, "some_file.cpp");
+    EXPECT_EQ(v.line, 42);
+    EXPECT_EQ(v.detail, "a=1 b=2");
+  }
+  EXPECT_EQ(failure_count(), before + 1);
+}
+
+TEST(Check, FailureCountAccumulates) {
+  HandlerGuard guard;
+  const auto before = failure_count();
+  for (int i = 0; i < 3; ++i) {
+    try {
+      fail(Kind::kAssert, "false", __FILE__, __LINE__, "");
+    } catch (const Violation&) {
+    }
+  }
+  EXPECT_EQ(failure_count(), before + 3);
+}
+
+TEST(Check, DetailFormatterStreamsAllArguments) {
+  EXPECT_EQ(detail::format_detail(), "");
+  EXPECT_EQ(detail::format_detail("x was ", -3, " (want positive)"),
+            "x was -3 (want positive)");
+  EXPECT_EQ(detail::format_detail(1, '/', 2.5), "1/2.5");
+}
+
+TEST(Check, NonceTrackerFlagsKeystreamReusePerKey) {
+  reset_nonce_tracker();
+  const util::Bytes key_a(32, 0xAA);
+  const util::Bytes key_b(32, 0xBB);
+  const util::Bytes n1 = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  util::Bytes n2 = n1;
+  n2[0] ^= 0xFF;
+  const util::Bytes pt1 = {0x10, 0x20};
+  const util::Bytes pt2 = {0x10, 0x21};
+
+  EXPECT_TRUE(note_nonce(util::ByteSpan(key_a), util::ByteSpan(n1),
+                         util::ByteSpan(pt1)));
+  // A byte-identical replay (same key, nonce, plaintext) is tolerated:
+  // deterministic simulations replay seeded worlds on purpose.
+  EXPECT_TRUE(note_nonce(util::ByteSpan(key_a), util::ByteSpan(n1),
+                         util::ByteSpan(pt1)));
+  // Same (key, nonce) over a DIFFERENT plaintext is keystream reuse — the
+  // break the stream cipher cannot survive.
+  EXPECT_FALSE(note_nonce(util::ByteSpan(key_a), util::ByteSpan(n1),
+                          util::ByteSpan(pt2)));
+  // Fresh nonce under the same key, and the same nonce under another key,
+  // are both fine even with the conflicting plaintext.
+  EXPECT_TRUE(note_nonce(util::ByteSpan(key_a), util::ByteSpan(n2),
+                         util::ByteSpan(pt2)));
+  EXPECT_TRUE(note_nonce(util::ByteSpan(key_b), util::ByteSpan(n1),
+                         util::ByteSpan(pt2)));
+  // Reset opens a new window: the conflicting plaintext is accepted.
+  reset_nonce_tracker();
+  EXPECT_TRUE(note_nonce(util::ByteSpan(key_a), util::ByteSpan(n1),
+                         util::ByteSpan(pt2)));
+  reset_nonce_tracker();
+}
+
+#if DRUM_CHECKED
+
+TEST(Check, EnabledInThisBuild) { EXPECT_TRUE(enabled()); }
+
+TEST(Check, PassingConditionsReportNothing) {
+  HandlerGuard guard;
+  const auto before = failure_count();
+  DRUM_REQUIRE(1 + 1 == 2);
+  DRUM_ASSERT(true, "never formatted");
+  DRUM_INVARIANT(42 > 0, "value ", 42);
+  EXPECT_EQ(failure_count(), before);
+}
+
+TEST(Check, RequireReportsExpressionLocationAndDetail) {
+  HandlerGuard guard;
+  const int x = -3;
+  try {
+    DRUM_REQUIRE(x > 0, "x was ", x, " (want positive)");
+    FAIL() << "DRUM_REQUIRE did not fire";
+  } catch (const Violation& v) {
+    EXPECT_EQ(v.kind, Kind::kRequire);
+    EXPECT_EQ(v.expr, "x > 0");
+    EXPECT_NE(v.file.find("check_test.cpp"), std::string::npos);
+    EXPECT_GT(v.line, 0);
+    EXPECT_EQ(v.detail, "x was -3 (want positive)");
+  }
+}
+
+TEST(Check, MacroKindsAreDistinguished) {
+  HandlerGuard guard;
+  try {
+    DRUM_ASSERT(false);
+    FAIL();
+  } catch (const Violation& v) {
+    EXPECT_EQ(v.kind, Kind::kAssert);
+    EXPECT_TRUE(v.detail.empty());
+  }
+  try {
+    DRUM_INVARIANT(false, "broken");
+    FAIL();
+  } catch (const Violation& v) {
+    EXPECT_EQ(v.kind, Kind::kInvariant);
+    EXPECT_EQ(v.detail, "broken");
+  }
+}
+
+// End-to-end: a contract wired through a real module fires through the
+// installed handler. MemNetwork's options are DRUM_REQUIREd in its ctor.
+TEST(Check, MemNetworkRejectsNonsenseOptions) {
+  HandlerGuard guard;
+  net::MemNetwork::Options opts;
+  opts.loss = 1.5;  // not a probability
+  EXPECT_THROW({ net::MemNetwork bad(opts); }, Violation);
+
+  net::MemNetwork::Options zero_q;
+  zero_q.queue_capacity = 0;  // every datagram would be dropped
+  EXPECT_THROW({ net::MemNetwork bad(zero_q); }, Violation);
+}
+
+#else  // !DRUM_CHECKED
+
+TEST(Check, DisabledInThisBuild) { EXPECT_FALSE(enabled()); }
+
+// The Release contract: the macros cost nothing — the condition expression
+// is not even evaluated.
+TEST(Check, MacrosCompileOutAndDoNotEvaluate) {
+  const auto before = failure_count();
+  int evals = 0;
+  DRUM_REQUIRE(++evals > 0, "detail also unevaluated: ", ++evals);
+  DRUM_ASSERT(++evals > 0);
+  DRUM_INVARIANT(++evals < 0);  // would fail if evaluated
+  EXPECT_EQ(evals, 0);
+  EXPECT_EQ(failure_count(), before);
+}
+
+#endif  // DRUM_CHECKED
+
+}  // namespace
+}  // namespace drum::check

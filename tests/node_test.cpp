@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "drum/check/check.hpp"
 #include "drum/core/node.hpp"
 #include "drum/crypto/portbox.hpp"
 #include "drum/net/mem_transport.hpp"
@@ -23,6 +24,9 @@ struct Pair {
   std::vector<std::vector<Node::Delivery>> got;
 
   explicit Pair(std::size_t n, Variant v = Variant::kDrum) {
+    // Fresh world, deliberately re-seeded: open a new nonce-tracker window
+    // (same seed => same keys and nonce streams as the previous fixture).
+    check::reset_nonce_tracker();
     dir.resize(n);
     for (std::uint32_t id = 0; id < n; ++id) {
       ids.push_back(crypto::Identity::generate(rng));
@@ -159,6 +163,7 @@ struct Solo {
   std::vector<Node::Delivery> got;
 
   explicit Solo(Variant v = Variant::kDrum) {
+    check::reset_nonce_tracker();  // fresh deliberately re-seeded world
     dir.resize(3);
     for (std::uint32_t id = 0; id < 3; ++id) {
       ids.push_back(crypto::Identity::generate(rng));

@@ -1,0 +1,212 @@
+// Malformed-wire tests for the five decoders in core/message.hpp — the
+// node's untrusted input surface (paper §4: fabricated messages are the
+// attack). Table-driven over every message type: truncation at EVERY prefix
+// length, over-length trailing bytes, bad type bytes, and the max_digest /
+// max_messages / max_payload anti-amplification caps. The contract
+// everywhere: decode fully or throw util::DecodeError — nothing else.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "drum/core/message.hpp"
+#include "drum/util/bytes.hpp"
+
+namespace drum::core {
+namespace {
+
+constexpr std::size_t kMaxDigest = 4096;
+constexpr std::size_t kMaxMessages = 80;
+constexpr std::size_t kMaxPayload = 1024;
+
+DataMessage make_message(std::uint32_t source, std::uint64_t seqno,
+                         std::size_t payload_len) {
+  DataMessage m;
+  m.id = MessageId{source, seqno};
+  m.round_counter = 3;
+  m.payload = util::Bytes(payload_len, 0x5A);
+  for (std::size_t i = 0; i < m.signature.size(); ++i) {
+    m.signature[i] = static_cast<std::uint8_t>(i);
+  }
+  return m;
+}
+
+Digest make_digest(std::size_t n) {
+  Digest d;
+  for (std::size_t i = 0; i < n; ++i) {
+    d.push_back(MessageId{static_cast<std::uint32_t>(i), 100 + i});
+  }
+  return d;
+}
+
+/// One row per wire message type: a valid encoding plus its decoder bound to
+/// the default caps.
+struct WireCase {
+  std::string name;
+  util::Bytes wire;
+  std::function<void(util::ByteSpan)> decode;
+};
+
+std::vector<WireCase> all_cases() {
+  std::vector<WireCase> cases;
+
+  PullRequest pull_req;
+  pull_req.sender = 7;
+  pull_req.digest = make_digest(3);
+  pull_req.boxed_reply_port = util::Bytes(30, 0xAB);
+  pull_req.cert = util::Bytes(16, 0xCD);
+  cases.push_back({"PullRequest", encode(pull_req), [](util::ByteSpan w) {
+                     decode_pull_request(w, kMaxDigest);
+                   }});
+
+  PullReply pull_rep;
+  pull_rep.sender = 8;
+  pull_rep.messages = {make_message(1, 10, 5), make_message(2, 20, 0)};
+  cases.push_back({"PullReply", encode(pull_rep), [](util::ByteSpan w) {
+                     decode_pull_reply(w, kMaxMessages, kMaxPayload);
+                   }});
+
+  PushOffer offer;
+  offer.sender = 9;
+  offer.boxed_reply_port = util::Bytes(30, 0xEF);
+  cases.push_back({"PushOffer", encode(offer), [](util::ByteSpan w) {
+                     decode_push_offer(w);
+                   }});
+
+  PushReply push_rep;
+  push_rep.sender = 10;
+  push_rep.digest = make_digest(2);
+  push_rep.boxed_data_port = util::Bytes(30, 0x12);
+  cases.push_back({"PushReply", encode(push_rep), [](util::ByteSpan w) {
+                     decode_push_reply(w, kMaxDigest);
+                   }});
+
+  PushData push_data;
+  push_data.sender = 11;
+  push_data.messages = {make_message(3, 30, 17)};
+  cases.push_back({"PushData", encode(push_data), [](util::ByteSpan w) {
+                     decode_push_data(w, kMaxMessages, kMaxPayload);
+                   }});
+
+  return cases;
+}
+
+TEST(Wire, ValidEncodingsDecode) {
+  for (const auto& c : all_cases()) {
+    SCOPED_TRACE(c.name);
+    EXPECT_NO_THROW(c.decode(util::ByteSpan(c.wire)));
+  }
+}
+
+TEST(Wire, EveryTruncationThrowsDecodeError) {
+  for (const auto& c : all_cases()) {
+    SCOPED_TRACE(c.name);
+    for (std::size_t len = 0; len < c.wire.size(); ++len) {
+      SCOPED_TRACE("prefix length " + std::to_string(len));
+      EXPECT_THROW(c.decode(util::ByteSpan(c.wire.data(), len)),
+                   util::DecodeError);
+    }
+  }
+}
+
+TEST(Wire, TrailingBytesThrowDecodeError) {
+  for (const auto& c : all_cases()) {
+    SCOPED_TRACE(c.name);
+    for (std::size_t extra : {std::size_t{1}, std::size_t{7}}) {
+      util::Bytes longer = c.wire;
+      longer.insert(longer.end(), extra, 0x00);
+      EXPECT_THROW(c.decode(util::ByteSpan(longer)), util::DecodeError);
+    }
+  }
+}
+
+TEST(Wire, WrongOrGarbageTypeByteThrowsDecodeError) {
+  for (const auto& c : all_cases()) {
+    SCOPED_TRACE(c.name);
+    for (std::uint8_t type : {std::uint8_t{0}, std::uint8_t{6},
+                              std::uint8_t{0x7F}, std::uint8_t{0xFF}}) {
+      util::Bytes bad = c.wire;
+      bad[0] = type;
+      EXPECT_THROW(c.decode(util::ByteSpan(bad)), util::DecodeError);
+    }
+    // Every *other* valid type byte must also be rejected — a decoder must
+    // not parse a different message's body.
+    for (std::uint8_t type = 1; type <= 5; ++type) {
+      if (type == c.wire[0]) continue;
+      util::Bytes bad = c.wire;
+      bad[0] = type;
+      EXPECT_THROW(c.decode(util::ByteSpan(bad)), util::DecodeError);
+    }
+  }
+}
+
+TEST(Wire, PeekTypeMatchesAndRejectsEmpty) {
+  const auto cases = all_cases();
+  EXPECT_EQ(peek_type(util::ByteSpan(cases[0].wire)), MsgType::kPullRequest);
+  EXPECT_EQ(peek_type(util::ByteSpan(cases[1].wire)), MsgType::kPullReply);
+  EXPECT_EQ(peek_type(util::ByteSpan(cases[2].wire)), MsgType::kPushOffer);
+  EXPECT_EQ(peek_type(util::ByteSpan(cases[3].wire)), MsgType::kPushReply);
+  EXPECT_EQ(peek_type(util::ByteSpan(cases[4].wire)), MsgType::kPushData);
+  EXPECT_THROW(peek_type(util::ByteSpan()), util::DecodeError);
+}
+
+// ---- anti-amplification caps --------------------------------------------
+// A fabricated packet claiming a huge digest/message count must be rejected
+// by the cap, not allocated for.
+
+TEST(Wire, DigestCapIsExactForPullRequest) {
+  PullRequest m;
+  m.sender = 1;
+  m.digest = make_digest(5);
+  m.boxed_reply_port = util::Bytes(30, 0x01);
+  const util::Bytes wire = encode(m);
+  EXPECT_NO_THROW(decode_pull_request(util::ByteSpan(wire), 5));
+  EXPECT_THROW(decode_pull_request(util::ByteSpan(wire), 4),
+               util::DecodeError);
+}
+
+TEST(Wire, DigestCapIsExactForPushReply) {
+  PushReply m;
+  m.sender = 2;
+  m.digest = make_digest(4);
+  m.boxed_data_port = util::Bytes(30, 0x02);
+  const util::Bytes wire = encode(m);
+  EXPECT_NO_THROW(decode_push_reply(util::ByteSpan(wire), 4));
+  EXPECT_THROW(decode_push_reply(util::ByteSpan(wire), 3),
+               util::DecodeError);
+}
+
+TEST(Wire, MessageCountCapIsExact) {
+  PullReply pull;
+  pull.sender = 3;
+  PushData push;
+  push.sender = 4;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    pull.messages.push_back(make_message(1, i, 4));
+    push.messages.push_back(make_message(2, i, 4));
+  }
+  const util::Bytes pull_wire = encode(pull);
+  const util::Bytes push_wire = encode(push);
+  EXPECT_NO_THROW(decode_pull_reply(util::ByteSpan(pull_wire), 3,
+                                    kMaxPayload));
+  EXPECT_THROW(decode_pull_reply(util::ByteSpan(pull_wire), 2, kMaxPayload),
+               util::DecodeError);
+  EXPECT_NO_THROW(decode_push_data(util::ByteSpan(push_wire), 3,
+                                   kMaxPayload));
+  EXPECT_THROW(decode_push_data(util::ByteSpan(push_wire), 2, kMaxPayload),
+               util::DecodeError);
+}
+
+TEST(Wire, PayloadCapIsExact) {
+  PullReply m;
+  m.sender = 5;
+  m.messages.push_back(make_message(1, 1, 64));
+  const util::Bytes wire = encode(m);
+  EXPECT_NO_THROW(decode_pull_reply(util::ByteSpan(wire), kMaxMessages, 64));
+  EXPECT_THROW(decode_pull_reply(util::ByteSpan(wire), kMaxMessages, 63),
+               util::DecodeError);
+}
+
+}  // namespace
+}  // namespace drum::core
