@@ -1,0 +1,196 @@
+// swarm — the reactor-runtime scale benchmark (DESIGN.md §8, README
+// "Running a swarm").
+//
+// Hosts N protocol nodes plus a flooding adversary in ONE process, under
+// either the event-driven ReactorRuntime (default) or the thread-per-node
+// baseline, and reports threads / CPU / wall-clock delivery latency. The
+// comparison across 32/128/512 nodes is the reactor's headline number: same
+// protocol, ~10x fewer threads, less CPU burned per delivered message.
+//
+//   swarm [options]
+//     --nodes N        group size                      (default 128)
+//     --seconds S      measurement window              (default 10)
+//     --mode M         reactor | threads | both        (default both)
+//     --workers W      reactor worker threads          (default 2)
+//     --round MS       mean round duration, ms         (default 200)
+//     --rate R         source multicasts per round     (default 10)
+//     --alpha A        attacked fraction               (default 0.25)
+//     --x X            fabricated msgs/victim/round    (default 64)
+//     --udp            loopback UDP instead of mem net
+//     --json PATH      write BENCH_reactor.json-style report
+//     --seed S         RNG seed                        (default 1)
+//
+// Each mode runs in its own sequential phase so getrusage CPU deltas are
+// attributable; the JSON document carries one entry per phase.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "drum/harness/swarm.hpp"
+
+namespace {
+
+struct Options {
+  std::size_t nodes = 128;
+  int seconds = 10;
+  std::string mode = "both";
+  std::size_t workers = 2;
+  int round_ms = 200;
+  std::size_t rate = 10;
+  double alpha = 0.25;
+  double x = 64.0;
+  bool udp = false;
+  std::string json_path;
+  std::uint64_t seed = 1;
+};
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string report_json(const char* mode, const drum::harness::SwarmReport& r) {
+  std::string out = "    {\n";
+  out += "      \"mode\": \"" + std::string(mode) + "\",\n";
+  out += "      \"nodes\": " + std::to_string(r.nodes) + ",\n";
+  out += "      \"threads\": " + std::to_string(r.threads) + ",\n";
+  out += "      \"wall_s\": " + fmt(r.wall_s) + ",\n";
+  out += "      \"cpu_user_s\": " + fmt(r.cpu_user_s) + ",\n";
+  out += "      \"cpu_sys_s\": " + fmt(r.cpu_sys_s) + ",\n";
+  out += "      \"cpu_util\": " + fmt(r.cpu_util()) + ",\n";
+  out += "      \"rounds\": " + std::to_string(r.rounds) + ",\n";
+  out += "      \"polls\": " + std::to_string(r.polls) + ",\n";
+  out += "      \"delivered\": " + std::to_string(r.delivered) + ",\n";
+  out += "      \"attack_datagrams\": " + std::to_string(r.attack_datagrams) +
+         ",\n";
+  out += "      \"latency_samples\": " + std::to_string(r.latency_samples) +
+         ",\n";
+  out += "      \"latency_ms\": {\"mean\": " + fmt(r.latency_ms_mean) +
+         ", \"p50\": " + fmt(r.latency_ms_p50) +
+         ", \"p90\": " + fmt(r.latency_ms_p90) +
+         ", \"p99\": " + fmt(r.latency_ms_p99) + "},\n";
+  out += "      \"loop\": " + r.loop_metrics_json + "\n";
+  out += "    }";
+  return out;
+}
+
+drum::harness::SwarmReport run_phase(const Options& opt, bool reactor) {
+  drum::harness::SwarmConfig cfg;
+  cfg.n = opt.nodes;
+  cfg.alpha = opt.alpha;
+  cfg.x = opt.x;
+  cfg.seed = opt.seed;
+  cfg.round = std::chrono::milliseconds(opt.round_ms);
+  cfg.rate = opt.rate;
+  cfg.use_udp = opt.udp;
+  cfg.reactor = reactor;
+  cfg.workers = opt.workers;
+
+  drum::harness::Swarm swarm(cfg);
+  swarm.start();
+  swarm.run_for(std::chrono::seconds(opt.seconds));
+  swarm.stop();
+  auto r = swarm.report();
+
+  std::printf(
+      "%-8s nodes=%-4zu threads=%-4zu wall=%.1fs cpu=%.2fs (%.0f%%) "
+      "rounds=%llu delivered=%llu flood=%llu lat p50/p90/p99 = "
+      "%.1f/%.1f/%.1f ms\n",
+      reactor ? "reactor" : "threads", r.nodes, r.threads, r.wall_s,
+      r.cpu_total_s(), 100.0 * r.cpu_util(),
+      static_cast<unsigned long long>(r.rounds),
+      static_cast<unsigned long long>(r.delivered),
+      static_cast<unsigned long long>(r.attack_datagrams), r.latency_ms_p50,
+      r.latency_ms_p90, r.latency_ms_p99);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--nodes") {
+      opt.nodes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--seconds") {
+      opt.seconds = std::atoi(next());
+    } else if (a == "--mode") {
+      opt.mode = next();
+    } else if (a == "--workers") {
+      opt.workers = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--round") {
+      opt.round_ms = std::atoi(next());
+    } else if (a == "--rate") {
+      opt.rate = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--alpha") {
+      opt.alpha = std::atof(next());
+    } else if (a == "--x") {
+      opt.x = std::atof(next());
+    } else if (a == "--udp") {
+      opt.udp = true;
+    } else if (a == "--json") {
+      opt.json_path = next();
+    } else if (a == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (opt.mode != "reactor" && opt.mode != "threads" && opt.mode != "both") {
+    std::fprintf(stderr, "--mode must be reactor, threads, or both\n");
+    return 2;
+  }
+
+  std::printf(
+      "swarm: %zu nodes, %ds window, round %dms, alpha=%.2f x=%.0f, %s\n",
+      opt.nodes, opt.seconds, opt.round_ms, opt.alpha, opt.x,
+      opt.udp ? "udp" : "mem");
+
+  std::vector<std::string> entries;
+  if (opt.mode == "reactor" || opt.mode == "both") {
+    entries.push_back(report_json("reactor", run_phase(opt, true)));
+  }
+  if (opt.mode == "threads" || opt.mode == "both") {
+    entries.push_back(report_json("threads", run_phase(opt, false)));
+  }
+
+  if (!opt.json_path.empty()) {
+    std::string out = "{\n  \"bench\": \"reactor_swarm\",\n";
+    out += "  \"config\": {\"nodes\": " + std::to_string(opt.nodes);
+    out += ", \"seconds\": " + std::to_string(opt.seconds);
+    out += ", \"round_ms\": " + std::to_string(opt.round_ms);
+    out += ", \"rate\": " + std::to_string(opt.rate);
+    out += ", \"alpha\": " + fmt(opt.alpha);
+    out += ", \"x\": " + fmt(opt.x);
+    out += ", \"workers\": " + std::to_string(opt.workers);
+    out += ", \"transport\": \"" + std::string(opt.udp ? "udp" : "mem");
+    out += "\", \"seed\": " + std::to_string(opt.seed) + "},\n";
+    out += "  \"phases\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      out += entries[i];
+      out += i + 1 < entries.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    std::ofstream f(opt.json_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+    f << out;
+    std::printf("wrote %s\n", opt.json_path.c_str());
+  }
+  return 0;
+}

@@ -6,8 +6,11 @@
 #
 #   asan — AddressSanitizer + UndefinedBehaviorSanitizer: lifetime,
 #          bounds, aliasing, UB. Build dir: build-asan/.
-#   tsan — ThreadSanitizer: races on the NodeRunner / MemNetwork /
-#          contract-layer paths (tests/stress_test.cpp hammers them).
+#   tsan — ThreadSanitizer: races on the NodeRunner / ReactorRuntime /
+#          EventLoop / MemNetwork / contract-layer paths
+#          (tests/stress_test.cpp hammers them, including the reactor's
+#          loop-thread + worker-pool + readiness-bridge handoffs in
+#          Stress.ReactorConcurrentMulticastFloodAndChurn).
 #          Build dir: build-tsan/.
 #   all  — both, in sequence.
 #

@@ -41,9 +41,13 @@ Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
   }
   init_metrics();
   auto bind_wk = [&](std::uint16_t port, Channel ch) {
-    auto sock = transport_.bind(port);
-    if (!sock) throw std::runtime_error("failed to bind well-known port");
-    sockets_.push_back(BoundSocket{std::move(sock), ch, 0, true});
+    auto res = transport_.bind(port);
+    if (!res) {
+      throw std::runtime_error("failed to bind well-known port " +
+                               std::to_string(port) + ": " +
+                               net::to_string(res.error()));
+    }
+    sockets_.push_back(BoundSocket{res.take(), ch, 0, true});
   };
   if (cfg_.pull_enabled()) bind_wk(cfg_.wk_pull_port, Channel::kPullReq);
   if (cfg_.push_enabled()) bind_wk(cfg_.wk_offer_port, Channel::kOffer);
@@ -86,23 +90,36 @@ void Node::init_metrics() {
   h_poll_drained_ = &registry_.histogram("node.poll.drained");
 }
 
-NodeStats Node::stats() const {
+Node::~Node() {
+  if (!socket_hook_) return;
+  for (auto& bs : sockets_) socket_hook_(*bs.sock, /*added=*/false);
+}
+
+void Node::set_socket_hook(SocketHook hook) {
+  socket_hook_ = std::move(hook);
+  if (!socket_hook_) return;
+  for (auto& bs : sockets_) socket_hook_(*bs.sock, /*added=*/true);
+}
+
+NodeStats NodeStats::from_registry(const obs::MetricsRegistry& reg) {
   NodeStats s;
-  s.rounds = c_.rounds->value;
-  s.delivered = c_.delivered->value;
-  s.duplicates = c_.duplicates->value;
-  s.datagrams_read = c_.datagrams_read->value;
-  s.flushed_unread = c_.flushed_unread->value;
-  s.decode_errors = c_.decode_errors->value;
-  s.box_failures = c_.box_failures->value;
-  s.sig_failures = c_.sig_failures->value;
-  s.unknown_sender = c_.unknown_sender->value;
-  s.certs_admitted = c_.certs_admitted->value;
-  s.pull_requests_served = c_.pull_requests_served->value;
-  s.push_offers_answered = c_.push_offers_answered->value;
-  s.push_replies_acted = c_.push_replies_acted->value;
+  s.rounds = reg.counter_value("node.rounds");
+  s.delivered = reg.counter_value("node.delivered");
+  s.duplicates = reg.counter_value("node.duplicates");
+  s.datagrams_read = reg.counter_value("node.datagrams_read");
+  s.flushed_unread = reg.counter_value("node.flushed_unread");
+  s.decode_errors = reg.counter_value("node.decode_errors");
+  s.box_failures = reg.counter_value("node.box_failures");
+  s.sig_failures = reg.counter_value("node.sig_failures");
+  s.unknown_sender = reg.counter_value("node.unknown_sender");
+  s.certs_admitted = reg.counter_value("node.certs_admitted");
+  s.pull_requests_served = reg.counter_value("node.pull_requests_served");
+  s.push_offers_answered = reg.counter_value("node.push_offers_answered");
+  s.push_replies_acted = reg.counter_value("node.push_replies_acted");
   return s;
 }
+
+NodeStats Node::stats() const { return NodeStats::from_registry(registry_); }
 
 const Peer* Node::find_peer(std::uint32_t id) const {
   if (id >= peers_.size() || !peers_[id].present) return nullptr;
@@ -409,15 +426,21 @@ void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {
 }
 
 void Node::rotate_random_ports() {
-  // Retire expired random sockets.
+  // Retire expired random sockets, telling the runtime hook first so an
+  // event loop can drop its registration before the socket dies.
   std::erase_if(sockets_, [&](const BoundSocket& bs) {
-    return !bs.well_known &&
-           bs.created_round + cfg_.port_lifetime_rounds <= round_;
+    const bool expire = !bs.well_known &&
+                        bs.created_round + cfg_.port_lifetime_rounds <=
+                            round_;
+    if (expire && socket_hook_) socket_hook_(*bs.sock, /*added=*/false);
+    return expire;
   });
   auto bind_random = [&](Channel ch) -> std::uint16_t {
-    auto sock = transport_.bind(0);
-    if (!sock) return 0;
-    std::uint16_t port = sock->local().port;
+    auto res = transport_.bind(0);
+    if (!res) return 0;
+    std::uint16_t port = res->local().port;
+    auto sock = res.take();
+    if (socket_hook_) socket_hook_(*sock, /*added=*/true);
     sockets_.push_back(BoundSocket{std::move(sock), ch, round_, false});
     return port;
   };

@@ -62,6 +62,12 @@ struct Peer {
 /// from the node's obs::MetricsRegistry, which is the single bookkeeping
 /// path (the registry additionally holds per-channel counters and
 /// histograms; see Node::registry()).
+///
+/// DEPRECATED: new code should read the registry directly via the typed
+/// accessors (obs::MetricsRegistry::counter_value & friends) — the registry
+/// is the single source of truth and carries strictly more (per-channel
+/// telemetry, histograms, runtime timing). This mirror struct and
+/// Node::stats() remain as a thin compatibility shim for one release.
 struct NodeStats {
   std::uint64_t rounds = 0;
   std::uint64_t delivered = 0;    ///< new messages handed to the application
@@ -77,6 +83,10 @@ struct NodeStats {
   std::uint64_t pull_requests_served = 0;
   std::uint64_t push_offers_answered = 0;
   std::uint64_t push_replies_acted = 0;
+
+  /// Assembles the view from any registry holding "node.*" counters —
+  /// a single node's or a Cluster-merged one.
+  static NodeStats from_registry(const obs::MetricsRegistry& reg);
 };
 
 class Node {
@@ -95,6 +105,7 @@ class Node {
   Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
        net::Transport& transport, std::uint64_t rng_seed,
        DeliverFn on_deliver);
+  ~Node();
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -126,7 +137,21 @@ class Node {
   void set_own_certificate(util::Bytes own_cert);
   void set_cert_validator(CertValidator validator);
 
+  /// Socket lifecycle hook for readiness-driven runtimes (DESIGN.md §8): a
+  /// reactor must learn about every socket this node binds — including the
+  /// per-round random-port rotation — to (un)register it with its
+  /// EventLoop. Called as hook(socket, true) right after a socket is bound
+  /// and hook(socket, false) right before it is destroyed. Installing a
+  /// hook immediately replays all currently bound sockets as additions;
+  /// installing nullptr detaches without replay. The hook runs on whatever
+  /// thread drives the node (constructor thread at install, the runtime's
+  /// worker during on_round rotation) — never concurrently with itself,
+  /// because the node itself is single-threaded.
+  using SocketHook = std::function<void(net::Socket&, bool added)>;
+  void set_socket_hook(SocketHook hook);
+
   /// Counter summary, assembled from the registry (see NodeStats).
+  /// DEPRECATED shim — prefer registry() with the typed accessors.
   [[nodiscard]] NodeStats stats() const;
   /// The node's full metric store: the NodeStats counters under "node.*"
   /// plus per-channel telemetry under "chan.<name>.*" (read, flushed_unread,
@@ -219,6 +244,7 @@ class Node {
   std::unordered_map<std::uint32_t, util::Bytes> pair_keys_;
   util::Bytes own_cert_;
   CertValidator cert_validator_;
+  SocketHook socket_hook_;
 
   // Observability. The registry owns all counters/histograms; the structs
   // below cache handles resolved once in init_metrics() so the hot path

@@ -250,7 +250,7 @@ void Cluster::fire_attacker_burst() {
         if (!attacker_sock) {
           attacker_tr = std::make_unique<net::UdpTransport>(
               net::parse_ipv4("127.0.0.1"));
-          attacker_sock = attacker_tr->bind(0);
+          attacker_sock = attacker_tr->bind(0).take();
         }
         attacker_sock->send(target, util::ByteSpan(payload));
       }
@@ -385,30 +385,11 @@ void Cluster::maybe_sample_series() {
   next_sample_us_ += cfg_.round_us;
 }
 
-namespace {
-
-void accumulate(core::NodeStats& total, const core::NodeStats& s) {
-  total.rounds += s.rounds;
-  total.delivered += s.delivered;
-  total.duplicates += s.duplicates;
-  total.datagrams_read += s.datagrams_read;
-  total.flushed_unread += s.flushed_unread;
-  total.decode_errors += s.decode_errors;
-  total.box_failures += s.box_failures;
-  total.sig_failures += s.sig_failures;
-  total.unknown_sender += s.unknown_sender;
-  total.certs_admitted += s.certs_admitted;
-  total.pull_requests_served += s.pull_requests_served;
-  total.push_offers_answered += s.push_offers_answered;
-  total.push_replies_acted += s.push_replies_acted;
-}
-
-}  // namespace
-
+// All stat summaries are assembled from the nodes' metric registries — the
+// single bookkeeping path. Registry merge is the aggregation primitive;
+// NodeStats is just a flat view of the "node.*" counters.
 core::NodeStats Cluster::total_stats() const {
-  core::NodeStats total;
-  for (const auto& live : nodes_) accumulate(total, live.node->stats());
-  return total;
+  return core::NodeStats::from_registry(merged_registry(NodeSet::kAll));
 }
 
 std::vector<Cluster::PerNodeStats> Cluster::per_node_stats() const {
@@ -418,20 +399,15 @@ std::vector<Cluster::PerNodeStats> Cluster::per_node_stats() const {
     PerNodeStats per;
     per.id = live.id;
     per.attacked = is_attacked(live.id);
-    per.stats = live.node->stats();
+    per.stats = core::NodeStats::from_registry(live.node->registry());
     out.push_back(per);
   }
   return out;
 }
 
 core::NodeStats Cluster::split_stats(bool attacked) const {
-  core::NodeStats total;
-  for (const auto& live : nodes_) {
-    if (is_attacked(live.id) == attacked) {
-      accumulate(total, live.node->stats());
-    }
-  }
-  return total;
+  return core::NodeStats::from_registry(merged_registry(
+      attacked ? NodeSet::kAttacked : NodeSet::kNonAttacked));
 }
 
 obs::MetricsRegistry Cluster::merged_registry(NodeSet set) const {

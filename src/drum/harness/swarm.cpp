@@ -1,0 +1,327 @@
+#include "drum/harness/swarm.hpp"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "drum/check/check.hpp"
+#include "drum/core/message.hpp"
+#include "drum/crypto/portbox.hpp"
+#include "drum/net/udp_transport.hpp"
+
+namespace drum::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double tv_to_s(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+}  // namespace
+
+Swarm::Swarm(SwarmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  check::reset_nonce_tracker();
+  if (cfg_.n < 4) throw std::invalid_argument("swarm too small");
+  if (cfg_.payload_size < 8) {
+    throw std::invalid_argument("payload_size must fit the 8-byte timestamp");
+  }
+
+  if (!cfg_.use_udp) {
+    net::MemNetwork::Options opts;
+    opts.seed = rng_.next();
+    // Real time, not virtual: datagrams become receivable immediately and
+    // the readiness bridge wakes the loop; wall-clock scheduling supplies
+    // the contention a virtual latency models in Cluster.
+    opts.latency_us = 0;
+    mem_net_ = std::make_unique<net::MemNetwork>(opts);
+  }
+
+  const std::uint32_t udp_host = net::parse_ipv4("127.0.0.1");
+  std::vector<crypto::Identity> identities;
+  identities.reserve(cfg_.n);
+  directory_.resize(cfg_.n);
+  for (std::uint32_t id = 0; id < cfg_.n; ++id) {
+    identities.push_back(crypto::Identity::generate(rng_));
+    core::Peer& p = directory_[id];
+    p.id = id;
+    p.host = cfg_.use_udp ? udp_host : id;
+    p.wk_pull_port = static_cast<std::uint16_t>(cfg_.udp_base_port + 3 * id);
+    p.wk_offer_port =
+        static_cast<std::uint16_t>(cfg_.udp_base_port + 3 * id + 1);
+    p.wk_pull_reply_port =
+        static_cast<std::uint16_t>(cfg_.udp_base_port + 3 * id + 2);
+    p.sign_pub = identities[id].sign_public();
+    p.dh_pub = identities[id].dh_public();
+  }
+
+  auto n_attacked = static_cast<std::size_t>(
+      cfg_.alpha * static_cast<double>(cfg_.n) + 0.5);
+  n_attacked = std::min(n_attacked, cfg_.n);
+  if (cfg_.x > 0) {
+    for (std::size_t i = 0; i < n_attacked; ++i) {
+      victims_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  nodes_.reserve(cfg_.n);
+  for (std::uint32_t id = 0; id < cfg_.n; ++id) {
+    LiveNode live;
+    live.id = id;
+    live.transport = cfg_.use_udp
+                         ? std::unique_ptr<net::Transport>(
+                               std::make_unique<net::UdpTransport>(udp_host))
+                         : mem_net_->transport(id);
+    core::NodeConfig ncfg =
+        core::make_node_config(cfg_.variant, id, cfg_.fanout);
+    ncfg.wk_pull_port = directory_[id].wk_pull_port;
+    ncfg.wk_offer_port = directory_[id].wk_offer_port;
+    ncfg.wk_pull_reply_port = directory_[id].wk_pull_reply_port;
+    ncfg.verify_signatures = cfg_.verify_signatures;
+    live.node = std::make_unique<core::Node>(
+        ncfg, identities[id], directory_, *live.transport, rng_.next(),
+        [this](const core::Node::Delivery& d) { on_delivery(d); });
+    nodes_.push_back(std::move(live));
+  }
+
+  if (cfg_.reactor) {
+    runtime::ReactorConfig rc;
+    rc.round = cfg_.round;
+    rc.jitter = cfg_.jitter;
+    rc.workers = cfg_.workers;
+    reactor_ = std::make_unique<runtime::ReactorRuntime>(rc);
+    for (auto& live : nodes_) reactor_->add_node(*live.node, rng_.next());
+  } else {
+    runtime::RunnerConfig rc;
+    rc.round = cfg_.round;
+    rc.jitter = cfg_.jitter;
+    for (auto& live : nodes_) {
+      live.runner = std::make_unique<runtime::NodeRunner>(*live.node, rc,
+                                                          rng_.next());
+    }
+  }
+}
+
+Swarm::~Swarm() { stop(); }
+
+void Swarm::on_delivery(const core::Node::Delivery& d) {
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (!measuring_.load(std::memory_order_relaxed)) return;
+  if (d.msg.payload.size() < 8) return;
+  const auto sent =
+      static_cast<std::int64_t>(get_u64(d.msg.payload.data()));
+  const std::int64_t lat = now_us() - sent;
+  if (lat < 0) return;
+  std::lock_guard<std::mutex> lock(lat_mu_);
+  latency_ms_.add(static_cast<double>(lat) / 1000.0);
+}
+
+void Swarm::start() {
+  if (started_) return;
+  started_ = true;
+  if (reactor_) {
+    reactor_->start();
+  } else {
+    for (auto& live : nodes_) live.runner->start();
+  }
+  if (!victims_.empty()) {
+    attacker_stop_.store(false);
+    attacker_ = std::thread([this] { attacker_main(); });
+  }
+}
+
+void Swarm::stop() {
+  if (!started_) return;
+  started_ = false;
+  attacker_stop_.store(true);
+  if (attacker_.joinable()) attacker_.join();
+  if (reactor_) {
+    reactor_->stop();
+  } else {
+    for (auto& live : nodes_) live.runner->stop();
+  }
+}
+
+void Swarm::run_for(std::chrono::milliseconds d) {
+  DRUM_REQUIRE(started_, "run_for before start()");
+  rusage ru0{};
+  ::getrusage(RUSAGE_SELF, &ru0);
+  const auto t0 = Clock::now();
+  const auto end = t0 + d;
+  measuring_.store(true);
+
+  util::Bytes payload(cfg_.payload_size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.below(256));
+  const auto send_interval =
+      std::chrono::duration_cast<Clock::duration>(cfg_.round) /
+      static_cast<std::int64_t>(std::max<std::size_t>(1, cfg_.rate));
+  auto next_send = t0;
+  while (Clock::now() < end) {
+    put_u64(payload.data(), static_cast<std::uint64_t>(now_us()));
+    if (reactor_) {
+      reactor_->multicast(0, util::ByteSpan(payload));
+    } else {
+      nodes_[0].runner->multicast(util::ByteSpan(payload));
+    }
+    next_send += send_interval;
+    std::this_thread::sleep_until(std::min(next_send, end));
+  }
+
+  measuring_.store(false);
+  rusage ru1{};
+  ::getrusage(RUSAGE_SELF, &ru1);
+  wall_s_ += std::chrono::duration<double>(Clock::now() - t0).count();
+  cpu_user_s_ += tv_to_s(ru1.ru_utime) - tv_to_s(ru0.ru_utime);
+  cpu_sys_s_ += tv_to_s(ru1.ru_stime) - tv_to_s(ru0.ru_stime);
+}
+
+void Swarm::attacker_main() {
+  // Thread-confined RNG; the golden-ratio offset decorrelates it from the
+  // construction-time stream without reseeding the swarm.
+  util::Rng arng(cfg_.seed ^ 0x9E3779B97F4A7C15ull);
+  std::unique_ptr<net::Transport> tr;
+  std::unique_ptr<net::Socket> sock;
+  if (cfg_.use_udp) {
+    tr = std::make_unique<net::UdpTransport>(net::parse_ipv4("127.0.0.1"));
+    sock = tr->bind(0).take();
+    if (!sock) return;
+  }
+
+  const auto bursts =
+      std::max<std::size_t>(1, cfg_.attacker_bursts_per_round);
+  const auto gap = std::chrono::duration_cast<Clock::duration>(cfg_.round) /
+                   static_cast<std::int64_t>(bursts);
+  const double per_burst = cfg_.x / static_cast<double>(bursts);
+  std::uint64_t seq = 0;
+
+  // Per-victim scratch, grouped by destination port so the UDP path ships
+  // each group in one sendmmsg.
+  struct Group {
+    net::Address target;
+    std::vector<util::Bytes> payloads;
+    std::vector<util::ByteSpan> spans;
+  };
+  std::vector<Group> groups(3);
+
+  while (!attacker_stop_.load()) {
+    const auto burst_start = Clock::now();
+    for (auto victim : victims_) {
+      const core::Peer& p = directory_[victim];
+      auto count = static_cast<std::size_t>(per_burst);
+      if (arng.chance(per_burst - static_cast<double>(count))) ++count;
+      for (auto& g : groups) {
+        g.payloads.clear();
+        g.spans.clear();
+      }
+      groups[0].target = {p.host, p.wk_offer_port};
+      groups[1].target = {p.host, p.wk_pull_port};
+      groups[2].target = {p.host, p.wk_pull_reply_port};
+      for (std::size_t i = 0; i < count; ++i) {
+        util::Bytes garbage_box(crypto::kPortBoxOverhead + 2);
+        for (auto& b : garbage_box) {
+          b = static_cast<std::uint8_t>(arng.below(256));
+        }
+        auto fake_sender = static_cast<std::uint32_t>(arng.below(cfg_.n));
+        const std::uint64_t k = seq++;
+        std::size_t slot;
+        util::Bytes payload;
+        switch (cfg_.variant) {
+          case core::Variant::kPush:
+            slot = 0;
+            break;
+          case core::Variant::kPull:
+            slot = 1;
+            break;
+          case core::Variant::kDrumWkPorts:
+            // x/2 push, x/4 pull-request, x/4 pull-reply port (paper §9).
+            slot = k % 4 < 2 ? 0 : (k % 4 == 2 ? 1 : 2);
+            break;
+          case core::Variant::kDrum:
+          case core::Variant::kDrumSharedBounds:
+          default:
+            slot = k % 2;
+            break;
+        }
+        if (slot == 0) {
+          core::PushOffer offer;
+          offer.sender = fake_sender;
+          offer.boxed_reply_port = garbage_box;
+          payload = core::encode(offer);
+        } else if (slot == 1) {
+          core::PullRequest req;
+          req.sender = fake_sender;
+          req.boxed_reply_port = garbage_box;
+          payload = core::encode(req);
+        } else {
+          payload = core::encode(core::PullReply{fake_sender, {}});
+        }
+        groups[slot].payloads.push_back(std::move(payload));
+      }
+      for (auto& g : groups) {
+        if (g.payloads.empty()) continue;
+        if (mem_net_) {
+          for (const auto& pl : g.payloads) {
+            net::Address spoofed{
+                0xDEAD0000u | static_cast<std::uint32_t>(arng.below(65536)),
+                static_cast<std::uint16_t>(1024 + arng.below(60000))};
+            mem_net_->send_raw(spoofed, g.target, util::ByteSpan(pl));
+          }
+        } else {
+          g.spans.reserve(g.payloads.size());
+          for (const auto& pl : g.payloads) g.spans.emplace_back(pl);
+          sock->send_batch(g.target, g.spans.data(), g.spans.size());
+        }
+        attack_sent_.fetch_add(g.payloads.size(), std::memory_order_relaxed);
+      }
+    }
+    std::this_thread::sleep_until(burst_start + gap);
+  }
+}
+
+SwarmReport Swarm::report() const {
+  SwarmReport r;
+  r.nodes = nodes_.size();
+  r.threads = cfg_.reactor ? 1 + cfg_.workers : nodes_.size();
+  r.wall_s = wall_s_;
+  r.cpu_user_s = cpu_user_s_;
+  r.cpu_sys_s = cpu_sys_s_;
+  obs::MetricsRegistry merged;
+  for (const auto& live : nodes_) merged.merge(live.node->registry());
+  r.rounds = merged.counter_value("runner.ticks");
+  r.polls = merged.counter_value("runner.polls");
+  r.delivered = merged.counter_value("node.delivered");
+  r.attack_datagrams = attack_sent_.load();
+  {
+    std::lock_guard<std::mutex> lock(lat_mu_);
+    r.latency_samples = latency_ms_.count();
+    r.latency_ms_mean = latency_ms_.mean();
+    r.latency_ms_p50 = latency_ms_.percentile(0.50);
+    r.latency_ms_p90 = latency_ms_.percentile(0.90);
+    r.latency_ms_p99 = latency_ms_.percentile(0.99);
+  }
+  if (reactor_) r.loop_metrics_json = reactor_->loop_registry().to_json();
+  return r;
+}
+
+}  // namespace drum::harness

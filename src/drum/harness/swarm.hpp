@@ -1,0 +1,154 @@
+// Swarm — the *real-time* many-nodes-in-one-process harness (DESIGN.md §8).
+//
+// Cluster simulates the paper's experiments in virtual time; Swarm runs the
+// same protocol nodes against the wall clock to measure the *runtime* itself:
+// how many nodes one process sustains, at what thread count and CPU cost, and
+// with what delivery latency — the ReactorRuntime's reason to exist. Two
+// execution modes over identical node code:
+//
+//  * reactor (default): one ReactorRuntime — a single event loop plus a small
+//    worker pool — hosts every node;
+//  * thread-per-node baseline: one NodeRunner (and thus one thread) per node,
+//    the deployment shape the paper's per-machine JVMs imply.
+//
+// A flooding adversary thread sends fabricated control messages at the
+// attacked nodes' well-known ports continuously (spoofed sources on the mem
+// network; a real socket with sendmmsg batching on UDP), so the swarm also
+// demonstrates DoS pressure with unsynchronized rounds at scale.
+//
+// Delivery latency is measured end-to-end in wall time: the source embeds a
+// steady-clock timestamp in each payload's first 8 bytes; every delivery
+// callback subtracts it. examples/swarm.cpp turns the report into
+// BENCH_reactor.json.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "drum/core/config.hpp"
+#include "drum/core/node.hpp"
+#include "drum/net/mem_transport.hpp"
+#include "drum/obs/metrics.hpp"
+#include "drum/runtime/reactor.hpp"
+#include "drum/runtime/runner.hpp"
+#include "drum/util/rng.hpp"
+#include "drum/util/stats.hpp"
+
+namespace drum::harness {
+
+struct SwarmConfig {
+  core::Variant variant = core::Variant::kDrum;
+  std::size_t n = 512;     ///< live (all correct) nodes
+  double alpha = 0.0;      ///< attacked fraction of the group
+  double x = 0.0;          ///< fabricated msgs per victim per round
+  std::size_t fanout = 4;
+  std::uint64_t seed = 1;
+  /// Mean local round duration. Scaled down from the paper's 1 s so short
+  /// benchmark windows still cover many rounds.
+  std::chrono::milliseconds round{200};
+  double jitter = 0.2;          ///< per-node tick jitter (+/- fraction)
+  std::size_t rate = 10;        ///< source multicasts per round
+  std::size_t payload_size = 64;  ///< bytes; >= 8 (timestamp header)
+  bool use_udp = false;         ///< real loopback UDP instead of mem net
+  std::uint16_t udp_base_port = 31000;
+  bool reactor = true;          ///< false: thread-per-node baseline
+  std::size_t workers = 2;      ///< reactor worker threads (0 = loop only)
+  /// Flood pacing: each burst delivers x / bursts fabricated datagrams per
+  /// victim.
+  std::size_t attacker_bursts_per_round = 20;
+  bool verify_signatures = true;
+};
+
+/// What one measurement window produced. All times are wall-clock.
+struct SwarmReport {
+  std::size_t nodes = 0;
+  /// Threads the runtime spawned to execute protocol nodes (loop + workers
+  /// for the reactor; n for the baseline). Excludes the attacker and the
+  /// caller.
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+  double cpu_user_s = 0.0;  ///< getrusage(RUSAGE_SELF) delta over the window
+  double cpu_sys_s = 0.0;
+  std::uint64_t rounds = 0;     ///< sum of node round ticks
+  std::uint64_t polls = 0;      ///< sum of poll() invocations
+  std::uint64_t delivered = 0;  ///< application deliveries (all nodes)
+  std::uint64_t attack_datagrams = 0;
+  std::uint64_t latency_samples = 0;
+  double latency_ms_mean = 0.0;
+  double latency_ms_p50 = 0.0;
+  double latency_ms_p90 = 0.0;
+  double latency_ms_p99 = 0.0;
+  /// Event-loop telemetry ("loop.*", "reactor.timer_resyncs") as JSON;
+  /// "{}" in baseline mode.
+  std::string loop_metrics_json = "{}";
+
+  [[nodiscard]] double cpu_total_s() const { return cpu_user_s + cpu_sys_s; }
+  /// Process CPU utilization over the window (1.0 = one saturated core).
+  [[nodiscard]] double cpu_util() const {
+    return wall_s > 0 ? cpu_total_s() / wall_s : 0.0;
+  }
+};
+
+class Swarm {
+ public:
+  explicit Swarm(SwarmConfig cfg);
+  ~Swarm();
+
+  Swarm(const Swarm&) = delete;
+  Swarm& operator=(const Swarm&) = delete;
+
+  /// Launches the runtime (and the attacker when x > 0 and alpha > 0).
+  void start();
+  /// Drives the source workload from the calling thread for `d` wall time
+  /// while the nodes gossip; accumulates the measurement window.
+  void run_for(std::chrono::milliseconds d);
+  /// Stops attacker and runtime; idempotent.
+  void stop();
+
+  /// Assembles the report from the accumulated window + node registries.
+  /// Call after stop().
+  [[nodiscard]] SwarmReport report() const;
+
+  [[nodiscard]] const SwarmConfig& config() const { return cfg_; }
+
+ private:
+  struct LiveNode {
+    std::uint32_t id = 0;
+    std::unique_ptr<net::Transport> transport;
+    std::unique_ptr<core::Node> node;
+    std::unique_ptr<runtime::NodeRunner> runner;  // baseline mode only
+  };
+
+  void on_delivery(const core::Node::Delivery& d);
+  void attacker_main();
+
+  SwarmConfig cfg_;
+  util::Rng rng_;
+  std::unique_ptr<net::MemNetwork> mem_net_;  // null in UDP mode
+  std::vector<core::Peer> directory_;
+  std::vector<LiveNode> nodes_;
+  std::vector<std::uint32_t> victims_;
+  std::unique_ptr<runtime::ReactorRuntime> reactor_;  // reactor mode only
+
+  std::thread attacker_;
+  std::atomic<bool> attacker_stop_{false};
+  std::atomic<std::uint64_t> attack_sent_{0};
+
+  std::atomic<bool> measuring_{false};
+  mutable std::mutex lat_mu_;
+  util::Samples latency_ms_;
+  std::atomic<std::uint64_t> delivered_{0};
+
+  double wall_s_ = 0.0;
+  double cpu_user_s_ = 0.0;
+  double cpu_sys_s_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace drum::harness

@@ -66,7 +66,7 @@ util::Bytes join_request_proof_bytes(std::uint32_t id, std::uint32_t host,
 
 CaServer::CaServer(CertificationAuthority& ca, net::Transport& transport,
                    std::uint16_t port)
-    : ca_(ca), sock_(transport.bind(port)) {
+    : ca_(ca), sock_(transport.bind(port).take()) {
   if (!sock_) throw std::runtime_error("CA port taken");
 }
 
@@ -139,7 +139,7 @@ std::size_t CaServer::poll() {
 }
 
 CaClient::CaClient(net::Transport& transport, net::Address ca_address)
-    : ca_address_(ca_address), sock_(transport.bind(0)) {
+    : ca_address_(ca_address), sock_(transport.bind(0).take()) {
   if (!sock_) throw std::runtime_error("no ephemeral port for CA client");
 }
 

@@ -12,4 +12,29 @@ std::string to_string(const Address& a) {
   return buf;
 }
 
+const char* to_string(BindError e) {
+  switch (e) {
+    case BindError::kNone: return "ok";
+    case BindError::kPortTaken: return "port taken";
+    case BindError::kPortsExhausted: return "ephemeral ports exhausted";
+    case BindError::kSystem: return "system error";
+  }
+  return "unknown bind error";
+}
+
+std::size_t Socket::recv_batch(Datagram* out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max) {
+    auto d = recv();
+    if (!d) break;
+    out[n++] = std::move(*d);
+  }
+  return n;
+}
+
+void Socket::send_batch(const Address& to, const util::ByteSpan* payloads,
+                        std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) send(to, payloads[i]);
+}
+
 }  // namespace drum::net

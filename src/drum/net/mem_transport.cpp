@@ -35,6 +35,10 @@ class MemSocket final : public Socket {
 
   [[nodiscard]] Address local() const override { return local_; }
 
+  void set_ready_callback(std::function<void()> cb) override {
+    net_.set_queue_ready_callback(local_, std::move(cb));
+  }
+
  private:
   MemNetwork& net_;
   Address local_;
@@ -44,14 +48,14 @@ class MemTransport final : public Transport {
  public:
   MemTransport(MemNetwork& net, std::uint32_t host) : net_(net), host_(host) {}
 
-  std::unique_ptr<Socket> bind(std::uint16_t port) override {
+  BindResult bind(std::uint16_t port) override {
     Address addr{host_, port};
     if (port == 0) {
       addr.port = net_.pick_ephemeral(host_);
-      if (addr.port == 0) return nullptr;  // exhausted
+      if (addr.port == 0) return BindError::kPortsExhausted;
       return std::make_unique<MemSocket>(net_, addr);
     }
-    if (!net_.bind_queue(addr)) return nullptr;
+    if (!net_.bind_queue(addr)) return BindError::kPortTaken;
     return std::make_unique<MemSocket>(net_, addr);
   }
 
@@ -100,44 +104,52 @@ void MemNetwork::set_registry(obs::MetricsRegistry* registry) {
 
 void MemNetwork::deliver(const Address& from, const Address& to,
                          util::ByteSpan payload) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (opts_.loss > 0 && rng_.chance(opts_.loss)) {
-    ++dropped_;
-    if (m_dropped_loss_) m_dropped_loss_->inc();
-    return;
+  // The ready callback fires outside the lock: it typically reaches into an
+  // EventLoop (its own mutex + eventfd), and holding the network lock across
+  // foreign code invites lock-order cycles.
+  std::function<void()> notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (opts_.loss > 0 && rng_.chance(opts_.loss)) {
+      ++dropped_;
+      if (m_dropped_loss_) m_dropped_loss_->inc();
+      return;
+    }
+    auto it = queues_.find(to);
+    if (it == queues_.end()) {
+      ++dropped_;  // no listener: silently dropped, like UDP
+      if (m_dropped_no_listener_) m_dropped_no_listener_->inc();
+      return;
+    }
+    if (it->second.q.size() >= opts_.queue_capacity) {
+      ++dropped_;  // queue overflow: the flood's direct effect
+      if (m_dropped_overflow_) m_dropped_overflow_->inc();
+      return;
+    }
+    std::int64_t ready_at = now_us_;
+    if (opts_.latency_us > 0) {
+      double jitter =
+          1.0 + opts_.latency_jitter * (2.0 * rng_.uniform() - 1.0);
+      ready_at += static_cast<std::int64_t>(
+          static_cast<double>(opts_.latency_us) * jitter);
+    }
+    DRUM_ASSERT(ready_at >= now_us_, "datagram scheduled in the past");
+    it->second.q.emplace(ready_at,
+                         Datagram{from, util::Bytes(payload.begin(),
+                                                    payload.end())});
+    // The overflow branch above is the only admission control; a queue past
+    // its capacity means the bounded-socket-buffer model is broken.
+    DRUM_INVARIANT(it->second.q.size() <= opts_.queue_capacity,
+                   "receive queue exceeded its capacity: ",
+                   it->second.q.size(), "/", opts_.queue_capacity);
+    ++delivered_;
+    if (m_delivered_) {
+      m_delivered_->inc();
+      m_queue_depth_->record(it->second.q.size());
+    }
+    notify = it->second.on_ready;  // copy: the queue may die after unlock
   }
-  auto it = queues_.find(to);
-  if (it == queues_.end()) {
-    ++dropped_;  // no listener: silently dropped, like UDP
-    if (m_dropped_no_listener_) m_dropped_no_listener_->inc();
-    return;
-  }
-  if (it->second.q.size() >= opts_.queue_capacity) {
-    ++dropped_;  // queue overflow: the flood's direct effect
-    if (m_dropped_overflow_) m_dropped_overflow_->inc();
-    return;
-  }
-  std::int64_t ready_at = now_us_;
-  if (opts_.latency_us > 0) {
-    double jitter =
-        1.0 + opts_.latency_jitter * (2.0 * rng_.uniform() - 1.0);
-    ready_at += static_cast<std::int64_t>(
-        static_cast<double>(opts_.latency_us) * jitter);
-  }
-  DRUM_ASSERT(ready_at >= now_us_, "datagram scheduled in the past");
-  it->second.q.emplace(ready_at,
-                       Datagram{from, util::Bytes(payload.begin(),
-                                                  payload.end())});
-  // The overflow branch above is the only admission control; a queue past
-  // its capacity means the bounded-socket-buffer model is broken.
-  DRUM_INVARIANT(it->second.q.size() <= opts_.queue_capacity,
-                 "receive queue exceeded its capacity: ", it->second.q.size(),
-                 "/", opts_.queue_capacity);
-  ++delivered_;
-  if (m_delivered_) {
-    m_delivered_->inc();
-    m_queue_depth_->record(it->second.q.size());
-  }
+  if (notify) notify();
 }
 
 void MemNetwork::advance_to(std::int64_t now_us) {
@@ -155,6 +167,13 @@ bool MemNetwork::bind_queue(const Address& at) {
 void MemNetwork::unbind_queue(const Address& at) {
   std::lock_guard<std::mutex> lock(mu_);
   queues_.erase(at);
+}
+
+void MemNetwork::set_queue_ready_callback(const Address& at,
+                                          std::function<void()> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(at);
+  if (it != queues_.end()) it->second.on_ready = std::move(cb);
 }
 
 std::uint16_t MemNetwork::pick_ephemeral(std::uint32_t host) {

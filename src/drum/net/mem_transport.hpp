@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -77,11 +78,16 @@ class MemNetwork {
   struct Queue {
     // Ordered by delivery time (latency jitter can reorder datagrams).
     std::multimap<std::int64_t, Datagram> q;
+    /// Readiness bridge (Socket::set_ready_callback): invoked after each
+    /// delivery into this queue, outside the network lock, on the sender's
+    /// thread. Null when no listener is attached.
+    std::function<void()> on_ready;
   };
 
   void deliver(const Address& from, const Address& to, util::ByteSpan payload);
   bool bind_queue(const Address& at);
   void unbind_queue(const Address& at);
+  void set_queue_ready_callback(const Address& at, std::function<void()> cb);
   std::uint16_t pick_ephemeral(std::uint32_t host);
 
   mutable std::mutex mu_;

@@ -1,8 +1,10 @@
 // Real UDP sockets (IPv4). Substitutes for the paper's 100 Mbit Emulab LAN:
-// all 50 processes run on this machine, each node binding its own set of
-// loopback UDP ports. Sockets are non-blocking; the node's poll loop drains
-// them. The OS socket buffer plays the bounded-receive-queue role that a
-// flood fills.
+// all processes run on this machine, each node binding its own set of
+// loopback UDP ports. Sockets are non-blocking; a poll loop or the epoll
+// EventLoop drains them (UdpSocket exposes its fd via native_handle()). The
+// OS socket buffer plays the bounded-receive-queue role that a flood fills.
+// recv_batch()/send_batch() use recvmmsg/sendmmsg so victims drain and the
+// attack generator sprays at line rate, one syscall per batch.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +23,7 @@ class UdpTransport final : public Transport {
   /// All sockets bind on `host` (default loopback).
   explicit UdpTransport(std::uint32_t host = parse_ipv4("127.0.0.1"));
 
-  std::unique_ptr<Socket> bind(std::uint16_t port) override;
+  BindResult bind(std::uint16_t port) override;
   [[nodiscard]] std::uint32_t host() const override { return host_; }
 
   /// Attaches a metrics registry (nullptr detaches); applies to sockets

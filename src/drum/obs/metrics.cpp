@@ -155,6 +155,27 @@ std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
   return c ? c->value : 0;
 }
 
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const Gauge* g = find_gauge(name);
+  return g ? g->value : 0.0;
+}
+
+std::uint64_t MetricsRegistry::histogram_count(std::string_view name) const {
+  const Histogram* h = find_histogram(name);
+  return h ? h->count() : 0;
+}
+
+double MetricsRegistry::histogram_mean(std::string_view name) const {
+  const Histogram* h = find_histogram(name);
+  return h ? h->mean() : 0.0;
+}
+
+double MetricsRegistry::histogram_quantile(std::string_view name,
+                                           double p) const {
+  const Histogram* h = find_histogram(name);
+  return h && h->count() ? h->quantile(p) : 0.0;
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) {
     counter(name).value += c.value;

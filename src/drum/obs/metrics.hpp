@@ -99,8 +99,16 @@ class MetricsRegistry {
   [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
   [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
 
-  /// Convenience: the counter's value, or 0 when absent.
+  /// Typed read accessors — the supported way to consume metrics (the
+  /// NodeStats mirror struct is a deprecated shim over these). Absent
+  /// metrics read as 0, so callers need no existence checks.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+  [[nodiscard]] std::uint64_t histogram_count(std::string_view name) const;
+  [[nodiscard]] double histogram_mean(std::string_view name) const;
+  /// p in [0,1]; 0 when the histogram is absent or empty.
+  [[nodiscard]] double histogram_quantile(std::string_view name,
+                                          double p) const;
 
   /// Adds the other registry's contents into this one: counters and
   /// histograms add, gauges sum. Associative and commutative, so per-node

@@ -1,0 +1,230 @@
+#include "drum/runtime/reactor.hpp"
+
+#include "drum/check/check.hpp"
+
+namespace drum::runtime {
+
+using Clock = net::EventLoop::Clock;
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+
+ReactorRuntime::ReactorRuntime(ReactorConfig cfg) : cfg_(cfg) {
+  DRUM_REQUIRE(cfg.round.count() > 0, "round duration must be positive");
+  DRUM_REQUIRE(cfg.jitter >= 0.0 && cfg.jitter < 1.0,
+               "jitter must be in [0, 1): ", cfg.jitter);
+  loop_.set_registry(&loop_registry_);
+  m_resyncs_ = &loop_registry_.counter("reactor.timer_resyncs");
+}
+
+ReactorRuntime::~ReactorRuntime() { stop(); }
+
+ReactorRuntime::NodeId ReactorRuntime::add_node(core::Node& node,
+                                                std::uint64_t seed) {
+  DRUM_REQUIRE(!running_.load(), "add_node while the reactor is running");
+  nodes_.emplace_back(node, seed);
+  NodeState& st = nodes_.back();
+  if (cfg_.instrument) {
+    auto& reg = node.registry();
+    st.m_ticks = &reg.counter("runner.ticks");
+    st.m_polls = &reg.counter("runner.polls");
+    st.m_poll_us = &reg.histogram("runner.poll_us");
+    st.m_tick_interval_us = &reg.histogram("runner.tick_interval_us");
+    st.m_dispatch_us = &reg.histogram("reactor.dispatch_us");
+  }
+  return nodes_.size() - 1;
+}
+
+Clock::duration ReactorRuntime::jittered_round(NodeState& st) {
+  double j = 1.0 + cfg_.jitter * (2.0 * st.rng.uniform() - 1.0);
+  return duration_cast<Clock::duration>(cfg_.round * j);
+}
+
+void ReactorRuntime::install_hooks(NodeState& st) {
+  NodeState* stp = &st;
+  // Replays existing sockets immediately and fires again on every per-round
+  // random-port rotation (from a worker, inside on_round, under st.mu).
+  st.node->set_socket_hook([this, stp](net::Socket& sock, bool added) {
+    if (added) {
+      auto id = loop_.add_socket(sock, [this, stp] {
+        stp->ready.store(true);
+        dispatch(*stp);
+      });
+      std::lock_guard<std::mutex> lock(sources_mu_);
+      sources_[&sock] = id;
+    } else {
+      net::EventLoop::SourceId id = 0;
+      {
+        std::lock_guard<std::mutex> lock(sources_mu_);
+        auto it = sources_.find(&sock);
+        if (it == sources_.end()) return;
+        id = it->second;
+        sources_.erase(it);
+      }
+      loop_.remove_socket(id);
+    }
+  });
+}
+
+void ReactorRuntime::arm_first_tick(NodeState& st) {
+  st.next_deadline = Clock::now() + jittered_round(st);
+  st.last_tick = Clock::now();
+  st.timer_id =
+      loop_.add_timer(st.next_deadline, [this, &st] { on_round_timer(st); });
+}
+
+void ReactorRuntime::on_round_timer(NodeState& st) {
+  st.fire_us.store(
+      duration_cast<microseconds>(Clock::now().time_since_epoch()).count());
+  st.round_due.store(true);
+  dispatch(st);
+  // Drift-free re-arm: the next deadline grows from the previous *deadline*,
+  // so dispatch slop never accumulates. Only when a stall has pushed us a
+  // full round (or more) behind do we resync to now — skipping the backlog
+  // instead of burst-firing it.
+  st.next_deadline += jittered_round(st);
+  auto now = Clock::now();
+  if (st.next_deadline <= now) {
+    st.next_deadline = now + jittered_round(st);
+    m_resyncs_->inc();
+  }
+  st.timer_id =
+      loop_.add_timer(st.next_deadline, [this, &st] { on_round_timer(st); });
+}
+
+void ReactorRuntime::dispatch(NodeState& st) {
+  // `scheduled` only dedups queue entries. A notifier that loses this race
+  // is covered: the winner clears `scheduled` before draining the flags, so
+  // any flag set after that drain finds `scheduled` false and re-enqueues.
+  if (st.scheduled.exchange(true)) return;
+  if (workers_.empty()) {
+    run_node(st);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(&st);
+  }
+  queue_cv_.notify_one();
+}
+
+void ReactorRuntime::run_node(NodeState& st) {
+  st.scheduled.store(false);
+  std::lock_guard<std::mutex> lock(st.mu);
+  for (;;) {
+    const bool r = st.ready.exchange(false);
+    const bool rd = st.round_due.exchange(false);
+    if (!r && !rd) break;
+    if (r) {
+      if (st.m_polls) {
+        auto t0 = Clock::now();
+        st.node->poll();
+        auto dt = duration_cast<microseconds>(Clock::now() - t0).count();
+        st.m_polls->inc();
+        st.m_poll_us->record(static_cast<std::uint64_t>(dt));
+      } else {
+        st.node->poll();
+      }
+    }
+    if (rd) {
+      auto now = Clock::now();
+      st.node->on_round();
+      if (st.m_ticks) {
+        st.m_ticks->inc();
+        auto gap = duration_cast<microseconds>(now - st.last_tick).count();
+        st.m_tick_interval_us->record(static_cast<std::uint64_t>(gap));
+        auto now_us =
+            duration_cast<microseconds>(now.time_since_epoch()).count();
+        auto slop = now_us - st.fire_us.load();
+        st.m_dispatch_us->record(
+            static_cast<std::uint64_t>(slop < 0 ? 0 : slop));
+        st.last_tick = now;
+      }
+    }
+  }
+}
+
+void ReactorRuntime::worker_main() {
+  for (;;) {
+    NodeState* st = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return workers_stop_ || !queue_.empty(); });
+      if (workers_stop_ && queue_.empty()) return;
+      st = queue_.front();
+      queue_.pop_front();
+    }
+    run_node(*st);
+  }
+}
+
+void ReactorRuntime::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_stop_ = false;
+  }
+  // Workers first so inline-vs-queued dispatch is decided before any event
+  // can fire (dispatch() keys off workers_.empty()).
+  for (std::size_t i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+  for (auto& st : nodes_) {
+    // add_socket queues an initial catch-up dispatch per socket, so
+    // datagrams that arrived before start() are polled without an explicit
+    // kick here.
+    install_hooks(st);
+    arm_first_tick(st);
+  }
+  // Clear any stop request left by a previous run; lifecycle_mu_ guarantees
+  // no stop() can race this before the new loop thread is launched.
+  loop_.reset();
+  loop_thread_ = std::thread([this] { loop_.run(); });
+}
+
+void ReactorRuntime::stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!running_.load()) return;
+  loop_.stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // With all threads quiesced, return the nodes to plain single-threaded
+  // life: cancel round timers (else a restart would burst-fire the stale
+  // backlog), detach the hooks, and unregister every socket.
+  for (auto& st : nodes_) {
+    loop_.cancel_timer(st.timer_id);
+    st.node->set_socket_hook(nullptr);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sources_mu_);
+    for (auto& [sock, id] : sources_) loop_.remove_socket(id);
+    sources_.clear();
+  }
+  running_.store(false);
+}
+
+core::MessageId ReactorRuntime::multicast(NodeId id, util::ByteSpan payload) {
+  DRUM_REQUIRE(id < nodes_.size(), "multicast: bad node id ", id);
+  NodeState& st = nodes_[id];
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.node->multicast(payload);
+}
+
+void ReactorRuntime::with_node(NodeId id,
+                               const std::function<void(core::Node&)>& fn) {
+  DRUM_REQUIRE(id < nodes_.size(), "with_node: bad node id ", id);
+  DRUM_REQUIRE(fn != nullptr, "with_node requires a callable");
+  NodeState& st = nodes_[id];
+  std::lock_guard<std::mutex> lock(st.mu);
+  fn(*st.node);
+}
+
+}  // namespace drum::runtime

@@ -1,0 +1,173 @@
+// ReactorRuntime — event-driven execution of many protocol nodes in one
+// process (DESIGN.md §8).
+//
+// The thread-per-node NodeRunner shape matches the paper's deployment (one
+// JVM per machine) but caps a single-process experiment at a few dozen nodes:
+// each node costs a thread that wakes every poll_interval whether or not
+// datagrams arrived. ReactorRuntime inverts that: one net::EventLoop owns
+// readiness (epoll for UDP sockets, the wakeup bridge for MemTransport, a
+// timerfd-backed deadline queue for round ticks), and a small worker pool
+// executes node callbacks only when there is work. 512 nodes plus a flooding
+// adversary fit in one Release process (examples/swarm.cpp).
+//
+// Serialization contract: a core::Node stays single-threaded. Every entry
+// into a node — poll(), on_round(), multicast(), with_node() — happens under
+// that node's own mutex; the scheduled/ready/round_due flags ensure at most
+// one worker drains a node at a time and no readiness edge is lost. Delivery
+// callbacks therefore run on whichever thread is currently driving the node
+// (a worker, or the loop thread when workers == 0) and must never re-enter
+// poll()/on_round() — the same `in_poll_`/`in_round_` invariant the node
+// itself asserts.
+//
+// Round ticks are per-node one-shot timers re-armed from the previous
+// deadline (next = previous + jittered(round)), never from "now" — so
+// per-tick dispatch latency does not accumulate into drift. A node that
+// falls more than one full round behind (a stalled debug build, a paused
+// process) resynchronizes to now instead of burst-firing the backlog; the
+// "reactor.timer_resyncs" loop counter records each such skip.
+//
+// Telemetry: each node's registry gains the same "runner.*" metrics
+// NodeRunner wrote (ticks, polls, poll_us, tick_interval_us) plus
+// "reactor.dispatch_us" — the delay between a round tick firing on the loop
+// thread and the node actually executing it. The loop's own registry
+// (loop_registry()) carries the "loop.*" metrics from net::EventLoop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "drum/core/node.hpp"
+#include "drum/net/event_loop.hpp"
+#include "drum/util/rng.hpp"
+
+namespace drum::runtime {
+
+struct ReactorConfig {
+  /// Mean local round duration (paper: ~1 s).
+  std::chrono::milliseconds round{1000};
+  /// Uniform jitter as a fraction of `round` (+/-): keeps rounds
+  /// unsynchronized across nodes (paper §4, §8).
+  double jitter = 0.2;
+  /// Worker threads executing node callbacks. 0 dispatches inline on the
+  /// loop thread — one thread total, the NodeRunner-compatibility shape.
+  std::size_t workers = 0;
+  /// Record "runner.*" / "reactor.*" timing into each node's registry.
+  bool instrument = true;
+};
+
+class ReactorRuntime {
+ public:
+  using NodeId = std::size_t;
+
+  explicit ReactorRuntime(ReactorConfig cfg);
+  /// Stops and joins if still running.
+  ~ReactorRuntime();
+
+  ReactorRuntime(const ReactorRuntime&) = delete;
+  ReactorRuntime& operator=(const ReactorRuntime&) = delete;
+
+  /// Registers a node; only legal while stopped. `node` must outlive the
+  /// runtime. `seed` feeds this node's tick-jitter RNG. Returns the id used
+  /// by multicast()/with_node().
+  NodeId add_node(core::Node& node, std::uint64_t seed);
+
+  /// Installs socket hooks, arms every node's first round tick, and launches
+  /// the loop + worker threads. Idempotent while running.
+  void start();
+  /// Idempotent; blocks until all threads joined, then detaches the socket
+  /// hooks so nodes are plain single-threaded objects again. start() may be
+  /// called again afterwards.
+  void stop();
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Thread-safe multicast through node `id`.
+  core::MessageId multicast(NodeId id, util::ByteSpan payload);
+
+  /// Runs `fn` with exclusive access to node `id`. Keep it short — it blocks
+  /// that node's protocol (and a worker slot).
+  void with_node(NodeId id, const std::function<void(core::Node&)>& fn);
+
+  /// The loop's own telemetry ("loop.*" counters, timer slop histogram,
+  /// "reactor.timer_resyncs"). Read only while stopped.
+  [[nodiscard]] const obs::MetricsRegistry& loop_registry() const {
+    return loop_registry_;
+  }
+
+ private:
+  struct NodeState {
+    core::Node* node = nullptr;
+    util::Rng rng;  ///< tick jitter; loop thread only (after start)
+
+    /// Serializes all entry into the node.
+    std::mutex mu;
+    /// True while the node sits in the run queue or a worker is draining it
+    /// — prevents duplicate queue entries, not duplicate work (mu does
+    /// that).
+    std::atomic<bool> scheduled{false};
+    std::atomic<bool> ready{false};      ///< sockets may have datagrams
+    std::atomic<bool> round_due{false};  ///< the round timer fired
+
+    // Round-tick bookkeeping; loop thread only.
+    net::EventLoop::Clock::time_point next_deadline{};
+    net::EventLoop::TimerId timer_id = 0;
+    /// When the current round tick fired, as µs since the steady-clock
+    /// epoch. Atomic because the next tick can (rarely) fire while a worker
+    /// is still reading the previous value.
+    std::atomic<std::int64_t> fire_us{0};
+
+    // Telemetry; written under mu. Same names NodeRunner used, so merged
+    // experiment metrics read identically across runtimes.
+    obs::Counter* m_ticks = nullptr;
+    obs::Counter* m_polls = nullptr;
+    obs::Histogram* m_poll_us = nullptr;
+    obs::Histogram* m_tick_interval_us = nullptr;
+    obs::Histogram* m_dispatch_us = nullptr;
+    net::EventLoop::Clock::time_point last_tick{};
+
+    explicit NodeState(core::Node& n, std::uint64_t seed)
+        : node(&n), rng(seed) {}
+  };
+
+  net::EventLoop::Clock::duration jittered_round(NodeState& st);
+  void arm_first_tick(NodeState& st);
+  void on_round_timer(NodeState& st);  // loop thread
+  /// Queues `st` for a worker (or drains it inline when workers == 0).
+  void dispatch(NodeState& st);
+  /// Drains one node: poll / on_round until both flags are clear.
+  void run_node(NodeState& st);
+  void worker_main();
+  void install_hooks(NodeState& st);
+
+  ReactorConfig cfg_;
+  net::EventLoop loop_;
+  obs::MetricsRegistry loop_registry_;
+  obs::Counter* m_resyncs_ = nullptr;
+
+  std::deque<NodeState> nodes_;  // deque: stable addresses, non-movable state
+
+  std::mutex sources_mu_;
+  std::unordered_map<net::Socket*, net::EventLoop::SourceId> sources_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<NodeState*> queue_;
+  bool workers_stop_ = false;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  /// Serializes start()/stop() against each other.
+  std::mutex lifecycle_mu_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace drum::runtime

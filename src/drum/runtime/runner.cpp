@@ -4,99 +4,22 @@
 
 namespace drum::runtime {
 
+namespace {
+ReactorConfig to_reactor(const RunnerConfig& cfg) {
+  ReactorConfig rc;
+  rc.round = cfg.round;
+  rc.jitter = cfg.jitter;
+  rc.workers = 0;  // dispatch inline on the loop thread: one thread total
+  rc.instrument = cfg.instrument;
+  return rc;
+}
+}  // namespace
+
 NodeRunner::NodeRunner(core::Node& node, RunnerConfig cfg, std::uint64_t seed)
-    : node_(node), cfg_(cfg), rng_(seed) {
-  DRUM_REQUIRE(cfg.round.count() > 0, "round duration must be positive");
-  DRUM_REQUIRE(cfg.jitter >= 0.0 && cfg.jitter < 1.0,
-               "jitter must be in [0, 1): ", cfg.jitter);
+    : reactor_(to_reactor(cfg)) {
   DRUM_REQUIRE(cfg.poll_interval.count() >= 0,
                "poll interval must be non-negative");
-}
-
-NodeRunner::~NodeRunner() { stop(); }
-
-void NodeRunner::start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  if (running_.exchange(true)) return;
-  stop_requested_.store(false);
-  thread_ = std::thread([this] { loop(); });
-}
-
-void NodeRunner::stop() {
-  stop_requested_.store(true);
-  // The join must be exclusive: pre-fix, two concurrent stop() calls could
-  // both see joinable() and race on join() (caught by the TSan stress test).
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  if (thread_.joinable()) thread_.join();
-  running_.store(false);
-}
-
-core::MessageId NodeRunner::multicast(util::ByteSpan payload) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return node_.multicast(payload);
-}
-
-void NodeRunner::with_node(const std::function<void(core::Node&)>& fn) {
-  DRUM_REQUIRE(fn != nullptr, "with_node requires a callable");
-  std::lock_guard<std::mutex> lock(mu_);
-  fn(node_);
-}
-
-void NodeRunner::loop() {
-  using clock = std::chrono::steady_clock;
-  using std::chrono::duration_cast;
-  using std::chrono::microseconds;
-
-  // Runner telemetry lands in the node's own registry so one merge per node
-  // carries protocol and execution-timing metrics together. Handles are
-  // resolved once, under the lock, before the loop starts.
-  obs::Counter* m_ticks = nullptr;
-  obs::Counter* m_polls = nullptr;
-  obs::Histogram* m_poll_us = nullptr;
-  obs::Histogram* m_tick_interval_us = nullptr;
-
-  auto next_tick = clock::now();
-  auto last_tick = clock::now();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (cfg_.instrument) {
-      auto& reg = node_.registry();
-      m_ticks = &reg.counter("runner.ticks");
-      m_polls = &reg.counter("runner.polls");
-      m_poll_us = &reg.histogram("runner.poll_us");
-      m_tick_interval_us = &reg.histogram("runner.tick_interval_us");
-    }
-    double j = 1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0);
-    next_tick += duration_cast<clock::duration>(cfg_.round * j);
-  }
-  while (!stop_requested_.load()) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (m_polls) {
-        auto t0 = clock::now();
-        node_.poll();
-        auto dt = duration_cast<microseconds>(clock::now() - t0).count();
-        m_polls->inc();
-        m_poll_us->record(static_cast<std::uint64_t>(dt));
-      } else {
-        node_.poll();
-      }
-      auto now = clock::now();
-      if (now >= next_tick) {
-        node_.on_round();
-        if (m_ticks) {
-          m_ticks->inc();
-          auto gap = duration_cast<microseconds>(now - last_tick).count();
-          m_tick_interval_us->record(static_cast<std::uint64_t>(gap));
-          last_tick = now;
-        }
-        double j = 1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0);
-        next_tick =
-            clock::now() + duration_cast<clock::duration>(cfg_.round * j);
-      }
-    }
-    std::this_thread::sleep_for(cfg_.poll_interval);
-  }
+  reactor_.add_node(node, seed);
 }
 
 }  // namespace drum::runtime

@@ -1,23 +1,22 @@
-// Real-time execution of protocol nodes: one thread per node, jittered
-// local round ticks, frequent polling — the deployment shape of the paper's
-// multithreaded Java implementation ("the operations that occur in a round
-// are not synchronized", §8).
+// NodeRunner — single-node compatibility facade over ReactorRuntime.
 //
-// A core::Node is deliberately single-threaded; NodeRunner owns the thread
-// and serializes all access. Application threads interact through the
-// thread-safe multicast() / with_node() entry points. Delivery callbacks run
-// on the runner thread.
+// Historically this was a dedicated thread sleep-polling the node every
+// poll_interval. It is now a thin shim over a one-node ReactorRuntime with
+// workers == 0: one thread total (the event loop), woken by socket readiness
+// and the round timer instead of a sleep cadence. The public API and the
+// "runner.*" telemetry names are unchanged; poll_interval is accepted but
+// ignored — readiness has no polling period.
+//
+// New code hosting more than one node should use ReactorRuntime directly
+// (reactor.hpp).
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <thread>
 
 #include "drum/core/node.hpp"
-#include "drum/util/rng.hpp"
+#include "drum/runtime/reactor.hpp"
 
 namespace drum::runtime {
 
@@ -28,13 +27,14 @@ struct RunnerConfig {
   /// unsynchronized across nodes so an attacker cannot aim at round starts
   /// (paper §4).
   double jitter = 0.2;
-  /// How often the runner drains the node's sockets between ticks.
+  /// DEPRECATED, ignored: the runner is readiness-driven and polls exactly
+  /// when datagrams arrive. Kept so existing call sites compile.
   std::chrono::milliseconds poll_interval{2};
   /// Record runner telemetry into the node's metrics registry:
   /// "runner.ticks" / "runner.polls" counters, the "runner.poll_us" poll-
   /// call duration histogram, and "runner.tick_interval_us" — the realized
   /// (jittered) gap between round ticks, whose spread is the evidence that
-  /// rounds stay unsynchronized. Costs two clock reads per poll iteration.
+  /// rounds stay unsynchronized.
   bool instrument = true;
 };
 
@@ -43,38 +43,28 @@ class NodeRunner {
   /// Does not start the thread; call start(). `node` must outlive the
   /// runner.
   NodeRunner(core::Node& node, RunnerConfig cfg, std::uint64_t seed);
-  /// Stops and joins if still running.
-  ~NodeRunner();
 
   NodeRunner(const NodeRunner&) = delete;
   NodeRunner& operator=(const NodeRunner&) = delete;
 
-  void start();
-  /// Idempotent; blocks until the thread has joined.
-  void stop();
-  [[nodiscard]] bool running() const { return running_.load(); }
+  void start() { reactor_.start(); }
+  /// Idempotent; blocks until the loop thread has joined.
+  void stop() { reactor_.stop(); }
+  [[nodiscard]] bool running() const { return reactor_.running(); }
 
   /// Thread-safe multicast through the node.
-  core::MessageId multicast(util::ByteSpan payload);
+  core::MessageId multicast(util::ByteSpan payload) {
+    return reactor_.multicast(0, payload);
+  }
 
   /// Runs `fn` with exclusive access to the node (for stats, directory
   /// updates, etc.). Keep it short — it blocks the protocol.
-  void with_node(const std::function<void(core::Node&)>& fn);
+  void with_node(const std::function<void(core::Node&)>& fn) {
+    reactor_.with_node(0, fn);
+  }
 
  private:
-  void loop();
-
-  core::Node& node_;
-  RunnerConfig cfg_;
-  util::Rng rng_;
-  std::mutex mu_;  // guards node_ and rng_
-  /// Serializes start()/stop() against each other: two threads stopping (or
-  /// one stopping while another restarts) must not both observe a joinable
-  /// thread and race on join().
-  std::mutex lifecycle_mu_;
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_requested_{false};
+  ReactorRuntime reactor_;
 };
 
 }  // namespace drum::runtime

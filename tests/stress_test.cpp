@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "drum/net/mem_transport.hpp"
+#include "drum/runtime/reactor.hpp"
 #include "drum/runtime/runner.hpp"
 
 namespace drum::runtime {
@@ -166,6 +167,110 @@ TEST(Stress, StartStopChurnWithReaders) {
   f.start();
   EXPECT_TRUE(eventually([&] { return f.delivered.load() >= 10; }, 10000ms));
   f.stop();
+}
+
+// ReactorRuntime under TSan: one event loop + a worker pool drive 8 nodes
+// while application threads multicast / read through with_node and an
+// attacker thread floods spoofed datagrams. Exercises every cross-thread
+// edge of the reactor: the MemSocket readiness bridge (sender thread ->
+// eventfd), worker/loop dispatch handoff (scheduled/ready/round_due), the
+// per-round socket rotation hooks (worker thread -> epoll registration),
+// and lifecycle stop/start races.
+TEST(Stress, ReactorConcurrentMulticastFloodAndChurn) {
+  constexpr std::size_t kNodes = 8;
+  util::Rng rng{99};
+  net::MemNetwork mem;
+  std::vector<crypto::Identity> ids;
+  std::vector<core::Peer> dir(kNodes);
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<core::Node>> nodes;
+  std::atomic<int> delivered{0};
+  for (std::uint32_t id = 0; id < kNodes; ++id) {
+    ids.push_back(crypto::Identity::generate(rng));
+    dir[id] = {id,
+               id,
+               static_cast<std::uint16_t>(9600 + 2 * id),
+               static_cast<std::uint16_t>(9600 + 2 * id + 1),
+               0,
+               ids[id].sign_public(),
+               ids[id].dh_public(),
+               true};
+  }
+  ReactorConfig rc;
+  rc.round = 30ms;
+  rc.workers = 2;
+  ReactorRuntime reactor(rc);
+  for (std::uint32_t id = 0; id < kNodes; ++id) {
+    transports.push_back(mem.transport(id));
+    core::NodeConfig cfg = core::make_node_config(core::Variant::kDrum, id);
+    cfg.wk_pull_port = dir[id].wk_pull_port;
+    cfg.wk_offer_port = dir[id].wk_offer_port;
+    nodes.push_back(std::make_unique<core::Node>(
+        cfg, ids[id], dir, *transports.back(), rng.next(),
+        [&delivered](const core::Node::Delivery&) {
+          delivered.fetch_add(1);
+        }));
+    reactor.add_node(*nodes.back(), rng.next());
+  }
+  reactor.start();
+
+  std::atomic<bool> flood_stop{false};
+  std::thread attacker([&] {
+    util::Rng arng{123};
+    util::Bytes junk(40);
+    while (!flood_stop.load()) {
+      for (auto& b : junk) b = static_cast<std::uint8_t>(arng.below(256));
+      const auto victim = static_cast<std::uint32_t>(arng.below(kNodes));
+      mem.send_raw(
+          {0xBAD00000u | static_cast<std::uint32_t>(arng.below(4096)),
+           static_cast<std::uint16_t>(1024 + arng.below(60000))},
+          {victim, dir[victim].wk_offer_port}, util::ByteSpan(junk));
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 6;
+  std::vector<std::thread> apps;
+  std::atomic<std::uint64_t> rounds_seen{0};
+  for (int t = 0; t < kThreads; ++t) {
+    apps.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto which = static_cast<std::size_t>(t + i) % kNodes;
+        const std::uint8_t payload[2] = {static_cast<std::uint8_t>(t),
+                                         static_cast<std::uint8_t>(i)};
+        reactor.multicast(which, util::ByteSpan(payload, sizeof payload));
+        reactor.with_node((which + 1) % kNodes,
+                          [&rounds_seen](core::Node& n) {
+                            rounds_seen.fetch_add(
+                                n.registry().counter_value("node.rounds"));
+                          });
+      }
+    });
+  }
+  for (auto& t : apps) t.join();
+
+  const int expect = kThreads * kPerThread * (kNodes - 1);
+  EXPECT_TRUE(
+      eventually([&] { return delivered.load() >= expect; }, 15000ms));
+  flood_stop.store(true);
+  attacker.join();
+
+  // Concurrent stop pile-up, then restart.
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 4; ++t) {
+    stoppers.emplace_back([&reactor] { reactor.stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  EXPECT_FALSE(reactor.running());
+  reactor.start();
+  reactor.multicast(0, util::ByteSpan(
+      reinterpret_cast<const std::uint8_t*>("z"), 1));
+  EXPECT_TRUE(eventually(
+      [&] { return delivered.load() >= expect + int(kNodes) - 1; },
+      10000ms));
+  reactor.stop();
+  EXPECT_EQ(delivered.load(), expect + int(kNodes) - 1);
 }
 
 }  // namespace
