@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1, "RNG seed"));
   auto rate = static_cast<std::size_t>(
       flags.get_int("rate", 30, "measured workload msgs/round"));
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Ablations",
@@ -80,7 +81,7 @@ int main(int argc, char** argv) {
         p.x = x;
         p.attack_push_fraction = frac;
         p.max_rounds = 600;
-        auto agg = sim::simulate_many(p, runs, seed);
+        auto agg = sim::simulate_many(p, runs, seed, opts);
         row.push_back(agg.rounds_to_target.mean());
       }
       t.add_row(row, 2);
@@ -102,7 +103,7 @@ int main(int argc, char** argv) {
         p.x = x;
         p.drum_push_view = split;
         p.max_rounds = 600;
-        auto agg = sim::simulate_many(p, runs, seed);
+        auto agg = sim::simulate_many(p, runs, seed, opts);
         row.push_back(agg.rounds_to_target.mean());
       }
       t.add_row(row, 2);

@@ -16,6 +16,19 @@
 
 namespace drum::bench {
 
+/// Registers the shared --threads flag of every sim-driven fig binary and
+/// returns the corresponding execution options. Thread count never changes
+/// a reported number — simulate_many is bit-identical for every value (see
+/// DESIGN.md §9) — it only changes how fast the sweep finishes.
+inline sim::SimOptions sim_options_from_flags(util::Flags& flags) {
+  sim::SimOptions o;
+  o.threads = static_cast<std::size_t>(flags.get_int(
+      "threads", 0,
+      "simulation worker threads (0 = DRUM_SIM_THREADS env or hardware "
+      "concurrency); results are identical for every value"));
+  return o;
+}
+
 /// One simulated data point: mean/std propagation time to 99% of correct
 /// processes (and the attacked/non-attacked splits).
 inline sim::AggregateResult sim_point(sim::SimProtocol proto, std::size_t n,
@@ -23,7 +36,8 @@ inline sim::AggregateResult sim_point(sim::SimProtocol proto, std::size_t n,
                                       std::size_t runs, std::uint64_t seed,
                                       std::size_t max_rounds = 600,
                                       double crashed = 0.0,
-                                      double malicious = 0.1) {
+                                      double malicious = 0.1,
+                                      const sim::SimOptions& opt = {}) {
   sim::SimParams p;
   p.protocol = proto;
   p.n = n;
@@ -32,7 +46,7 @@ inline sim::AggregateResult sim_point(sim::SimProtocol proto, std::size_t n,
   p.max_rounds = max_rounds;
   p.crashed_fraction = crashed;
   p.malicious_fraction = malicious;
-  return sim::simulate_many(p, runs, seed);
+  return sim::simulate_many(p, runs, seed, opt);
 }
 
 /// Summary of one measured (real-implementation) data point.

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1, "RNG seed"));
   auto big_n = static_cast<std::size_t>(
       flags.get_int("crash-n", 1000, "group size for Fig. 2(b)"));
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Figure 2",
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   for (std::size_t n : {40u, 80u, 120u, 250u, 500u, 1000u}) {
     std::vector<double> row{static_cast<double>(n)};
     for (auto proto : protos) {
-      auto agg = bench::sim_point(proto, n, 0, 0, runs, seed, 300, 0, 0);
+      auto agg = bench::sim_point(proto, n, 0, 0, runs, seed, 300, 0, 0, opts);
       row.push_back(agg.rounds_to_target.mean());
     }
     a.add_row(row, 2);
@@ -39,7 +40,8 @@ int main(int argc, char** argv) {
     std::vector<double> row{crashed * 100};
     for (auto proto : protos) {
       auto agg =
-          bench::sim_point(proto, big_n, 0, 0, runs, seed, 300, crashed, 0);
+          bench::sim_point(proto, big_n, 0, 0, runs, seed, 300, crashed, 0,
+                           opts);
       row.push_back(agg.rounds_to_target.mean());
     }
     b.add_row(row, 2);

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1, "RNG seed"));
   bool small_only =
       flags.get_bool("small-only", false, "skip the n=1000 sweeps");
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Figure 3",
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
     for (double x : {0.0, 32.0, 64.0, 96.0, 128.0}) {
       std::vector<double> row{x};
       for (auto proto : protos) {
-        auto agg = bench::sim_point(proto, n, 0.1, x, runs, seed);
+        auto agg = bench::sim_point(proto, n, 0.1, x, runs, seed, 600, 0.0, 0.1, opts);
         row.push_back(agg.rounds_to_target.mean());
       }
       a.add_row(row, 2);
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
     for (double alpha : {0.1, 0.2, 0.4, 0.6, 0.8}) {
       std::vector<double> row{alpha * 100};
       for (auto proto : protos) {
-        auto agg = bench::sim_point(proto, n, alpha, 128, runs, seed);
+        auto agg = bench::sim_point(proto, n, alpha, 128, runs, seed, 600, 0.0, 0.1,
+                                    opts);
         row.push_back(agg.rounds_to_target.mean());
       }
       b.add_row(row, 2);

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
       flags.get_int("runs", 100, "simulation runs per point (paper: 1000)"));
   auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1, "RNG seed"));
   auto n = static_cast<std::size_t>(flags.get_int("n", 1000, "group size"));
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Figure 4",
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   for (double x : {0.0, 32.0, 64.0, 96.0, 128.0}) {
     std::vector<double> row{x};
     for (auto proto : protos) {
-      auto agg = bench::sim_point(proto, n, 0.1, x, runs, seed);
+      auto agg = bench::sim_point(proto, n, 0.1, x, runs, seed, 600, 0.0, 0.1, opts);
       row.push_back(agg.rounds_to_target.stddev());
     }
     row.push_back(x > 0 ? analysis::pull_std_rounds_to_leave_source(n, 4, x)
@@ -40,7 +41,8 @@ int main(int argc, char** argv) {
   for (double alpha : {0.1, 0.2, 0.4, 0.6, 0.8}) {
     std::vector<double> row{alpha * 100};
     for (auto proto : protos) {
-      auto agg = bench::sim_point(proto, n, alpha, 128, runs, seed);
+      auto agg = bench::sim_point(proto, n, alpha, 128, runs, seed, 600, 0.0, 0.1,
+                                    opts);
       row.push_back(agg.rounds_to_target.stddev());
     }
     b.add_row(row, 2);

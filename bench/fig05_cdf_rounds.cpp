@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   auto n = static_cast<std::size_t>(flags.get_int("n", 1000, "group size"));
   auto max_round = static_cast<std::size_t>(
       flags.get_int("rounds", 30, "rounds shown in the CDF"));
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Figure 5",
@@ -31,7 +32,8 @@ int main(int argc, char** argv) {
     for (auto proto : {sim::SimProtocol::kDrum, sim::SimProtocol::kPush,
                        sim::SimProtocol::kPull}) {
       auto agg = bench::sim_point(proto, n, c.alpha, c.x, runs, seed,
-                                  std::max<std::size_t>(max_round, 300));
+                                  std::max<std::size_t>(max_round, 300), 0.0,
+                                  0.1, opts);
       curves.push_back(agg.coverage.average());
     }
     util::Table t({"round", "drum %", "push %", "pull %"});

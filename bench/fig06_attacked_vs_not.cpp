@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   auto metrics_out = flags.get_string(
       "metrics-out", "fig06_metrics.json",
       "per-point instrumentation artifact (empty string disables)");
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Figure 6",
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
     std::vector<double> row_non{x}, row_att{x};
     for (auto proto : {sim::SimProtocol::kDrum, sim::SimProtocol::kPush,
                        sim::SimProtocol::kPull}) {
-      auto agg = bench::sim_point(proto, n, 0.1, x, runs, seed);
+      auto agg = bench::sim_point(proto, n, 0.1, x, runs, seed, 600, 0.0, 0.1, opts);
       row_non.push_back(agg.rounds_to_target_non_attacked.mean());
       row_att.push_back(agg.rounds_to_target_attacked.mean());
     }

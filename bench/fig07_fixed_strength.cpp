@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   auto runs = static_cast<std::size_t>(
       flags.get_int("runs", 100, "simulation runs per point (paper: 1000)"));
   auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1, "RNG seed"));
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Figure 7",
@@ -34,7 +35,8 @@ int main(int argc, char** argv) {
       std::vector<double> row{alpha * 100, x};
       for (auto proto : {sim::SimProtocol::kDrum, sim::SimProtocol::kPush,
                          sim::SimProtocol::kPull}) {
-        auto agg = bench::sim_point(proto, c.n, alpha, x, runs, seed, 900);
+        auto agg = bench::sim_point(proto, c.n, alpha, x, runs, seed, 900, 0.0,
+                                    0.1, opts);
         row.push_back(agg.rounds_to_target.mean());
       }
       t.add_row(row, 2);

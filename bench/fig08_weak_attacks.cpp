@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
       flags.get_int("runs", 200, "simulation runs per point (paper: 1000)"));
   auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1, "RNG seed"));
   auto n = static_cast<std::size_t>(flags.get_int("n", 120, "group size"));
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Figure 8",
@@ -21,7 +22,7 @@ int main(int argc, char** argv) {
     for (double b_per_n : {0.0, 0.9, 1.8, 3.6}) {
       double x = b_per_n > 0 ? b_per_n / alpha : 0.0;
       auto agg = bench::sim_point(sim::SimProtocol::kDrum, n, alpha, x, runs,
-                                  seed);
+                                  seed, 600, 0.0, 0.1, opts);
       row.push_back(agg.rounds_to_target.mean());
     }
     t.add_row(row, 2);

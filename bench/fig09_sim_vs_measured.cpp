@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   bool verify = flags.get_bool("verify", false,
                                "verify Ed25519 signatures in measurements");
   bool udp = flags.get_bool("udp", false, "use real loopback UDP sockets");
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Figure 9",
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
   for (double x : {0.0, 32.0, 64.0, 128.0}) {
     std::vector<double> row{x};
     for (const auto& p : protos) {
-      auto sim_agg = bench::sim_point(p.sim, n, 0.1, x, runs, seed);
+      auto sim_agg = bench::sim_point(p.sim, n, 0.1, x, runs, seed, 600, 0.0, 0.1, opts);
       mo.udp_base_port = static_cast<std::uint16_t>(21000 + 200 * point++);
       auto meas = bench::measured_point(p.real, 0.1, x, mo);
       row.push_back(sim_agg.rounds_to_target.mean());
@@ -66,7 +67,8 @@ int main(int argc, char** argv) {
   for (double alpha : {0.1, 0.2, 0.4, 0.6, 0.8}) {
     std::vector<double> row{alpha * 100};
     for (const auto& p : protos) {
-      auto sim_agg = bench::sim_point(p.sim, n, alpha, 128, runs, seed);
+      auto sim_agg = bench::sim_point(p.sim, n, alpha, 128, runs, seed, 600, 0.0, 0.1,
+                                      opts);
       mo.udp_base_port = static_cast<std::uint16_t>(21000 + 200 * point++);
       auto meas = bench::measured_point(p.real, alpha, 128, mo);
       row.push_back(sim_agg.rounds_to_target.mean());

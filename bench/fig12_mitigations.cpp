@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       flags.get_int("sim-n", 1000, "group size for the simulation panel"));
   auto rate = static_cast<std::size_t>(
       flags.get_int("rate", 40, "measured workload msgs/round"));
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header("Figure 12",
@@ -29,9 +30,9 @@ int main(int argc, char** argv) {
   util::Table a({"x", "drum", "drum-wk-ports"});
   for (double x : {0.0, 32.0, 64.0, 96.0, 128.0}) {
     auto drum = bench::sim_point(sim::SimProtocol::kDrum, n_sim, 0.1, x, runs,
-                                 seed);
+                                 seed, 600, 0.0, 0.1, opts);
     auto wk = bench::sim_point(sim::SimProtocol::kDrumWkPorts, n_sim, 0.1, x,
-                               runs, seed);
+                               runs, seed, 600, 0.0, 0.1, opts);
     a.add_row({x, drum.rounds_to_target.mean(), wk.rounds_to_target.mean()},
               2);
   }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   auto n = static_cast<std::size_t>(flags.get_int("n", 1000, "group size"));
   auto max_round = static_cast<std::size_t>(
       flags.get_int("rounds", 15, "rounds shown in the CDFs"));
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header(
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> sim_curves, ana_curves;
     for (const auto& p : protos) {
       auto agg = bench::sim_point(p.sim, n, 0, 0, runs, seed, 300,
-                                  c.crashed, 0.0);
+                                  c.crashed, 0.0, opts);
       sim_curves.push_back(agg.coverage.average());
 
       analysis::DetailedParams dp;

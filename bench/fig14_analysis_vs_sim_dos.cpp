@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   auto n = static_cast<std::size_t>(flags.get_int("n", 120, "group size"));
   auto max_round = static_cast<std::size_t>(
       flags.get_int("rounds", 30, "rounds shown in the CDFs"));
+  auto opts = bench::sim_options_from_flags(flags);
   flags.done();
 
   bench::print_header(
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
   for (const auto& c : configs) {
     std::vector<std::vector<double>> sim_curves, ana_curves;
     for (const auto& p : protos) {
-      auto agg = bench::sim_point(p.sim, n, c.alpha, c.x, runs, seed, 600);
+      auto agg = bench::sim_point(p.sim, n, c.alpha, c.x, runs, seed, 600, 0.0,
+                                  0.1, opts);
       sim_curves.push_back(agg.coverage.average());
 
       analysis::DetailedParams dp;

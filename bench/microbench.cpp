@@ -179,15 +179,17 @@ void BM_ObsTraceRecord(benchmark::State& state) {
 BENCHMARK(BM_ObsTraceRecord);
 
 void BM_SimRound(benchmark::State& state) {
-  // One full simulated run, n as parameter (drum, alpha=10%, x=128).
+  // One full simulated run, n as parameter (drum, alpha=10%, x=128). Uses
+  // the reusable-scratch overload, as simulate_many's workers do.
   sim::SimParams p;
   p.protocol = sim::SimProtocol::kDrum;
   p.n = static_cast<std::size_t>(state.range(0));
   p.alpha = 0.1;
   p.x = 128;
   util::Rng rng(18);
+  sim::SimScratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::simulate_run(p, rng));
+    benchmark::DoNotOptimize(sim::simulate_run(p, rng, scratch));
   }
 }
 BENCHMARK(BM_SimRound)->Arg(120)->Arg(500)->Arg(1000);

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark results from an optimized build.
+#
+#   scripts/bench.sh                 # full regeneration (Release, minutes)
+#   RUNS=1000 scripts/bench.sh       # the paper's full Monte-Carlo depth
+#   SWEEP=1,2,4,8 scripts/bench.sh   # thread counts for results/BENCH_sim.json
+#
+# Always configures a dedicated Release tree in build-bench/ — bench/ refuses
+# to configure in a Debug tree (see bench/CMakeLists.txt), and numbers from
+# anything but an optimized build are not comparable to the committed ones.
+#
+# Outputs (committed):
+#   results/microbench.txt   google-benchmark hot-path numbers
+#   results/bench_all.txt    every figure binary + asymptotics + ablations
+#   results/BENCH_sim.json   parallel sim engine thread sweep (Fig. 3 workload)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-}"
+SWEEP="${SWEEP:-1,2,4,8}"
+BUILD=build-bench
+
+EXTRA=()
+if [[ -n "$RUNS" ]]; then EXTRA+=(--runs "$RUNS"); fi
+
+cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD"
+
+mkdir -p results
+
+{
+  for b in "$BUILD"/bench/fig* "$BUILD"/bench/asymptotics \
+           "$BUILD"/bench/ablations; do
+    echo "### $(basename "$b")"
+    case "$b" in
+      # asymptotics takes no --runs flag
+      *asymptotics*) "$b" ;;
+      *) "$b" "${EXTRA[@]}" ;;
+    esac
+    echo
+  done
+} 2>&1 | tee results/bench_all.txt
+
+"$BUILD"/bench/microbench --benchmark_min_time=0.2 \
+  2>&1 | tee results/microbench.txt
+
+"$BUILD"/bench/bench_sim --sweep "$SWEEP" --json results/BENCH_sim.json \
+  "${EXTRA[@]}"
+
+echo
+echo "bench.sh: wrote results/bench_all.txt, results/microbench.txt," \
+     "results/BENCH_sim.json"

@@ -70,25 +70,31 @@ Digest MessageBuffer::digest() const {
   return d;
 }
 
-std::vector<DataMessage> MessageBuffer::select_missing(
-    const Digest& peer_digest, std::size_t max_count, util::Rng& rng) const {
-  std::unordered_set<MessageId, MessageIdHash> have(peer_digest.begin(),
-                                                    peer_digest.end());
-  std::vector<const Entry*> candidates;
-  candidates.reserve(buffer_.size());
-  for (const auto& [id, entry] : buffer_) {
-    if (!have.contains(id)) candidates.push_back(&entry);
+std::vector<const DataMessage*> MessageBuffer::select_missing(
+    const Digest& peer_digest, std::size_t max_count, util::Rng& rng) {
+  // Stamp the entries the peer already has with a fresh epoch (one hash
+  // lookup per digest id in the existing buffer index), then collect the
+  // unstamped rest — no temporary digest set, no payload copies, no
+  // allocation beyond the reused scratch and the returned pointer vector.
+  ++select_epoch_;
+  for (const auto& id : peer_digest) {
+    auto it = buffer_.find(id);
+    if (it != buffer_.end()) it->second.mark = select_epoch_;
   }
-  // Random subset (partial Fisher-Yates).
-  std::vector<DataMessage> out;
+  std::vector<const DataMessage*>& candidates = select_scratch_;
+  candidates.clear();
+  candidates.reserve(buffer_.size());
+  for (auto& [id, entry] : buffer_) {
+    if (entry.mark != select_epoch_) candidates.push_back(&entry.msg);
+  }
+  // Random subset (partial Fisher-Yates over the scratch's head).
   std::size_t take = std::min(max_count, candidates.size());
-  out.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
     std::size_t j = i + rng.below(candidates.size() - i);
     std::swap(candidates[i], candidates[j]);
-    out.push_back(candidates[i]->msg);
   }
-  return out;
+  return {candidates.begin(),
+          candidates.begin() + static_cast<std::ptrdiff_t>(take)};
 }
 
 }  // namespace drum::core

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "drum/core/message.hpp"
@@ -36,9 +35,14 @@ class MessageBuffer {
 
   /// Up to `max_count` random buffered messages whose ids are NOT in
   /// `peer_digest` — the "random subset of missing messages" both push and
-  /// pull responses send.
-  [[nodiscard]] std::vector<DataMessage> select_missing(
-      const Digest& peer_digest, std::size_t max_count, util::Rng& rng) const;
+  /// pull responses send. Returns pointers into the buffer (no payload
+  /// copies; encode_pull_reply/encode_push_data serialize straight from
+  /// them), valid until the next insert()/on_round(). Non-const: peer ids
+  /// are matched by marking the buffer's own entries (an epoch stamp)
+  /// instead of building a temporary hash set of the digest on every call,
+  /// and the candidate scratch is reused across calls.
+  [[nodiscard]] std::vector<const DataMessage*> select_missing(
+      const Digest& peer_digest, std::size_t max_count, util::Rng& rng);
 
   /// drum::check invariants: digest/size coherence (digest() lists exactly
   /// the buffered ids), every buffered id is still in the seen set (a
@@ -50,13 +54,16 @@ class MessageBuffer {
  private:
   struct Entry {
     DataMessage msg;
-    std::uint64_t expires;  // round at which the entry is purged
+    std::uint64_t expires;   // round at which the entry is purged
+    std::uint64_t mark = 0;  // select_missing epoch stamp ("peer has it")
   };
 
   std::size_t buffer_rounds_;
   std::size_t seen_rounds_;
   std::unordered_map<MessageId, Entry, MessageIdHash> buffer_;
   std::unordered_map<MessageId, std::uint64_t, MessageIdHash> seen_;
+  std::uint64_t select_epoch_ = 0;  // bumped per select_missing call
+  std::vector<const DataMessage*> select_scratch_;  // candidate list, reused
 };
 
 }  // namespace drum::core

@@ -128,6 +128,30 @@ util::Bytes encode(const PushData& m) {
   return w.take();
 }
 
+namespace {
+
+util::Bytes encode_message_list(MsgType type, std::uint32_t sender,
+                                const std::vector<const DataMessage*>& msgs) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(sender);
+  w.u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const auto* msg : msgs) write_message(w, *msg);
+  return w.take();
+}
+
+}  // namespace
+
+util::Bytes encode_pull_reply(
+    std::uint32_t sender, const std::vector<const DataMessage*>& messages) {
+  return encode_message_list(MsgType::kPullReply, sender, messages);
+}
+
+util::Bytes encode_push_data(
+    std::uint32_t sender, const std::vector<const DataMessage*>& messages) {
+  return encode_message_list(MsgType::kPushData, sender, messages);
+}
+
 MsgType peek_type(util::ByteSpan wire) {
   if (wire.empty()) throw util::DecodeError("empty datagram");
   return static_cast<MsgType>(wire[0]);

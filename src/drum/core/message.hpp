@@ -106,6 +106,15 @@ util::Bytes encode(const PushOffer& m);
 util::Bytes encode(const PushReply& m);
 util::Bytes encode(const PushData& m);
 
+/// Zero-copy encoders for the gossip hot path: serialize a PullReply /
+/// PushData straight from buffer-owned messages (what
+/// MessageBuffer::select_missing returns) without materializing an owning
+/// struct first. Wire format is identical to the encode() overloads above.
+util::Bytes encode_pull_reply(std::uint32_t sender,
+                              const std::vector<const DataMessage*>& messages);
+util::Bytes encode_push_data(std::uint32_t sender,
+                             const std::vector<const DataMessage*>& messages);
+
 /// Peeks at the type byte; throws DecodeError on empty input.
 MsgType peek_type(util::ByteSpan wire);
 

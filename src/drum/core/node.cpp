@@ -327,14 +327,14 @@ void Node::handle_pull_request(const net::Datagram& dgram) {
   auto msgs = buffer_.select_missing(req.digest, cfg_.max_msgs_per_gossip, rng_);
   c_.pull_requests_served->inc();
   if (msgs.empty()) return;
-  PullReply reply{cfg_.id, std::move(msgs)};
   trace(obs::EventKind::kPullReplySend, req.sender,
-        static_cast<std::uint32_t>(reply.messages.size()));
+        static_cast<std::uint32_t>(msgs.size()));
   // The reply goes to the requester's random (boxed) port. We send from our
   // own ephemeral data socket so nothing about our well-known ports leaks
-  // extra traffic; any socket may send in UDP.
+  // extra traffic; any socket may send in UDP. encode_pull_reply serializes
+  // straight from the buffer-owned messages — no copies.
   sockets_.front().sock->send(net::Address{peer->host, *port},
-                              util::ByteSpan(encode(reply)));
+                              util::ByteSpan(encode_pull_reply(cfg_.id, msgs)));
 }
 
 void Node::handle_push_offer(const net::Datagram& dgram) {
@@ -379,11 +379,10 @@ void Node::handle_push_reply(const net::Datagram& dgram) {
       buffer_.select_missing(reply.digest, cfg_.max_msgs_per_gossip, rng_);
   c_.push_replies_acted->inc();
   if (msgs.empty()) return;
-  PushData data{cfg_.id, std::move(msgs)};
   trace(obs::EventKind::kPushDataSend, reply.sender,
-        static_cast<std::uint32_t>(data.messages.size()));
+        static_cast<std::uint32_t>(msgs.size()));
   sockets_.front().sock->send(net::Address{peer->host, *port},
-                              util::ByteSpan(encode(data)));
+                              util::ByteSpan(encode_push_data(cfg_.id, msgs)));
 }
 
 void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {

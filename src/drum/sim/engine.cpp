@@ -1,8 +1,14 @@
 #include "drum/sim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace drum::sim {
 
@@ -20,26 +26,28 @@ std::size_t fabricated_arrivals(double x, double loss, util::Rng& rng) {
 }
 
 // Bounded random acceptance: `valid` items compete with `fabricated` items
-// for `bound` acceptance slots; returns the indices (into the valid list)
-// that were accepted.
-std::vector<std::size_t> accept_bounded(std::size_t valid,
-                                        std::size_t fabricated,
-                                        std::size_t bound, util::Rng& rng) {
-  std::vector<std::size_t> accepted;
+// for `bound` acceptance slots; fills `out` with the indices (into the valid
+// list) that were accepted. `picks`/`sample_scratch` are reusable buffers.
+void accept_bounded(std::size_t valid, std::size_t fabricated,
+                    std::size_t bound, util::Rng& rng,
+                    std::vector<std::uint32_t>& out,
+                    std::vector<std::uint32_t>& picks,
+                    std::vector<std::uint32_t>& sample_scratch) {
+  out.clear();
   std::size_t total = valid + fabricated;
-  if (total == 0 || valid == 0) return accepted;
+  if (total == 0 || valid == 0) return;
   if (total <= bound) {
-    accepted.resize(valid);
-    for (std::size_t i = 0; i < valid; ++i) accepted[i] = i;
-    return accepted;
+    for (std::size_t i = 0; i < valid; ++i) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+    return;
   }
-  auto picks = rng.sample(static_cast<std::uint32_t>(total),
-                          static_cast<std::uint32_t>(bound),
-                          static_cast<std::uint32_t>(total));
+  rng.sample_into(static_cast<std::uint32_t>(total),
+                  static_cast<std::uint32_t>(bound),
+                  static_cast<std::uint32_t>(total), picks, sample_scratch);
   for (auto p : picks) {
-    if (p < valid) accepted.push_back(p);
+    if (p < valid) out.push_back(p);
   }
-  return accepted;
 }
 
 struct ChannelPlan {
@@ -106,6 +114,12 @@ const char* protocol_name(SimProtocol p) {
 }
 
 RunResult simulate_run(const SimParams& params, util::Rng& rng) {
+  SimScratch scratch;
+  return simulate_run(params, rng, scratch);
+}
+
+RunResult simulate_run(const SimParams& params, util::Rng& rng,
+                       SimScratch& sc) {
   const std::size_t n = params.n;
   if (n < 4) throw std::invalid_argument("group too small");
   const auto n_mal = static_cast<std::size_t>(
@@ -139,7 +153,8 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
 
   const ChannelPlan plan = make_plan(params);
 
-  std::vector<char> has_m(n, 0);
+  std::vector<char>& has_m = sc.has_m_;
+  has_m.assign(n, 0);
   has_m[source] = 1;
 
   RunResult result;
@@ -148,14 +163,15 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
   result.rounds_to_target_non_attacked = params.max_rounds + 1;
   result.rounds_to_leave_source = params.max_rounds + 1;
 
-  // Per-target arrival buffers, reused across rounds.
-  struct PushArrival {
-    std::uint32_t sender;
-    char carries_m;
-  };
-  std::vector<std::vector<PushArrival>> push_arrivals(n);
-  std::vector<std::vector<std::uint32_t>> pull_requests(n);  // requester ids
-  std::vector<std::vector<char>> reply_arrivals(n);      // reply-carries-M
+  // Per-target arrival buffers, reused across rounds AND across runs: the
+  // inner vectors keep their capacity, so after warm-up a round allocates
+  // nothing.
+  auto& push_arrivals = sc.push_arrivals_;
+  auto& pull_requests = sc.pull_requests_;  // requester ids
+  auto& reply_arrivals = sc.reply_arrivals_;  // reply-carries-M
+  push_arrivals.resize(n);
+  pull_requests.resize(n);
+  reply_arrivals.resize(n);
 
   const std::size_t target_all = static_cast<std::size_t>(
       std::ceil(params.coverage_target * static_cast<double>(n_correct)));
@@ -206,10 +222,11 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
 
     for (std::size_t p = first_correct; p < n; ++p) {
       if (plan.view_push > 0) {
-        auto view = rng.sample(static_cast<std::uint32_t>(n),
-                               static_cast<std::uint32_t>(plan.view_push),
-                               static_cast<std::uint32_t>(p));
-        for (auto t : view) {
+        rng.sample_into(static_cast<std::uint32_t>(n),
+                        static_cast<std::uint32_t>(plan.view_push),
+                        static_cast<std::uint32_t>(p), sc.view_,
+                        sc.sample_scratch_);
+        for (auto t : sc.view_) {
           if (is_malicious(t) || is_crashed(t)) continue;  // wasted fan-out
           if (rng.chance(params.loss)) continue;
           push_arrivals[t].push_back(
@@ -217,10 +234,11 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
         }
       }
       if (plan.view_pull > 0) {
-        auto view = rng.sample(static_cast<std::uint32_t>(n),
-                               static_cast<std::uint32_t>(plan.view_pull),
-                               static_cast<std::uint32_t>(p));
-        for (auto t : view) {
+        rng.sample_into(static_cast<std::uint32_t>(n),
+                        static_cast<std::uint32_t>(plan.view_pull),
+                        static_cast<std::uint32_t>(p), sc.view_,
+                        sc.sample_scratch_);
+        for (auto t : sc.view_) {
           if (is_malicious(t) || is_crashed(t)) continue;
           if (rng.chance(params.loss)) continue;
           pull_requests[t].push_back(static_cast<std::uint32_t>(p));
@@ -229,7 +247,8 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
     }
 
     // --- receive phase ---
-    std::vector<char> new_m = has_m;
+    std::vector<char>& new_m = sc.new_m_;
+    new_m.assign(has_m.begin(), has_m.end());
 
     if (plan.shared_bound) {
       // §9 ablation: one joint bound covers ALL control messages —
@@ -240,8 +259,10 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
       // outgoing push needs its push-reply to survive the sender's joint
       // bound. We model that as thinning each push delivery by the
       // sender's control-acceptance ratio this round.
-      std::vector<std::size_t> fab(n, 0);
-      std::vector<double> ratio(n, 1.0);
+      auto& fab = sc.fab_;
+      auto& ratio = sc.ratio_;
+      fab.assign(n, 0);
+      ratio.assign(n, 1.0);
       for (std::size_t t = first_correct; t < n; ++t) {
         if (is_attacked(t)) {
           fab[t] = fabricated_arrivals(plan.x_push, params.loss, rng) +
@@ -257,9 +278,9 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
       for (std::size_t t = first_correct; t < n; ++t) {
         std::size_t v_push = push_arrivals[t].size();
         std::size_t v_pull = pull_requests[t].size();
-        auto accepted =
-            accept_bounded(v_push + v_pull, fab[t], plan.bound_push, rng);
-        for (auto idx : accepted) {
+        accept_bounded(v_push + v_pull, fab[t], plan.bound_push, rng,
+                       sc.accepted_, sc.picks_, sc.sample_scratch_);
+        for (auto idx : sc.accepted_) {
           if (idx < v_push) {
             const auto& arr = push_arrivals[t][idx];
             // Push-reply must survive the sender's joint bound too.
@@ -278,18 +299,18 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
         if (plan.view_push > 0) {
           std::size_t fab =
               att ? fabricated_arrivals(plan.x_push, params.loss, rng) : 0;
-          auto accepted = accept_bounded(push_arrivals[t].size(), fab,
-                                         plan.bound_push, rng);
-          for (auto idx : accepted) {
+          accept_bounded(push_arrivals[t].size(), fab, plan.bound_push, rng,
+                         sc.accepted_, sc.picks_, sc.sample_scratch_);
+          for (auto idx : sc.accepted_) {
             if (push_arrivals[t][idx].carries_m) new_m[t] = 1;
           }
         }
         if (plan.view_pull > 0) {
           std::size_t fab =
               att ? fabricated_arrivals(plan.x_pull_req, params.loss, rng) : 0;
-          auto accepted = accept_bounded(pull_requests[t].size(), fab,
-                                         plan.bound_pull, rng);
-          for (auto idx : accepted) {
+          accept_bounded(pull_requests[t].size(), fab, plan.bound_pull, rng,
+                         sc.accepted_, sc.picks_, sc.sample_scratch_);
+          for (auto idx : sc.accepted_) {
             auto requester = pull_requests[t][idx];
             if (has_m[t] && !rng.chance(params.loss)) {
               reply_arrivals[requester].push_back(1);
@@ -309,9 +330,9 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
                               ? fabricated_arrivals(plan.x_pull_reply,
                                                     params.loss, rng)
                               : 0;
-        auto accepted =
-            accept_bounded(replies.size(), fab, plan.bound_pull, rng);
-        for (auto idx : accepted) {
+        accept_bounded(replies.size(), fab, plan.bound_pull, rng,
+                       sc.accepted_, sc.picks_, sc.sample_scratch_);
+        for (auto idx : sc.accepted_) {
           if (replies[idx]) new_m[t] = 1;
         }
       } else {
@@ -326,24 +347,140 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng) {
   return result;
 }
 
+void AggregateResult::merge(const AggregateResult& other) {
+  rounds_to_target.merge(other.rounds_to_target);
+  rounds_to_target_attacked.merge(other.rounds_to_target_attacked);
+  rounds_to_target_non_attacked.merge(other.rounds_to_target_non_attacked);
+  rounds_to_leave_source.merge(other.rounds_to_leave_source);
+  coverage.merge(other.coverage);
+  unreached_runs += other.unreached_runs;
+}
+
+namespace {
+
+// Folds one trial's outcome into an aggregate — the same accumulation the
+// old serial loop performed, applied per chunk by the workers.
+void accumulate(AggregateResult& agg, const SimParams& params,
+                const RunResult& res) {
+  agg.rounds_to_target.add(static_cast<double>(res.rounds_to_target));
+  if (params.alpha > 0 && params.x > 0) {
+    agg.rounds_to_target_attacked.add(
+        static_cast<double>(res.rounds_to_target_attacked));
+    agg.rounds_to_target_non_attacked.add(
+        static_cast<double>(res.rounds_to_target_non_attacked));
+  }
+  agg.rounds_to_leave_source.add(
+      static_cast<double>(res.rounds_to_leave_source));
+  agg.coverage.add_run(res.coverage_by_round);
+  if (!res.reached) ++agg.unreached_runs;
+}
+
+std::size_t resolve_threads(std::size_t requested, std::size_t runs) {
+  std::size_t t = requested;
+  if (t == 0) {
+    if (const char* env = std::getenv("DRUM_SIM_THREADS");
+        env != nullptr && *env != '\0') {
+      t = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  if (t == 0) t = std::thread::hardware_concurrency();
+  if (t == 0) t = 1;
+  return std::clamp<std::size_t>(t, 1, std::max<std::size_t>(runs, 1));
+}
+
+}  // namespace
+
 AggregateResult simulate_many(const SimParams& params, std::size_t runs,
                               std::uint64_t seed) {
-  AggregateResult agg;
+  return simulate_many(params, runs, seed, SimOptions{});
+}
+
+AggregateResult simulate_many(const SimParams& params, std::size_t runs,
+                              std::uint64_t seed, const SimOptions& options) {
+  const std::size_t threads = resolve_threads(options.threads, runs);
+
+  // Pre-fork one Rng per trial from the master seed, in trial order — the
+  // exact fork sequence the serial loop used — so every trial's randomness
+  // is fixed before scheduling begins.
+  std::vector<util::Rng> rngs;
+  rngs.reserve(runs);
   util::Rng master(seed);
-  for (std::size_t r = 0; r < runs; ++r) {
-    util::Rng rng = master.fork();
-    RunResult res = simulate_run(params, rng);
-    agg.rounds_to_target.add(static_cast<double>(res.rounds_to_target));
-    if (params.alpha > 0 && params.x > 0) {
-      agg.rounds_to_target_attacked.add(
-          static_cast<double>(res.rounds_to_target_attacked));
-      agg.rounds_to_target_non_attacked.add(
-          static_cast<double>(res.rounds_to_target_non_attacked));
+  for (std::size_t r = 0; r < runs; ++r) rngs.push_back(master.fork());
+
+  // Trials execute in chunks pulled from a shared counter (cheap dynamic
+  // load balancing); each chunk accumulates into its own partial, and
+  // partials merge back in chunk order == trial order, which makes the
+  // aggregate independent of both the thread count and the schedule.
+  const std::size_t chunk = std::max<std::size_t>(1, runs / (threads * 4));
+  const std::size_t n_chunks = runs == 0 ? 0 : (runs + chunk - 1) / chunk;
+  std::vector<AggregateResult> partials(n_chunks);
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::exception_ptr error;
+  std::vector<obs::MetricsRegistry> worker_metrics(
+      options.metrics != nullptr ? threads : 0);
+
+  auto worker = [&](std::size_t w) {
+    SimScratch scratch;
+    obs::MetricsRegistry* reg =
+        options.metrics != nullptr ? &worker_metrics[w] : nullptr;
+    obs::Counter* trials_c = reg ? &reg->counter("sim.trials") : nullptr;
+    obs::Counter* chunks_c = reg ? &reg->counter("sim.chunks") : nullptr;
+    obs::Histogram* trial_us = reg ? &reg->histogram("sim.trial_us") : nullptr;
+    obs::Histogram* depth_h =
+        reg ? &reg->histogram("sim.queue_depth") : nullptr;
+    try {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t c =
+            next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= n_chunks) break;
+        if (depth_h != nullptr) {
+          depth_h->record(static_cast<std::uint64_t>(n_chunks - 1 - c));
+        }
+        if (chunks_c != nullptr) chunks_c->inc();
+        AggregateResult& agg = partials[c];
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(runs, lo + chunk);
+        for (std::size_t t = lo; t < hi; ++t) {
+          if (trial_us != nullptr) {
+            const auto t0 = std::chrono::steady_clock::now();
+            RunResult res = simulate_run(params, rngs[t], scratch);
+            const auto t1 = std::chrono::steady_clock::now();
+            trial_us->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                    .count()));
+            trials_c->inc();
+            accumulate(agg, params, res);
+          } else {
+            RunResult res = simulate_run(params, rngs[t], scratch);
+            accumulate(agg, params, res);
+          }
+        }
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lk(err_mu);
+      if (!error) error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
     }
-    agg.rounds_to_leave_source.add(
-        static_cast<double>(res.rounds_to_leave_source));
-    agg.coverage.add_run(res.coverage_by_round);
-    if (!res.reached) ++agg.unreached_runs;
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+    for (auto& th : pool) th.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  AggregateResult agg;
+  for (const auto& p : partials) agg.merge(p);
+  if (options.metrics != nullptr) {
+    for (const auto& m : worker_metrics) options.metrics->merge(m);
+    options.metrics->gauge("sim.threads").set(static_cast<double>(threads));
   }
   return agg;
 }

@@ -21,11 +21,19 @@
 //    adversary splits the pull budget between the request and reply ports;
 //  * kDrumSharedBounds — one joint acceptance bound over push + pull-request
 //    arrivals instead of separate per-operation bounds.
+//
+// Execution model (DESIGN.md §9): simulate_many pre-forks one Rng per trial
+// from the master seed (in trial order), runs trials on a small worker pool
+// (SimOptions::threads / DRUM_SIM_THREADS), and merges per-worker partial
+// aggregates back in trial order — the AggregateResult is bit-identical for
+// every thread count, including 1. simulate_run itself is allocation-lean:
+// all per-round buffers live in a reusable SimScratch.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "drum/obs/metrics.hpp"
 #include "drum/util/rng.hpp"
 #include "drum/util/stats.hpp"
 
@@ -82,8 +90,45 @@ struct RunResult {
   bool reached = false;
 };
 
+/// Reusable per-worker scratch space for simulate_run: the per-round arrival
+/// buffers, holder bitmaps, and sampling vectors live here and keep their
+/// capacity across runs, so the inner simulation loop performs no heap
+/// allocation after the first round at a given group size. One SimScratch
+/// belongs to one thread at a time; the parallel engine keeps one per
+/// worker.
+class SimScratch {
+ public:
+  SimScratch() = default;
+
+ private:
+  friend RunResult simulate_run(const SimParams& params, util::Rng& rng,
+                                SimScratch& scratch);
+
+  struct PushArrival {
+    std::uint32_t sender;
+    char carries_m;
+  };
+
+  std::vector<char> has_m_, new_m_;
+  std::vector<std::vector<PushArrival>> push_arrivals_;
+  std::vector<std::vector<std::uint32_t>> pull_requests_;
+  std::vector<std::vector<char>> reply_arrivals_;
+  std::vector<std::size_t> fab_;      // kDrumSharedBounds only
+  std::vector<double> ratio_;         // kDrumSharedBounds only
+  std::vector<std::uint32_t> view_;       // gossip-target sample
+  std::vector<std::uint32_t> accepted_;   // accept_bounded output
+  std::vector<std::uint32_t> picks_;      // accept_bounded sample
+  std::vector<std::uint32_t> sample_scratch_;  // Rng::sample_into dense pool
+};
+
 /// Simulates one run. `rng` supplies all randomness (deterministic replay).
 RunResult simulate_run(const SimParams& params, util::Rng& rng);
+
+/// As above, but reusing `scratch` buffers across calls (the hot path of
+/// simulate_many). Identical RNG consumption and results as the two-argument
+/// overload.
+RunResult simulate_run(const SimParams& params, util::Rng& rng,
+                       SimScratch& scratch);
 
 /// Aggregate of `runs` independent runs.
 struct AggregateResult {
@@ -93,9 +138,31 @@ struct AggregateResult {
   util::Samples rounds_to_leave_source;
   util::CoverageCurve coverage;
   std::size_t unreached_runs = 0;
+
+  /// Appends another aggregate's trials after this one's. Merging
+  /// per-worker partials in trial order reproduces the serial accumulation
+  /// bit-for-bit (see util::Samples / util::CoverageCurve).
+  void merge(const AggregateResult& other);
+
+  bool operator==(const AggregateResult&) const = default;
+};
+
+/// Execution options for simulate_many. These control HOW trials execute,
+/// never WHAT they compute: the aggregate is bit-identical for every thread
+/// count (each trial's Rng is pre-forked from the master seed in trial
+/// order, and partials merge back in trial order).
+struct SimOptions {
+  /// Worker threads. 0 = the DRUM_SIM_THREADS environment variable if set,
+  /// else std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  /// Optional pool telemetry sink: sim.trials / sim.chunks counters,
+  /// sim.threads gauge, sim.trial_us / sim.queue_depth histograms.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 AggregateResult simulate_many(const SimParams& params, std::size_t runs,
                               std::uint64_t seed);
+AggregateResult simulate_many(const SimParams& params, std::size_t runs,
+                              std::uint64_t seed, const SimOptions& options);
 
 }  // namespace drum::sim

@@ -1,7 +1,6 @@
 #include "drum/util/rng.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace drum::util {
 
@@ -63,14 +62,24 @@ double Rng::uniform() {
 
 std::vector<std::uint32_t> Rng::sample(std::uint32_t n, std::uint32_t k,
                                        std::uint32_t exclude) {
+  std::vector<std::uint32_t> out;
+  std::vector<std::uint32_t> scratch;
+  sample_into(n, k, exclude, out, scratch);
+  return out;
+}
+
+void Rng::sample_into(std::uint32_t n, std::uint32_t k, std::uint32_t exclude,
+                      std::vector<std::uint32_t>& out,
+                      std::vector<std::uint32_t>& scratch) {
   const std::uint32_t pop = exclude < n ? n - 1 : n;
   k = std::min(k, pop);
-  std::vector<std::uint32_t> out;
+  out.clear();
   out.reserve(k);
-  if (k == 0) return out;
+  if (k == 0) return;
   if (k * 3 >= pop) {
     // Dense: partial Fisher-Yates over the explicit population.
-    std::vector<std::uint32_t> ids;
+    std::vector<std::uint32_t>& ids = scratch;
+    ids.clear();
     ids.reserve(pop);
     for (std::uint32_t i = 0; i < n; ++i) {
       if (i != exclude) ids.push_back(i);
@@ -81,16 +90,18 @@ std::vector<std::uint32_t> Rng::sample(std::uint32_t n, std::uint32_t k,
       out.push_back(ids[i]);
     }
   } else {
-    // Sparse: rejection sampling with a small hash set.
-    std::unordered_set<std::uint32_t> seen;
-    seen.reserve(k * 2);
+    // Sparse: rejection sampling. k is small here (< pop/3), so dedup by
+    // linear scan over the picks so far — same accept/reject decisions as
+    // a hash set, no allocation.
     while (out.size() < k) {
       auto v = static_cast<std::uint32_t>(below(n));
-      if (v == exclude || !seen.insert(v).second) continue;
+      if (v == exclude ||
+          std::find(out.begin(), out.end(), v) != out.end()) {
+        continue;
+      }
       out.push_back(v);
     }
   }
-  return out;
 }
 
 Rng Rng::fork() { return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL); }

@@ -58,6 +58,15 @@ class Rng {
   std::vector<std::uint32_t> sample(std::uint32_t n, std::uint32_t k,
                                     std::uint32_t exclude);
 
+  /// Allocation-free variant of sample() for hot loops: the result goes
+  /// into `out` and `scratch` holds the dense-case population between
+  /// calls (both keep their capacity). Consumes the generator identically
+  /// to sample() — simulation replays are unchanged by switching between
+  /// the two.
+  void sample_into(std::uint32_t n, std::uint32_t k, std::uint32_t exclude,
+                   std::vector<std::uint32_t>& out,
+                   std::vector<std::uint32_t>& scratch);
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

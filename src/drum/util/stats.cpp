@@ -43,6 +43,10 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void Samples::merge(const Samples& other) {
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+}
+
 double Samples::mean() const {
   if (xs_.empty()) return 0.0;
   return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
@@ -88,24 +92,35 @@ std::vector<double> Samples::sorted() const {
 }
 
 void CoverageCurve::add_run(const std::vector<double>& coverage_by_round) {
-  if (coverage_by_round.size() > sum_.size()) {
-    // Back-fill: all past runs extend with their final (monotone) value.
-    sum_.resize(coverage_by_round.size(), finals_sum_);
-  }
-  double fin = coverage_by_round.empty() ? 0.0 : coverage_by_round.back();
-  for (std::size_t r = 0; r < sum_.size(); ++r) {
-    sum_[r] += r < coverage_by_round.size() ? coverage_by_round[r] : fin;
-  }
-  finals_sum_ += fin;
-  ++runs_;
+  data_.insert(data_.end(), coverage_by_round.begin(),
+               coverage_by_round.end());
+  lens_.push_back(static_cast<std::uint32_t>(coverage_by_round.size()));
+}
+
+void CoverageCurve::merge(const CoverageCurve& other) {
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  lens_.insert(lens_.end(), other.lens_.begin(), other.lens_.end());
 }
 
 std::vector<double> CoverageCurve::average() const {
-  std::vector<double> out(sum_.size());
-  for (std::size_t r = 0; r < sum_.size(); ++r) {
-    out[r] = runs_ ? sum_[r] / static_cast<double>(runs_) : 0.0;
+  std::size_t max_len = 0;
+  for (auto len : lens_) max_len = std::max<std::size_t>(max_len, len);
+  std::vector<double> sum(max_len, 0.0);
+  // Summation runs in stored (run) order per element, so the result is
+  // bit-identical to the old incremental accumulation with final-value
+  // back-fill of shorter runs.
+  std::size_t off = 0;
+  for (auto len : lens_) {
+    const double fin = len ? data_[off + len - 1] : 0.0;
+    for (std::size_t r = 0; r < max_len; ++r) {
+      sum[r] += r < len ? data_[off + r] : fin;
+    }
+    off += len;
   }
-  return out;
+  if (!lens_.empty()) {
+    for (auto& v : sum) v /= static_cast<double>(lens_.size());
+  }
+  return sum;
 }
 
 }  // namespace drum::util

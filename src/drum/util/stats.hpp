@@ -1,6 +1,14 @@
 // Statistics accumulators used by the simulator and the measurement harness:
 // streaming mean/variance (Welford), sample collections with percentiles and
 // empirical CDFs, and per-round coverage curves averaged over runs.
+//
+// Samples and CoverageCurve are *mergeable*: the parallel simulation engine
+// (sim::simulate_many) accumulates per-worker partials and folds them into
+// one aggregate. Both store raw per-run data, so a merge is a concatenation
+// and every derived statistic is a pure function of the merged contents —
+// merging partials in trial order reproduces the serial accumulation
+// bit-for-bit, and quantiles (which sort) are identical under ANY merge
+// order.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +44,11 @@ class RunningStats {
 class Samples {
  public:
   void add(double x) { xs_.push_back(x); }
+  /// Appends the other collection's samples after this one's. Counts, CDFs
+  /// and quantiles are order-independent; mean/stddev sum in stored order,
+  /// so merging partials in trial order matches serial insertion exactly.
+  void merge(const Samples& other);
+  void reserve(std::size_t n) { xs_.reserve(n); }
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double stddev() const;
@@ -50,6 +63,8 @@ class Samples {
   /// Sorted copy of the samples.
   [[nodiscard]] std::vector<double> sorted() const;
 
+  bool operator==(const Samples&) const = default;
+
  private:
   std::vector<double> xs_;
 };
@@ -58,18 +73,27 @@ class Samples {
 /// fraction of processes holding the message at the start of round r
 /// (paper Figs. 5, 13, 14). Runs may have different lengths; shorter runs
 /// are extended with their final value (coverage is monotone).
+///
+/// Per-run curves are stored verbatim (concatenated into one flat buffer)
+/// rather than summed on the fly, so two curves merge by concatenation and
+/// average() — which sums runs in stored order — gives bit-identical output
+/// whether the runs were added one by one or arrived as merged partials in
+/// the same overall order.
 class CoverageCurve {
  public:
   /// Adds a single run's coverage-by-round series.
   void add_run(const std::vector<double>& coverage_by_round);
+  /// Appends the other curve's runs after this one's.
+  void merge(const CoverageCurve& other);
   /// Averaged curve across all added runs.
   [[nodiscard]] std::vector<double> average() const;
-  [[nodiscard]] std::size_t runs() const { return runs_; }
+  [[nodiscard]] std::size_t runs() const { return lens_.size(); }
+
+  bool operator==(const CoverageCurve&) const = default;
 
  private:
-  std::vector<double> sum_;
-  std::size_t runs_ = 0;
-  double finals_sum_ = 0.0;  // sum of past runs' final values, for back-fill
+  std::vector<double> data_;        // all runs' curves, concatenated
+  std::vector<std::uint32_t> lens_;  // length of each run's curve
 };
 
 }  // namespace drum::util

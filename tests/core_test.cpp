@@ -55,6 +55,16 @@ TEST(Wire, PushOfferPushReplyRoundTrip) {
   EXPECT_EQ(back2.digest, reply.digest);
 }
 
+TEST(Wire, ZeroCopyEncodersMatchOwningEncoders) {
+  // encode_pull_reply/encode_push_data (the select_missing hot path) must
+  // produce the exact bytes of the owning-struct encoders.
+  std::vector<DataMessage> owned = {make_msg(1, 1, "a"), make_msg(2, 5, "bb")};
+  std::vector<const DataMessage*> ptrs = {&owned[0], &owned[1]};
+  EXPECT_EQ(encode_pull_reply(9, ptrs), encode(PullReply{9, owned}));
+  EXPECT_EQ(encode_push_data(9, ptrs), encode(PushData{9, owned}));
+  EXPECT_EQ(encode_pull_reply(9, {}), encode(PullReply{9, {}}));
+}
+
 TEST(Wire, DataMessagesRoundTrip) {
   PullReply pr;
   pr.sender = 9;
@@ -189,7 +199,7 @@ TEST(Buffer, RoundCounterIncrementsWhileBuffered) {
   util::Rng rng(1);
   auto msgs = buf.select_missing({}, 10, rng);
   ASSERT_EQ(msgs.size(), 1u);
-  EXPECT_EQ(msgs[0].round_counter, 3u);
+  EXPECT_EQ(msgs[0]->round_counter, 3u);
 }
 
 TEST(Buffer, DigestListsBufferedIds) {
@@ -210,7 +220,7 @@ TEST(Buffer, SelectMissingExcludesPeerHoldings) {
   Digest peer_has = {{1, 0}, {1, 1}, {1, 2}};
   auto missing = buf.select_missing(peer_has, 100, rng);
   EXPECT_EQ(missing.size(), 7u);
-  for (const auto& m : missing) EXPECT_GE(m.id.seqno, 3u);
+  for (const auto* m : missing) EXPECT_GE(m->id.seqno, 3u);
 }
 
 TEST(Buffer, SelectMissingRespectsCapAndIsRandom) {
@@ -221,9 +231,9 @@ TEST(Buffer, SelectMissingRespectsCapAndIsRandom) {
   auto b = buf.select_missing({}, 5, rng);
   EXPECT_EQ(a.size(), 5u);
   EXPECT_EQ(b.size(), 5u);
-  auto key = [](const std::vector<DataMessage>& v) {
+  auto key = [](const std::vector<const DataMessage*>& v) {
     std::vector<std::uint64_t> k;
-    for (const auto& m : v) k.push_back(m.id.seqno);
+    for (const auto* m : v) k.push_back(m->id.seqno);
     std::sort(k.begin(), k.end());
     return k;
   };

@@ -4,6 +4,8 @@
 // strategies), and the §9 ablations.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "drum/sim/engine.hpp"
 
 namespace drum::sim {
@@ -32,6 +34,82 @@ TEST(SimEngine, DeterministicGivenSeed) {
   auto b = simulate_run(p, r2);
   EXPECT_EQ(a.rounds_to_target, b.rounds_to_target);
   EXPECT_EQ(a.coverage_by_round, b.coverage_by_round);
+}
+
+TEST(SimEngine, ScratchOverloadMatchesPlainRun) {
+  // simulate_run with a reusable SimScratch must consume the RNG and
+  // produce results identically to the allocating overload — including
+  // when the scratch is dirty from previous runs at other group sizes.
+  SimParams p = base_params(SimProtocol::kDrum);
+  p.alpha = 0.1;
+  p.x = 64;
+  SimScratch scratch;
+  {
+    SimParams warm = base_params(SimProtocol::kPull, 300);
+    util::Rng wrng(5);
+    (void)simulate_run(warm, wrng, scratch);  // dirty the buffers
+  }
+  util::Rng r1(77), r2(77);
+  auto plain = simulate_run(p, r1);
+  auto scratched = simulate_run(p, r2, scratch);
+  EXPECT_EQ(plain.rounds_to_target, scratched.rounds_to_target);
+  EXPECT_EQ(plain.rounds_to_leave_source, scratched.rounds_to_leave_source);
+  EXPECT_EQ(plain.coverage_by_round, scratched.coverage_by_round);
+  EXPECT_EQ(r1.next(), r2.next()) << "RNG consumption diverged";
+}
+
+TEST(SimEngine, SimulateManyBitIdenticalForEveryThreadCount) {
+  // The parallel engine's hard contract (DESIGN.md §9): same seed, any
+  // thread count -> byte-identical AggregateResult. Attack on so the
+  // attacked/non-attacked samples populate too.
+  SimParams p = base_params(SimProtocol::kDrum);
+  p.alpha = 0.2;
+  p.x = 64;
+  SimOptions t1;
+  t1.threads = 1;
+  auto ref = simulate_many(p, 37, 123, t1);
+  for (std::size_t threads : {2u, 8u}) {
+    SimOptions o;
+    o.threads = threads;
+    auto got = simulate_many(p, 37, 123, o);
+    EXPECT_EQ(got, ref) << "threads=" << threads;
+    EXPECT_EQ(got.rounds_to_target.raw(), ref.rounds_to_target.raw());
+    EXPECT_EQ(got.coverage.average(), ref.coverage.average());
+  }
+}
+
+TEST(SimEngine, SimulateManyDefaultMatchesExplicitSingleThread) {
+  // The 3-arg overload (threads from env/hardware) must agree with an
+  // explicit single-thread run — the determinism contract covers the
+  // default path too.
+  SimParams p = base_params(SimProtocol::kPush);
+  p.alpha = 0.1;
+  p.x = 32;
+  SimOptions t1;
+  t1.threads = 1;
+  EXPECT_EQ(simulate_many(p, 12, 9), simulate_many(p, 12, 9, t1));
+}
+
+TEST(SimEngine, SimulateManyRecordsPoolTelemetry) {
+  SimParams p = base_params(SimProtocol::kDrum);
+  obs::MetricsRegistry reg;
+  SimOptions o;
+  o.threads = 2;
+  o.metrics = &reg;
+  auto agg = simulate_many(p, 10, 3, o);
+  EXPECT_EQ(agg.rounds_to_target.count(), 10u);
+  EXPECT_EQ(reg.counter_value("sim.trials"), 10u);
+  EXPECT_GE(reg.counter_value("sim.chunks"), 1u);
+  EXPECT_EQ(reg.histogram_count("sim.trial_us"), 10u);
+  EXPECT_EQ(reg.gauge_value("sim.threads"), 2.0);
+}
+
+TEST(SimEngine, SimulateManyPropagatesTrialErrors) {
+  SimParams p = base_params(SimProtocol::kDrum, 10);
+  p.malicious_fraction = 1.0;  // every trial throws
+  SimOptions o;
+  o.threads = 4;
+  EXPECT_THROW(simulate_many(p, 8, 1, o), std::invalid_argument);
 }
 
 TEST(SimEngine, CoverageMonotoneAndStartsAtSource) {

@@ -192,6 +192,28 @@ TEST(Rng, ForkDiverges) {
   EXPECT_NE(a.next(), b.next());
 }
 
+TEST(Rng, SampleIntoMatchesSampleAndConsumesIdentically) {
+  // The scratch-based sampler must replay the exact same stream as
+  // sample(): same picks AND same generator state afterwards (the sim
+  // engine's determinism depends on it). Cover both the dense
+  // (Fisher-Yates) and sparse (rejection) branches.
+  struct Case {
+    std::uint32_t n, k, exclude;
+  } cases[] = {{120, 2, 7},   // sparse, with exclusion
+               {120, 60, 120},  // dense, no exclusion
+               {10, 9, 3},      // dense, nearly the whole population
+               {1000, 4, 999},  // sparse, large population
+               {5, 0, 0}};      // k = 0
+  for (auto c : cases) {
+    Rng r1(99), r2(99);
+    auto expected = r1.sample(c.n, c.k, c.exclude);
+    std::vector<std::uint32_t> out, scratch;
+    r2.sample_into(c.n, c.k, c.exclude, out, scratch);
+    EXPECT_EQ(out, expected) << c.n << "/" << c.k;
+    EXPECT_EQ(r1.next(), r2.next()) << "generator state diverged";
+  }
+}
+
 // ---------------------------------------------------------------- stats
 
 TEST(Stats, RunningStatsBasics) {
@@ -259,6 +281,131 @@ TEST(Stats, CoverageCurveAveragesAndExtends) {
   avg = c.average();
   ASSERT_EQ(avg.size(), 4u);
   EXPECT_NEAR(avg[3], (1.0 + 0.7 + 0.9) / 3, 1e-12);
+}
+
+TEST(Stats, SamplesMergeInOrderMatchesSerialExactly) {
+  // The parallel sim engine's contract: per-worker partials merged back in
+  // trial order reproduce the serial accumulation bit-for-bit.
+  Samples serial, a, b, c;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.uniform() * 100;
+    serial.add(x);
+    (i < 100 ? a : i < 200 ? b : c).add(x);
+  }
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a, serial);  // raw vectors identical -> every stat identical
+  EXPECT_EQ(a.mean(), serial.mean());
+  EXPECT_EQ(a.stddev(), serial.stddev());
+  EXPECT_EQ(a.percentile(0.9), serial.percentile(0.9));
+}
+
+TEST(Stats, SamplesMergeOrderIndependentStats) {
+  // Out-of-order merges permute the stored samples; counts, CDFs, and
+  // quantiles (which sort) are exactly permutation-invariant, mean/stddev
+  // up to floating-point reassociation.
+  Samples ab, ba, a, b;
+  Rng rng(6);
+  for (int i = 0; i < 250; ++i) (i % 3 ? a : b).add(rng.uniform() * 10 - 5);
+  ab = a;
+  ab.merge(b);
+  ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.sorted(), ba.sorted());
+  for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(ab.percentile(p), ba.percentile(p)) << p;
+  }
+  EXPECT_EQ(ab.cdf_at(0.5), ba.cdf_at(0.5));
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+  EXPECT_NEAR(ab.stddev(), ba.stddev(), 1e-12);
+}
+
+TEST(Stats, SamplesMergeEmptyPartials) {
+  Samples s, empty;
+  s.add(1.0);
+  s.add(2.0);
+  Samples before = s;
+  s.merge(empty);  // no-op
+  EXPECT_EQ(s, before);
+  empty.merge(s);  // adopt
+  EXPECT_EQ(empty, s);
+  Samples e1, e2;
+  e1.merge(e2);
+  EXPECT_EQ(e1.count(), 0u);
+  EXPECT_EQ(e1.percentile(0.5), 0.0);
+}
+
+TEST(Stats, SamplesQuantileStabilityVsSinglePassReference) {
+  // Quantiles of partials merged in any grouping match a single-pass
+  // reference collection exactly.
+  Samples single;
+  std::vector<Samples> parts(7);
+  Rng rng(7);
+  for (int i = 0; i < 700; ++i) {
+    double x = rng.uniform();
+    single.add(x);
+    parts[static_cast<std::size_t>(i) % 7].add(x);
+  }
+  // Tree-shaped merge: (((6<-5)<-(4<-3))-ish arbitrary grouping.
+  parts[5].merge(parts[6]);
+  parts[3].merge(parts[4]);
+  parts[3].merge(parts[5]);
+  parts[0].merge(parts[1]);
+  parts[0].merge(parts[2]);
+  parts[0].merge(parts[3]);
+  EXPECT_EQ(parts[0].count(), single.count());
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_EQ(parts[0].percentile(p), single.percentile(p)) << p;
+  }
+}
+
+TEST(Stats, CoverageCurveMergeInOrderMatchesSerialExactly) {
+  CoverageCurve serial, a, b;
+  a.add_run({0.1, 0.5, 1.0});
+  a.add_run({0.3, 0.7});
+  b.add_run({0.0, 0.0, 0.0, 0.9});
+  b.add_run({});
+  for (auto run : {std::vector<double>{0.1, 0.5, 1.0},
+                   std::vector<double>{0.3, 0.7},
+                   std::vector<double>{0.0, 0.0, 0.0, 0.9},
+                   std::vector<double>{}}) {
+    serial.add_run(run);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, serial);
+  EXPECT_EQ(a.runs(), 4u);
+  EXPECT_EQ(a.average(), serial.average());
+}
+
+TEST(Stats, CoverageCurveMergeOrderIndependentAverage) {
+  CoverageCurve ab, ba, a, b;
+  a.add_run({0.2, 0.8, 1.0});
+  a.add_run({0.5});
+  b.add_run({0.1, 0.4, 0.6, 0.9});
+  ab = a;
+  ab.merge(b);
+  ba = b;
+  ba.merge(a);
+  auto va = ab.average(), vb = ba.average();
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_NEAR(va[i], vb[i], 1e-12) << i;
+  }
+}
+
+TEST(Stats, CoverageCurveMergeEmptyPartials) {
+  CoverageCurve c, empty;
+  c.add_run({0.5, 1.0});
+  CoverageCurve before = c;
+  c.merge(empty);
+  EXPECT_EQ(c, before);
+  empty.merge(c);
+  EXPECT_EQ(empty, c);
+  CoverageCurve e;
+  EXPECT_TRUE(e.average().empty());
+  EXPECT_EQ(e.runs(), 0u);
 }
 
 // ---------------------------------------------------------------- table
