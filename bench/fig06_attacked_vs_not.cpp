@@ -116,12 +116,14 @@ int main(int argc, char** argv) {
         return count ? total / static_cast<double>(count) / window_rounds
                      : 0.0;
       };
-      const auto att_stats = cluster.split_stats(true);
-      const auto non_stats = cluster.split_stats(false);
+      const auto att_reg =
+          cluster.merged_registry(harness::Cluster::NodeSet::kAttacked);
+      const auto non_reg =
+          cluster.merged_registry(harness::Cluster::NodeSet::kNonAttacked);
       d.add_row({util::fmt(x, 0), p.name, util::fmt(per_round(att, n_att), 2),
                  util::fmt(per_round(non, n_non), 2),
-                 std::to_string(att_stats.flushed_unread),
-                 std::to_string(non_stats.flushed_unread)});
+                 std::to_string(att_reg.counter_value("node.flushed_unread")),
+                 std::to_string(non_reg.counter_value("node.flushed_unread"))});
       artifact.add_point({"\"variant\": \"" + std::string(p.name) + "\"",
                           "\"alpha\": 0.1",
                           "\"x\": " + std::to_string(static_cast<int>(x))},

@@ -1,22 +1,28 @@
 // google-benchmark microbenchmarks of the hot paths: the crypto primitives
 // (what bounds a node's per-round CPU budget, and hence how expensive it is
 // for a victim to process fabricated messages), digest/buffer operations,
-// the obs primitives, and one full simulated gossip round. After the
-// registered benchmarks, main() runs an instrumented-vs-uninstrumented
-// cluster comparison (tracing on vs off) and writes microbench_obs.json.
+// the obs primitives, and one full simulated gossip round. The crypto
+// benchmarks run once per compiled backend (scalar reference vs the
+// CPUID-selected native one) so the SIMD speedup is measured in-tree. After
+// the registered benchmarks, main() runs an instrumented-vs-uninstrumented
+// cluster comparison (tracing on vs off) and writes microbench_obs.json,
+// then times each backend's bulk throughput and the single-vs-batch Ed25519
+// verify cost and writes BENCH_crypto.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "drum/core/buffer.hpp"
+#include "drum/crypto/api.hpp"
+#include "drum/crypto/backend.hpp"
 #include "drum/crypto/chacha20.hpp"
 #include "drum/crypto/ed25519.hpp"
 #include "drum/crypto/hmac.hpp"
 #include "drum/crypto/keys.hpp"
 #include "drum/crypto/portbox.hpp"
-#include "drum/crypto/sha256.hpp"
 #include "drum/crypto/x25519.hpp"
 #include "drum/harness/cluster.hpp"
 #include "drum/obs/export.hpp"
@@ -36,15 +42,41 @@ util::Bytes random_bytes(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-void BM_Sha256_1KiB(benchmark::State& state) {
+// Crypto benchmarks take the backend name as a capture so the scalar
+// reference and the CPUID-selected native path are measured side by side
+// in one run (acceptance: native ≥3× scalar on SHA-256 and ChaCha20).
+void BM_Sha256_1KiB(benchmark::State& state, const char* backend) {
+  crypto::set_active_backend(backend);
   auto data = random_bytes(1024, 1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(crypto::Sha256::hash(util::ByteSpan(data)));
+    benchmark::DoNotOptimize(crypto::sha256(util::ByteSpan(data)));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           1024);
+  crypto::set_active_backend("native");
 }
-BENCHMARK(BM_Sha256_1KiB);
+BENCHMARK_CAPTURE(BM_Sha256_1KiB, scalar, "scalar");
+BENCHMARK_CAPTURE(BM_Sha256_1KiB, native, "native");
+
+// Eight-message batched hashing — the multi-buffer AVX2 path.
+void BM_Sha256Batch8x1KiB(benchmark::State& state, const char* backend) {
+  crypto::set_active_backend(backend);
+  std::vector<util::Bytes> msgs;
+  std::vector<util::ByteSpan> spans;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    msgs.push_back(random_bytes(1024, 100 + i));
+  }
+  for (const auto& m : msgs) spans.emplace_back(m.data(), m.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::sha256_batch(std::span<const util::ByteSpan>(spans)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          1024);
+  crypto::set_active_backend("native");
+}
+BENCHMARK_CAPTURE(BM_Sha256Batch8x1KiB, scalar, "scalar");
+BENCHMARK_CAPTURE(BM_Sha256Batch8x1KiB, native, "native");
 
 void BM_HmacSha256_64B(benchmark::State& state) {
   auto key = random_bytes(32, 2);
@@ -56,19 +88,22 @@ void BM_HmacSha256_64B(benchmark::State& state) {
 }
 BENCHMARK(BM_HmacSha256_64B);
 
-void BM_ChaCha20_1KiB(benchmark::State& state) {
+void BM_ChaCha20_1KiB(benchmark::State& state, const char* backend) {
+  crypto::set_active_backend(backend);
   auto key = random_bytes(32, 4);
   auto nonce = random_bytes(12, 5);
   auto data = random_bytes(1024, 6);
   for (auto _ : state) {
-    crypto::ChaCha20 c{util::ByteSpan(key), util::ByteSpan(nonce)};
-    c.crypt(data.data(), data.size());
+    crypto::chacha20_xor(util::ByteSpan(key), util::ByteSpan(nonce), 1,
+                         data.data(), data.size());
     benchmark::DoNotOptimize(data.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           1024);
+  crypto::set_active_backend("native");
 }
-BENCHMARK(BM_ChaCha20_1KiB);
+BENCHMARK_CAPTURE(BM_ChaCha20_1KiB, scalar, "scalar");
+BENCHMARK_CAPTURE(BM_ChaCha20_1KiB, native, "native");
 
 void BM_X25519(benchmark::State& state) {
   util::Rng rng(7);
@@ -98,10 +133,35 @@ void BM_Ed25519Verify_50B(benchmark::State& state) {
   auto sig = id.sign(util::ByteSpan(msg));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        crypto::verify(id.sign_public(), util::ByteSpan(msg), sig));
+        crypto::ed25519_verify(id.sign_public(), util::ByteSpan(msg), sig));
   }
 }
 BENCHMARK(BM_Ed25519Verify_50B);
+
+// Batched verification: `range(0)` signatures share one combined check.
+// items processed = signatures, so google-benchmark reports per-signature
+// cost directly (acceptance: batch-64 ≤0.6× the single-verify time).
+void BM_Ed25519VerifyBatch_50B(benchmark::State& state) {
+  util::Rng rng(20);
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  auto id = crypto::Identity::generate(rng);
+  std::vector<util::Bytes> msgs;
+  std::vector<crypto::VerifyJob> jobs;
+  for (std::size_t i = 0; i < batch; ++i) {
+    msgs.push_back(random_bytes(50, 300 + i));
+  }
+  for (const auto& m : msgs) {
+    jobs.push_back({id.sign_public(), util::ByteSpan(m.data(), m.size()),
+                    id.sign(util::ByteSpan(m.data(), m.size()))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::ed25519_verify_batch(std::span<const crypto::VerifyJob>(jobs)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Ed25519VerifyBatch_50B)->Arg(8)->Arg(16)->Arg(64);
 
 void BM_PortBoxSealOpen(benchmark::State& state) {
   util::Rng rng(12);
@@ -249,6 +309,87 @@ void run_obs_overhead_report() {
   }
 }
 
+// Per-backend bulk throughput and the single-vs-batch Ed25519 verify cost,
+// written to BENCH_crypto.json — the CI artifact that tracks the SIMD
+// speedups release over release.
+void run_crypto_report() {
+  using clock = std::chrono::steady_clock;
+  auto seconds_of = [](clock::time_point t0, clock::time_point t1) {
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  // Repeats `fn` until it has consumed ~40ms, returns seconds per call.
+  auto time_per_call = [&](auto&& fn) {
+    fn();  // warm-up
+    std::size_t iters = 1;
+    for (;;) {
+      auto t0 = clock::now();
+      for (std::size_t i = 0; i < iters; ++i) fn();
+      auto secs = seconds_of(t0, clock::now());
+      if (secs >= 0.04) return secs / static_cast<double>(iters);
+      iters *= 4;
+    }
+  };
+
+  const std::size_t kBufLen = 1 << 20;
+  auto buf = random_bytes(kBufLen, 40);
+  auto key = random_bytes(32, 41);
+  auto nonce = random_bytes(12, 42);
+
+  std::string out = "{\n  \"backends\": [";
+  bool first = true;
+  for (const auto* be : crypto::all_backends()) {
+    crypto::set_active_backend(be->name);
+    double sha_s = time_per_call(
+        [&] { benchmark::DoNotOptimize(crypto::sha256(util::ByteSpan(buf))); });
+    double cha_s = time_per_call([&] {
+      crypto::chacha20_xor(util::ByteSpan(key), util::ByteSpan(nonce), 1,
+                           buf.data(), buf.size());
+      benchmark::DoNotOptimize(buf.data());
+    });
+    const double mib = static_cast<double>(kBufLen) / (1024.0 * 1024.0);
+    char entry[256];
+    std::snprintf(entry, sizeof entry,
+                  "%s\n    {\"name\": \"%s\", \"sha256_mb_s\": %.1f, "
+                  "\"chacha20_mb_s\": %.1f}",
+                  first ? "" : ",", be->name, mib / sha_s, mib / cha_s);
+    out += entry;
+    first = false;
+  }
+  crypto::set_active_backend("native");
+
+  util::Rng rng(43);
+  auto id = crypto::Identity::generate(rng);
+  std::vector<util::Bytes> msgs;
+  std::vector<crypto::VerifyJob> jobs;
+  for (std::uint64_t i = 0; i < 64; ++i) msgs.push_back(random_bytes(50, i));
+  for (const auto& m : msgs) {
+    jobs.push_back({id.sign_public(), util::ByteSpan(m.data(), m.size()),
+                    id.sign(util::ByteSpan(m.data(), m.size()))});
+  }
+  double single_s = time_per_call([&] {
+    benchmark::DoNotOptimize(crypto::ed25519_verify(
+        id.sign_public(), util::ByteSpan(msgs[0].data(), msgs[0].size()),
+        jobs[0].sig));
+  });
+  double batch_s = time_per_call([&] {
+    benchmark::DoNotOptimize(crypto::ed25519_verify_batch(
+        std::span<const crypto::VerifyJob>(jobs)));
+  });
+  const double batch_per_sig_us = batch_s / 64.0 * 1e6;
+  const double single_us = single_s * 1e6;
+  char tail[256];
+  std::snprintf(tail, sizeof tail,
+                "\n  ],\n  \"ed25519\": {\"verify_us\": %.1f, "
+                "\"batch64_us_per_sig\": %.1f, \"batch64_speedup\": %.2f}\n}\n",
+                single_us, batch_per_sig_us, single_us / batch_per_sig_us);
+  out += tail;
+  std::printf("\ncrypto backends (1 MiB buffers; batch of 64 signatures):\n%s",
+              out.c_str());
+  if (obs::write_text_file("BENCH_crypto.json", out)) {
+    std::printf("  artifact: BENCH_crypto.json\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,5 +398,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   run_obs_overhead_report();
+  run_crypto_report();
   return 0;
 }

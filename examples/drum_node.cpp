@@ -203,17 +203,16 @@ int main(int argc, char** argv) {
   }
   runner.stop();
   runner.with_node([](core::Node& n) {
-    const auto& s = n.stats();
+    const auto& reg = n.registry();
+    auto c = [&](const char* name) {
+      return static_cast<unsigned long long>(reg.counter_value(name));
+    };
     std::fprintf(stderr,
                  "stats: rounds=%llu delivered=%llu dups=%llu read=%llu "
                  "flushed=%llu decode_err=%llu box_fail=%llu\n",
-                 static_cast<unsigned long long>(s.rounds),
-                 static_cast<unsigned long long>(s.delivered),
-                 static_cast<unsigned long long>(s.duplicates),
-                 static_cast<unsigned long long>(s.datagrams_read),
-                 static_cast<unsigned long long>(s.flushed_unread),
-                 static_cast<unsigned long long>(s.decode_errors),
-                 static_cast<unsigned long long>(s.box_failures));
+                 c("node.rounds"), c("node.delivered"), c("node.duplicates"),
+                 c("node.datagrams_read"), c("node.flushed_unread"),
+                 c("node.decode_errors"), c("node.box_failures"));
   });
   return 0;
 }

@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "drum/crypto/sha256.hpp"
+#include "drum/crypto/api.hpp"
 #include "drum/harness/cluster.hpp"
 #include "drum/util/flags.hpp"
 
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   util::Rng rng(1234);
   util::Bytes blob(size_kb * 1024);
   for (auto& b : blob) b = static_cast<std::uint8_t>(rng.below(256));
-  auto blob_hash = crypto::Sha256::hash(util::ByteSpan(blob));
+  auto blob_hash = crypto::sha256(util::ByteSpan(blob));
   const std::size_t total_chunks = (blob.size() + chunk - 1) / chunk;
 
   harness::ClusterConfig cfg;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "drum/check/check.hpp"
+#include "drum/crypto/api.hpp"
 #include "drum/crypto/portbox.hpp"
 #include "drum/util/log.hpp"
 
@@ -100,26 +101,6 @@ void Node::set_socket_hook(SocketHook hook) {
   if (!socket_hook_) return;
   for (auto& bs : sockets_) socket_hook_(*bs.sock, /*added=*/true);
 }
-
-NodeStats NodeStats::from_registry(const obs::MetricsRegistry& reg) {
-  NodeStats s;
-  s.rounds = reg.counter_value("node.rounds");
-  s.delivered = reg.counter_value("node.delivered");
-  s.duplicates = reg.counter_value("node.duplicates");
-  s.datagrams_read = reg.counter_value("node.datagrams_read");
-  s.flushed_unread = reg.counter_value("node.flushed_unread");
-  s.decode_errors = reg.counter_value("node.decode_errors");
-  s.box_failures = reg.counter_value("node.box_failures");
-  s.sig_failures = reg.counter_value("node.sig_failures");
-  s.unknown_sender = reg.counter_value("node.unknown_sender");
-  s.certs_admitted = reg.counter_value("node.certs_admitted");
-  s.pull_requests_served = reg.counter_value("node.pull_requests_served");
-  s.push_offers_answered = reg.counter_value("node.push_offers_answered");
-  s.push_replies_acted = reg.counter_value("node.push_replies_acted");
-  return s;
-}
-
-NodeStats Node::stats() const { return NodeStats::from_registry(registry_); }
 
 const Peer* Node::find_peer(std::uint32_t id) const {
   if (id >= peers_.size() || !peers_[id].present) return nullptr;
@@ -397,30 +378,76 @@ void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {
   trace(is_pull_reply ? obs::EventKind::kPullReplyRecv
                       : obs::EventKind::kPushDataRecv,
         0, static_cast<std::uint32_t>(msgs.size()));
-  for (auto& msg : msgs) {
-    if (buffer_.seen(msg.id)) {
-      c_.duplicates->inc();
-      continue;
-    }
-    // Sanity checks (paper §4): known source (possibly admitted via its
-    // §10 piggybacked certificate) + valid source signature.
-    const Peer* source = msg.id.source == cfg_.id
-                             ? find_peer(msg.id.source)
-                             : resolve_sender(msg.id.source, msg.cert);
-    if (!source) continue;
-    if (cfg_.verify_signatures &&
-        !crypto::verify(source->sign_pub, util::ByteSpan(msg.signed_bytes()),
-                        msg.signature)) {
-      c_.sig_failures->inc();
-      trace(obs::EventKind::kSigFailure, msg.id.source);
-      continue;
-    }
+
+  auto accept = [&](DataMessage&& msg) {
     Delivery delivery{msg, msg.round_counter};
     trace(obs::EventKind::kDeliver, msg.id.source,
           static_cast<std::uint32_t>(msg.id.seqno));
     buffer_.insert(std::move(msg), round_);
     c_.delivered->inc();
     if (on_deliver_) on_deliver_(delivery);
+  };
+
+  // Pass 1 — sanity checks (paper §4): dedupe, then known source (possibly
+  // admitted via its §10 piggybacked certificate). Messages that still need
+  // a signature check are collected so the whole datagram verifies as ONE
+  // Ed25519 batch (crypto::ed25519_verify_batch), sharing the doubling
+  // ladder across all signatures.
+  struct Candidate {
+    DataMessage msg;
+    // Copied, not pointed-to: resolve_sender may admit a certificate and
+    // reallocate the peer directory mid-datagram.
+    crypto::Ed25519PublicKey pub;
+    // Owned here; the VerifyJob below only holds a view.
+    util::Bytes signed_bytes;
+  };
+  std::vector<Candidate> pending;
+  pending.reserve(msgs.size());
+  for (auto& msg : msgs) {
+    if (buffer_.seen(msg.id)) {
+      c_.duplicates->inc();
+      continue;
+    }
+    const Peer* source = msg.id.source == cfg_.id
+                             ? find_peer(msg.id.source)
+                             : resolve_sender(msg.id.source, msg.cert);
+    if (!source) continue;
+    if (!cfg_.verify_signatures) {
+      accept(std::move(msg));
+      continue;
+    }
+    Candidate cand;
+    cand.pub = source->sign_pub;
+    cand.signed_bytes = msg.signed_bytes();
+    cand.msg = std::move(msg);
+    pending.push_back(std::move(cand));
+  }
+  if (pending.empty()) return;
+
+  // Pass 2 — batch-verify and deliver in arrival order. The verdict for
+  // each index matches what a one-by-one crypto::ed25519_verify would say
+  // (bad signatures are attributed exactly; see api.hpp).
+  std::vector<crypto::VerifyJob> jobs;
+  jobs.reserve(pending.size());
+  for (const Candidate& cand : pending) {
+    jobs.push_back(crypto::VerifyJob{
+        cand.pub, util::ByteSpan(cand.signed_bytes), cand.msg.signature});
+  }
+  const std::vector<bool> verdicts =
+      crypto::ed25519_verify_batch(std::span<const crypto::VerifyJob>(jobs));
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!verdicts[i]) {
+      c_.sig_failures->inc();
+      trace(obs::EventKind::kSigFailure, pending[i].msg.id.source);
+      continue;
+    }
+    // Re-check: the same id can appear twice in one datagram, and a
+    // delivery callback may have originated messages meanwhile.
+    if (buffer_.seen(pending[i].msg.id)) {
+      c_.duplicates->inc();
+      continue;
+    }
+    accept(std::move(pending[i].msg));
   }
 }
 

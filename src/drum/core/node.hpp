@@ -58,37 +58,6 @@ struct Peer {
   bool present = true;
 };
 
-/// Flat counter summary of a node's activity — a *view* assembled on demand
-/// from the node's obs::MetricsRegistry, which is the single bookkeeping
-/// path (the registry additionally holds per-channel counters and
-/// histograms; see Node::registry()).
-///
-/// DEPRECATED: new code should read the registry directly via the typed
-/// accessors (obs::MetricsRegistry::counter_value & friends) — the registry
-/// is the single source of truth and carries strictly more (per-channel
-/// telemetry, histograms, runtime timing). This mirror struct and
-/// Node::stats() remain as a thin compatibility shim for one release.
-struct NodeStats {
-  std::uint64_t rounds = 0;
-  std::uint64_t delivered = 0;    ///< new messages handed to the application
-  std::uint64_t duplicates = 0;
-  std::uint64_t datagrams_read = 0;
-  std::uint64_t flushed_unread = 0;  ///< discarded at end of round (incl. flood)
-  std::uint64_t decode_errors = 0;   ///< malformed (usually fabricated) input
-  std::uint64_t box_failures = 0;    ///< port boxes that failed to open
-  std::uint64_t sig_failures = 0;
-  std::uint64_t unknown_sender = 0;
-  std::uint64_t certs_admitted = 0;  ///< unknown sources authenticated via
-                                     ///< piggybacked certificates (§10)
-  std::uint64_t pull_requests_served = 0;
-  std::uint64_t push_offers_answered = 0;
-  std::uint64_t push_replies_acted = 0;
-
-  /// Assembles the view from any registry holding "node.*" counters —
-  /// a single node's or a Cluster-merged one.
-  static NodeStats from_registry(const obs::MetricsRegistry& reg);
-};
-
 class Node {
  public:
   struct Delivery {
@@ -150,13 +119,15 @@ class Node {
   using SocketHook = std::function<void(net::Socket&, bool added)>;
   void set_socket_hook(SocketHook hook);
 
-  /// Counter summary, assembled from the registry (see NodeStats).
-  /// DEPRECATED shim — prefer registry() with the typed accessors.
-  [[nodiscard]] NodeStats stats() const;
-  /// The node's full metric store: the NodeStats counters under "node.*"
-  /// plus per-channel telemetry under "chan.<name>.*" (read, flushed_unread,
-  /// decode_errors, budget_exhausted counters and a per-round budget_used
-  /// histogram) and the "node.poll.drained" queue-drain-depth histogram.
+  /// The node's full metric store: activity counters under "node.*"
+  /// (rounds, delivered, duplicates, datagrams_read, flushed_unread,
+  /// decode_errors, box_failures, sig_failures, unknown_sender,
+  /// certs_admitted, pull_requests_served, push_offers_answered,
+  /// push_replies_acted) plus per-channel telemetry under "chan.<name>.*"
+  /// (read, flushed_unread, decode_errors, budget_exhausted counters and a
+  /// per-round budget_used histogram) and the "node.poll.drained"
+  /// queue-drain-depth histogram. Read with the typed accessors
+  /// (obs::MetricsRegistry::counter_value & friends).
   [[nodiscard]] const obs::MetricsRegistry& registry() const {
     return registry_;
   }

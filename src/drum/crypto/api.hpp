@@ -1,0 +1,76 @@
+// The one public entry point for drum's cryptographic primitives.
+//
+// Shapes, uniformly:
+//   * one-shot  — crypto::sha256(msg), crypto::sha512(msg),
+//                 crypto::chacha20_xor(...), crypto::ed25519_verify(...)
+//   * incremental — the Sha256 / Sha512 / ChaCha20 classes
+//                 (construct = init, update, final)
+//   * batch     — crypto::sha256_batch(msgs),
+//                 crypto::ed25519_verify_batch(jobs)
+//
+// Every form routes through the active crypto::Backend (backend.hpp):
+// scalar reference, or ISA-accelerated paths picked at startup from CPUID
+// and overridable with DRUM_CRYPTO_BACKEND=scalar|native. Results are
+// bit-identical across backends.
+//
+// This header supersedes the per-primitive one-shot helpers
+// (Sha256::hash, Sha512::hash, keys.hpp's crypto::verify), which are
+// deprecated aliases for one PR cycle.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "drum/crypto/chacha20.hpp"
+#include "drum/crypto/ed25519.hpp"
+#include "drum/crypto/sha256.hpp"
+#include "drum/crypto/sha512.hpp"
+#include "drum/util/bytes.hpp"
+
+namespace drum::crypto {
+
+/// One-shot SHA-256.
+Sha256::Digest sha256(util::ByteSpan data);
+
+/// One-shot SHA-512.
+Sha512::Digest sha512(util::ByteSpan data);
+
+/// SHA-256 over many independent messages at once. Groups of eight run in
+/// lockstep through the multi-buffer backend (8-lane AVX2 when available),
+/// so throughput is highest when messages have similar lengths. Digest i is
+/// exactly sha256(messages[i]).
+std::vector<Sha256::Digest> sha256_batch(
+    std::span<const util::ByteSpan> messages);
+
+/// One-shot ChaCha20: XORs the keystream for (key, nonce, counter) into
+/// `data` in place. Equivalent to ChaCha20(key, nonce, counter).crypt(...).
+void chacha20_xor(util::ByteSpan key, util::ByteSpan nonce,
+                  std::uint32_t counter, std::uint8_t* data, std::size_t len);
+
+/// Copying form of chacha20_xor.
+util::Bytes chacha20_xor_copy(util::ByteSpan key, util::ByteSpan nonce,
+                              std::uint32_t counter, util::ByteSpan data);
+
+/// One unit of batch signature verification. `message` is a non-owning view;
+/// the caller keeps the bytes alive until ed25519_verify_batch returns.
+struct VerifyJob {
+  Ed25519PublicKey pub;
+  util::ByteSpan message;
+  Ed25519Signature sig;
+};
+
+/// Verifies many Ed25519 signatures, sharing the doubling ladder across the
+/// whole batch (random linear combination + Straus multi-scalar
+/// multiplication). Malformed encodings (non-canonical S, invalid points)
+/// are rejected per-signature up front exactly as ed25519_verify does, and
+/// if the combined check fails the batch falls back to per-signature
+/// verification to attribute the exact bad indices — so any single bad
+/// signature gets the same verdict as ed25519_verify, and a forgery passes
+/// only with probability ~2^-128 per attempt. Sole caveat (standard for
+/// batch Ed25519, cf. RFC 8032 §8.9 and ed25519_batch.cpp): multiple
+/// colluding signatures whose defects lie entirely in the order-8 torsion
+/// subgroup may cancel inside the combination and be accepted; this does
+/// not affect unforgeability.
+std::vector<bool> ed25519_verify_batch(std::span<const VerifyJob> jobs);
+
+}  // namespace drum::crypto

@@ -122,13 +122,81 @@ BigInt BigInt::operator*(const BigInt& rhs) const {
 BigInt BigInt::operator%(const BigInt& m) const {
   if (m.is_zero()) throw std::domain_error("BigInt modulo by zero");
   if (*this < m) return *this;
-  // Shift-and-subtract long division (keeps only the remainder).
-  BigInt rem;
-  for (std::size_t i = bit_length(); i-- > 0;) {
-    rem = rem << 1;
-    if (bit(i)) rem = rem + BigInt(1);
-    if (rem >= m) rem = rem - m;
+
+  // Single-limb divisor: fold the limbs top-down through uint64 division.
+  if (m.limbs_.size() == 1) {
+    const std::uint64_t d = m.limbs_[0];
+    std::uint64_t r = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      r = ((r << 32) | limbs_[i]) % d;
+    }
+    BigInt out;
+    if (r) out.limbs_.push_back(static_cast<std::uint32_t>(r));
+    return out;
   }
+
+  // Knuth algorithm D (TAOCP vol. 2, §4.3.1), remainder only. Word-based:
+  // one pass per quotient digit instead of one per bit — this sits on the
+  // Ed25519 mod-L hot path (sign, verify, and especially batch verify).
+  // D1: normalize so the divisor's top limb has its high bit set; qhat
+  // estimates are then off by at most 2.
+  int shift = 0;
+  for (std::uint32_t top = m.limbs_.back(); !(top & 0x80000000u); top <<= 1) {
+    ++shift;
+  }
+  std::vector<std::uint32_t> u = (*this << shift).limbs_;
+  const std::vector<std::uint32_t> v = (m << shift).limbs_;
+  const std::size_t n = v.size();
+  u.resize(std::max(u.size(), n) + 1, 0);
+  const std::uint64_t b = std::uint64_t(1) << 32;
+
+  for (std::size_t j = u.size() - n; j-- > 0;) {
+    // D3: estimate the quotient digit from the top two dividend limbs.
+    const std::uint64_t num =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = num / v[n - 1];
+    std::uint64_t rhat = num % v[n - 1];
+    while (qhat >= b ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= b) break;
+    }
+    // D4: multiply and subtract (signed borrow propagation).
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * v[i];
+      const std::int64_t t = static_cast<std::int64_t>(u[i + j]) - borrow -
+                             static_cast<std::int64_t>(p & 0xffffffffu);
+      u[i + j] = static_cast<std::uint32_t>(t);
+      borrow = static_cast<std::int64_t>(p >> 32) - (t >> 32);
+    }
+    const std::int64_t t = static_cast<std::int64_t>(u[j + n]) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(t);
+    // D6: qhat was one too large (probability ~2/b): add the divisor back.
+    if (t < 0) {
+      std::uint64_t carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + carry;
+        u[i + j] = static_cast<std::uint32_t>(s);
+        carry = s >> 32;
+      }
+      u[j + n] += static_cast<std::uint32_t>(carry);
+    }
+  }
+
+  // D8: the low n limbs are the (normalized) remainder; denormalize.
+  BigInt rem;
+  rem.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift) {
+    for (std::size_t i = 0; i + 1 < rem.limbs_.size(); ++i) {
+      rem.limbs_[i] = (rem.limbs_[i] >> shift) |
+                      (rem.limbs_[i + 1] << (32 - shift));
+    }
+    rem.limbs_.back() >>= shift;
+  }
+  rem.trim();
   return rem;
 }
 

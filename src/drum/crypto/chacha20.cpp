@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "drum/crypto/backend.hpp"
+#include "drum/crypto/backend_impl.hpp"
+
 namespace drum::crypto {
 
 namespace {
@@ -49,6 +52,23 @@ void run_block(const std::array<std::uint32_t, 16>& in,
 
 }  // namespace
 
+namespace detail {
+
+// Portable reference (the scalar backend): one block at a time.
+void chacha20_xor_blocks_scalar(const std::uint32_t state[16],
+                                std::uint8_t* data, std::size_t nblocks) {
+  std::array<std::uint32_t, 16> st;
+  for (int i = 0; i < 16; ++i) st[i] = state[i];
+  std::array<std::uint8_t, 64> ks;
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    run_block(st, ks);
+    st[12] += 1;  // 32-bit block counter, wraps (RFC 8439 §2.3)
+    for (int i = 0; i < 64; ++i) data[64 * blk + i] ^= ks[i];
+  }
+}
+
+}  // namespace detail
+
 ChaCha20::ChaCha20(util::ByteSpan key, util::ByteSpan nonce,
                    std::uint32_t counter) {
   if (key.size() != kKeySize) throw std::invalid_argument("chacha20 key size");
@@ -69,9 +89,18 @@ void ChaCha20::refill() {
 }
 
 void ChaCha20::crypt(std::uint8_t* data, std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) {
-    if (ks_pos_ == 64) refill();
-    data[i] ^= keystream_[ks_pos_++];
+  std::size_t i = 0;
+  // Drain any keystream buffered by a previous partial-block call.
+  while (ks_pos_ < 64 && i < len) data[i++] ^= keystream_[ks_pos_++];
+  // Whole blocks go through the active backend in one call.
+  if (const std::size_t nblocks = (len - i) / 64) {
+    active_backend().chacha20_xor_blocks(state_.data(), data + i, nblocks);
+    state_[12] += static_cast<std::uint32_t>(nblocks);
+    i += nblocks * 64;
+  }
+  if (i < len) {
+    refill();
+    while (i < len) data[i++] ^= keystream_[ks_pos_++];
   }
 }
 

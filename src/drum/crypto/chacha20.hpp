@@ -1,6 +1,11 @@
 // ChaCha20 stream cipher (RFC 8439). Used together with HMAC-SHA256 in the
 // encrypt-then-MAC "port box" that protects random port numbers on the wire
 // (paper §4: "random ports ... are encrypted").
+//
+// This is the incremental form; the one-shot chacha20_xor() lives in
+// drum/crypto/api.hpp. Whole-block spans route through the active
+// crypto::Backend (scalar reference, 4-way SSE2, or 8-way AVX2 — see
+// backend.hpp); all backends generate bit-identical keystreams.
 #pragma once
 
 #include <array>

@@ -1,0 +1,129 @@
+// 8-way ChaCha20 block generation with AVX2. Same scheme as the SSE2
+// backend but with eight independent blocks per pass, one per 32-bit lane
+// of a __m256i: counter lanes state[12] + {0..7} (wrapping mod 2^32), the
+// 20 rounds run lanewise, then two 8x8 dword transposes per pass turn the
+// word-major result into per-block keystream bytes. rotl by 16 and 8 use
+// a byte shuffle (1 uop) instead of the shift/shift/or sequence.
+//
+// Remainder blocks (nblocks % 8) fall back to the scalar reference with the
+// counter advanced past the vectorized part.
+//
+// Compiled with -mavx2 (see crypto/CMakeLists.txt); empty TU without it.
+#include "drum/crypto/backend_impl.hpp"
+
+#if defined(DRUM_CRYPTO_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace drum::crypto::detail {
+
+namespace {
+
+inline __m256i rotl_shift(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_slli_epi32(x, n), _mm256_srli_epi32(x, 32 - n));
+}
+
+inline __m256i rotl16(__m256i x) {
+  const __m256i ctl = _mm256_setr_epi8(
+      2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13,  //
+      2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+  return _mm256_shuffle_epi8(x, ctl);
+}
+
+inline __m256i rotl8(__m256i x) {
+  const __m256i ctl = _mm256_setr_epi8(
+      3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14,  //
+      3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14);
+  return _mm256_shuffle_epi8(x, ctl);
+}
+
+inline void quarter_round(__m256i& a, __m256i& b, __m256i& c, __m256i& d) {
+  a = _mm256_add_epi32(a, b); d = _mm256_xor_si256(d, a); d = rotl16(d);
+  c = _mm256_add_epi32(c, d); b = _mm256_xor_si256(b, c); b = rotl_shift(b, 12);
+  a = _mm256_add_epi32(a, b); d = _mm256_xor_si256(d, a); d = rotl8(d);
+  c = _mm256_add_epi32(c, d); b = _mm256_xor_si256(b, c); b = rotl_shift(b, 7);
+}
+
+// r[j] <- dword j of each input row, row index in the lane position.
+inline void transpose8x8(__m256i r[8]) {
+  __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+  __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+  __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+  __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+  __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+  __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+  __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+  __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+  __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+  r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+  r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+  r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+  r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+  r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+  r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+  r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+  r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+}  // namespace
+
+void chacha20_xor_blocks_avx2(const std::uint32_t state[16],
+                              std::uint8_t* data, std::size_t nblocks) {
+  std::size_t done = 0;
+  for (; done + 8 <= nblocks; done += 8) {
+    __m256i init[16];
+    for (int i = 0; i < 16; ++i) {
+      init[i] = _mm256_set1_epi32(static_cast<int>(state[i]));
+    }
+    // Counter lanes: base + {0..7}; _mm256_add_epi32 wraps mod 2^32.
+    init[12] = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(state[12] +
+                                           static_cast<std::uint32_t>(done))),
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+
+    __m256i x[16];
+    for (int i = 0; i < 16; ++i) x[i] = init[i];
+    for (int round = 0; round < 10; ++round) {
+      quarter_round(x[0], x[4], x[8], x[12]);
+      quarter_round(x[1], x[5], x[9], x[13]);
+      quarter_round(x[2], x[6], x[10], x[14]);
+      quarter_round(x[3], x[7], x[11], x[15]);
+      quarter_round(x[0], x[5], x[10], x[15]);
+      quarter_round(x[1], x[6], x[11], x[12]);
+      quarter_round(x[2], x[7], x[8], x[13]);
+      quarter_round(x[3], x[4], x[9], x[14]);
+    }
+    for (int i = 0; i < 16; ++i) x[i] = _mm256_add_epi32(x[i], init[i]);
+
+    // Two transposes: x[0..7] -> words 0..7 of each block, x[8..15] ->
+    // words 8..15. After each, vector b holds block b's 32-byte half.
+    std::uint8_t* out = data + 64 * done;
+    for (int half = 0; half < 2; ++half) {
+      __m256i q[8];
+      for (int j = 0; j < 8; ++j) q[j] = x[8 * half + j];
+      transpose8x8(q);
+      for (int b = 0; b < 8; ++b) {
+        __m256i* p = reinterpret_cast<__m256i*>(out + 64 * b + 32 * half);
+        _mm256_storeu_si256(p, _mm256_xor_si256(_mm256_loadu_si256(p), q[b]));
+      }
+    }
+  }
+
+  if (done < nblocks) {
+    std::uint32_t st[16];
+    for (int i = 0; i < 16; ++i) st[i] = state[i];
+    st[12] += static_cast<std::uint32_t>(done);
+    chacha20_xor_blocks_scalar(st, data + 64 * done, nblocks - done);
+  }
+}
+
+}  // namespace drum::crypto::detail
+
+#endif  // DRUM_CRYPTO_HAVE_AVX2 && __AVX2__

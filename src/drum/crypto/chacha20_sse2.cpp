@@ -1,0 +1,98 @@
+// 4-way ChaCha20 block generation with SSE2. ChaCha20 blocks are
+// independent given the counter, so four blocks run in lockstep, one per
+// 32-bit lane: sixteen state vectors, each broadcasting one state word,
+// with the counter vector offset per lane (state[12] + {0,1,2,3}, wrapping
+// mod 2^32 as RFC 8439 prescribes). A 4x4 dword transpose per 4-word group
+// turns the word-major result back into per-block keystream bytes.
+//
+// Remainder blocks (nblocks % 4) fall back to the scalar reference with the
+// counter advanced past the vectorized part.
+//
+// Compiled with -msse2 (baseline on x86-64); empty TU without it.
+#include "drum/crypto/backend_impl.hpp"
+
+#if defined(DRUM_CRYPTO_HAVE_SSE2) && defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace drum::crypto::detail {
+
+namespace {
+
+inline __m128i rotl(__m128i x, int n) {
+  return _mm_or_si128(_mm_slli_epi32(x, n), _mm_srli_epi32(x, 32 - n));
+}
+
+inline void quarter_round(__m128i& a, __m128i& b, __m128i& c, __m128i& d) {
+  a = _mm_add_epi32(a, b); d = _mm_xor_si128(d, a); d = rotl(d, 16);
+  c = _mm_add_epi32(c, d); b = _mm_xor_si128(b, c); b = rotl(b, 12);
+  a = _mm_add_epi32(a, b); d = _mm_xor_si128(d, a); d = rotl(d, 8);
+  c = _mm_add_epi32(c, d); b = _mm_xor_si128(b, c); b = rotl(b, 7);
+}
+
+// r[j] <- dword j of each input row, row index in the lane position.
+inline void transpose4x4(__m128i r[4]) {
+  const __m128i t0 = _mm_unpacklo_epi32(r[0], r[1]);
+  const __m128i t1 = _mm_unpacklo_epi32(r[2], r[3]);
+  const __m128i t2 = _mm_unpackhi_epi32(r[0], r[1]);
+  const __m128i t3 = _mm_unpackhi_epi32(r[2], r[3]);
+  r[0] = _mm_unpacklo_epi64(t0, t1);
+  r[1] = _mm_unpackhi_epi64(t0, t1);
+  r[2] = _mm_unpacklo_epi64(t2, t3);
+  r[3] = _mm_unpackhi_epi64(t2, t3);
+}
+
+}  // namespace
+
+void chacha20_xor_blocks_sse2(const std::uint32_t state[16],
+                              std::uint8_t* data, std::size_t nblocks) {
+  std::size_t done = 0;
+  for (; done + 4 <= nblocks; done += 4) {
+    __m128i init[16];
+    for (int i = 0; i < 16; ++i) {
+      init[i] = _mm_set1_epi32(static_cast<int>(state[i]));
+    }
+    // Counter lanes: base + {0,1,2,3}; _mm_add_epi32 wraps mod 2^32.
+    init[12] = _mm_add_epi32(
+        _mm_set1_epi32(static_cast<int>(state[12] +
+                                        static_cast<std::uint32_t>(done))),
+        _mm_setr_epi32(0, 1, 2, 3));
+
+    __m128i x[16];
+    for (int i = 0; i < 16; ++i) x[i] = init[i];
+    for (int round = 0; round < 10; ++round) {
+      quarter_round(x[0], x[4], x[8], x[12]);
+      quarter_round(x[1], x[5], x[9], x[13]);
+      quarter_round(x[2], x[6], x[10], x[14]);
+      quarter_round(x[3], x[7], x[11], x[15]);
+      quarter_round(x[0], x[5], x[10], x[15]);
+      quarter_round(x[1], x[6], x[11], x[12]);
+      quarter_round(x[2], x[7], x[8], x[13]);
+      quarter_round(x[3], x[4], x[9], x[14]);
+    }
+    for (int i = 0; i < 16; ++i) x[i] = _mm_add_epi32(x[i], init[i]);
+
+    // Per 4-word group, transpose word-major -> block-major and XOR out.
+    std::uint8_t* out = data + 64 * done;
+    for (int grp = 0; grp < 4; ++grp) {
+      __m128i q[4] = {x[4 * grp], x[4 * grp + 1], x[4 * grp + 2],
+                      x[4 * grp + 3]};
+      transpose4x4(q);
+      for (int b = 0; b < 4; ++b) {
+        __m128i* p = reinterpret_cast<__m128i*>(out + 64 * b + 16 * grp);
+        _mm_storeu_si128(p, _mm_xor_si128(_mm_loadu_si128(p), q[b]));
+      }
+    }
+  }
+
+  if (done < nblocks) {
+    std::uint32_t st[16];
+    for (int i = 0; i < 16; ++i) st[i] = state[i];
+    st[12] += static_cast<std::uint32_t>(done);
+    chacha20_xor_blocks_scalar(st, data + 64 * done, nblocks - done);
+  }
+}
+
+}  // namespace drum::crypto::detail
+
+#endif  // DRUM_CRYPTO_HAVE_SSE2 && __SSE2__

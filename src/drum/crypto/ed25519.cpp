@@ -3,17 +3,12 @@
 #include <cstring>
 
 #include "drum/crypto/bigint.hpp"
-#include "drum/crypto/fe25519.hpp"
+#include "drum/crypto/ed25519_internal.hpp"
 #include "drum/crypto/sha512.hpp"
 
 namespace drum::crypto {
 
-namespace {
-
-// Extended homogeneous coordinates (X:Y:Z:T), x = X/Z, y = Y/Z, xy = T/Z.
-struct Ge {
-  Fe x, y, z, t;
-};
+namespace detail {
 
 // d = -121665/121666 mod p.
 const Fe& const_d() {
@@ -64,11 +59,13 @@ void ge_identity(Ge& h) {
   fe_zero(h.t);
 }
 
-// Base point B: y = 4/5, x positive ("even").
-const Ge& base_point();
+bool ge_is_identity(const Ge& h) {
+  // Identity is (0 : Z : Z : 0), i.e. x = 0 and y = z.
+  Fe diff;
+  fe_sub(diff, h.y, h.z);
+  return fe_is_zero(h.x) && fe_is_zero(diff);
+}
 
-// Unified twisted-Edwards addition (a=-1): complete for Ed25519 because d is
-// non-square, so it also handles doubling and identity correctly.
 void ge_add(Ge& out, const Ge& p, const Ge& q) {
   Fe a, b, c, d, e, f, g, h, t0, t1;
   fe_sub(t0, p.y, p.x);
@@ -205,43 +202,56 @@ std::array<std::uint8_t, 32> clamp_scalar(const std::uint8_t h[32]) {
   return s;
 }
 
+}  // namespace detail
+
+namespace {
+
+using detail::Ge;
+
+// SHA512 one-shot without going through the deprecated Sha512::hash.
+Sha512::Digest sha512_oneshot(util::ByteSpan data) {
+  Sha512 h;
+  h.update(data);
+  return h.final();
+}
+
 }  // namespace
 
 Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed) {
-  auto h = Sha512::hash(util::ByteSpan(seed.data(), seed.size()));
-  auto s = clamp_scalar(h.data());
+  auto h = sha512_oneshot(util::ByteSpan(seed.data(), seed.size()));
+  auto s = detail::clamp_scalar(h.data());
   Ge a;
-  ge_scalarmult(a, s.data(), base_point());
+  detail::ge_scalarmult(a, s.data(), detail::base_point());
   Ed25519PublicKey pub;
-  ge_tobytes(pub.data(), a);
+  detail::ge_tobytes(pub.data(), a);
   return pub;
 }
 
 Ed25519Signature ed25519_sign(const Ed25519Seed& seed,
                               const Ed25519PublicKey& pub,
                               util::ByteSpan message) {
-  auto h = Sha512::hash(util::ByteSpan(seed.data(), seed.size()));
-  auto s = clamp_scalar(h.data());
+  auto h = sha512_oneshot(util::ByteSpan(seed.data(), seed.size()));
+  auto s = detail::clamp_scalar(h.data());
 
   // r = SHA512(prefix || M) mod L
   Sha512 hr;
   hr.update(util::ByteSpan(h.data() + 32, 32));
   hr.update(message);
-  auto r_full = hr.finish();
-  auto r = reduce_mod_l(util::ByteSpan(r_full.data(), r_full.size()));
+  auto r_full = hr.final();
+  auto r = detail::reduce_mod_l(util::ByteSpan(r_full.data(), r_full.size()));
 
   Ge rp;
-  ge_scalarmult(rp, r.data(), base_point());
+  detail::ge_scalarmult(rp, r.data(), detail::base_point());
   Ed25519Signature sig{};
-  ge_tobytes(sig.data(), rp);
+  detail::ge_tobytes(sig.data(), rp);
 
   // k = SHA512(R || A || M) mod L
   Sha512 hk;
   hk.update(util::ByteSpan(sig.data(), 32));
   hk.update(util::ByteSpan(pub.data(), pub.size()));
   hk.update(message);
-  auto k_full = hk.finish();
-  auto k = reduce_mod_l(util::ByteSpan(k_full.data(), k_full.size()));
+  auto k_full = hk.final();
+  auto k = detail::reduce_mod_l(util::ByteSpan(k_full.data(), k_full.size()));
 
   // S = (r + k*s) mod L
   BigInt big_r = BigInt::from_bytes_le(util::ByteSpan(r.data(), 32));
@@ -260,29 +270,29 @@ bool ed25519_verify(const Ed25519PublicKey& pub, util::ByteSpan message,
   if (!(s < ed25519_order())) return false;
 
   Ge a, r;
-  if (!ge_frombytes(a, pub.data())) return false;
-  if (!ge_frombytes(r, sig.data())) return false;
+  if (!detail::ge_frombytes(a, pub.data())) return false;
+  if (!detail::ge_frombytes(r, sig.data())) return false;
 
   // k = SHA512(R || A || M) mod L
   Sha512 hk;
   hk.update(util::ByteSpan(sig.data(), 32));
   hk.update(util::ByteSpan(pub.data(), pub.size()));
   hk.update(message);
-  auto k_full = hk.finish();
-  auto k = reduce_mod_l(util::ByteSpan(k_full.data(), k_full.size()));
+  auto k_full = hk.final();
+  auto k = detail::reduce_mod_l(util::ByteSpan(k_full.data(), k_full.size()));
 
   // Check S·B == R + k·A  ⇔  S·B + k·(-A) == R.
   std::array<std::uint8_t, 32> s_le{};
   std::memcpy(s_le.data(), sig.data() + 32, 32);
   Ge sb, ka, neg_a, sum;
-  ge_scalarmult(sb, s_le.data(), base_point());
-  ge_neg(neg_a, a);
-  ge_scalarmult(ka, k.data(), neg_a);
-  ge_add(sum, sb, ka);
+  detail::ge_scalarmult(sb, s_le.data(), detail::base_point());
+  detail::ge_neg(neg_a, a);
+  detail::ge_scalarmult(ka, k.data(), neg_a);
+  detail::ge_add(sum, sb, ka);
 
   std::uint8_t sum_enc[32], r_enc[32];
-  ge_tobytes(sum_enc, sum);
-  ge_tobytes(r_enc, r);
+  detail::ge_tobytes(sum_enc, sum);
+  detail::ge_tobytes(r_enc, r);
   return std::memcmp(sum_enc, r_enc, 32) == 0;
 }
 

@@ -1,0 +1,48 @@
+// Internal Ed25519 group arithmetic shared by ed25519.cpp (sign/verify) and
+// ed25519_batch.cpp (batch verification). Extended homogeneous coordinates
+// over fe25519 with the complete twisted-Edwards addition law. Not part of
+// the public API — include drum/crypto/ed25519.hpp / api.hpp instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "drum/crypto/fe25519.hpp"
+#include "drum/util/bytes.hpp"
+
+namespace drum::crypto::detail {
+
+// Extended homogeneous coordinates (X:Y:Z:T), x = X/Z, y = Y/Z, xy = T/Z.
+struct Ge {
+  Fe x, y, z, t;
+};
+
+// Curve constants: d = -121665/121666, 2d, sqrt(-1) (all mod p).
+const Fe& const_d();
+const Fe& const_d2();
+const Fe& const_sqrtm1();
+
+void ge_identity(Ge& h);
+bool ge_is_identity(const Ge& h);
+
+// Unified twisted-Edwards addition (a = -1): complete for Ed25519 because d
+// is non-square, so it also handles doubling and identity correctly.
+void ge_add(Ge& out, const Ge& p, const Ge& q);
+void ge_neg(Ge& out, const Ge& p);
+
+// Variable-time double-and-add over the 256-bit scalar (little-endian).
+void ge_scalarmult(Ge& out, const std::uint8_t scalar[32], const Ge& p);
+
+void ge_tobytes(std::uint8_t s[32], const Ge& h);
+// Decompression (RFC 8032 §5.1.3). Returns false on invalid encodings.
+bool ge_frombytes(Ge& h, const std::uint8_t s[32]);
+
+// Base point B: y = 4/5, x positive ("even").
+const Ge& base_point();
+
+// Reduce a little-endian value mod L to 32 little-endian bytes.
+std::array<std::uint8_t, 32> reduce_mod_l(util::ByteSpan bytes);
+
+std::array<std::uint8_t, 32> clamp_scalar(const std::uint8_t h[32]);
+
+}  // namespace drum::crypto::detail

@@ -10,7 +10,9 @@ template <typename Hash>
 typename Hash::Digest hmac(util::ByteSpan key, util::ByteSpan data) {
   std::array<std::uint8_t, Hash::kBlockSize> k{};
   if (key.size() > Hash::kBlockSize) {
-    auto d = Hash::hash(key);
+    Hash kh;
+    kh.update(key);
+    auto d = kh.final();
     std::copy(d.begin(), d.end(), k.begin());
   } else {
     std::copy(key.begin(), key.end(), k.begin());
@@ -23,11 +25,11 @@ typename Hash::Digest hmac(util::ByteSpan key, util::ByteSpan data) {
   Hash inner;
   inner.update(util::ByteSpan(ipad.data(), ipad.size()));
   inner.update(data);
-  auto inner_digest = inner.finish();
+  auto inner_digest = inner.final();
   Hash outer;
   outer.update(util::ByteSpan(opad.data(), opad.size()));
   outer.update(util::ByteSpan(inner_digest.data(), inner_digest.size()));
-  return outer.finish();
+  return outer.final();
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 #include "drum/crypto/keys.hpp"
 
+#include "drum/crypto/api.hpp"
 #include "drum/crypto/hmac.hpp"
-#include "drum/crypto/sha256.hpp"
 
 namespace drum::crypto {
 
@@ -58,13 +58,18 @@ std::optional<Identity> Identity::deserialize_secret(util::ByteSpan secret) {
 }
 
 std::string Identity::short_id() const {
-  auto digest = Sha256::hash(util::ByteSpan(sign_pub_.data(), sign_pub_.size()));
+  auto digest = sha256(util::ByteSpan(sign_pub_.data(), sign_pub_.size()));
   return util::to_hex(util::ByteSpan(digest.data(), 8));
 }
 
+// Definition of the deprecated alias; suppress the self-referential warning
+// GCC emits for deprecated definitions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 bool verify(const Ed25519PublicKey& pub, util::ByteSpan message,
             const Ed25519Signature& sig) {
   return ed25519_verify(pub, message, sig);
 }
+#pragma GCC diagnostic pop
 
 }  // namespace drum::crypto

@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "drum/check/check.hpp"
-#include "drum/crypto/chacha20.hpp"
+#include "drum/crypto/api.hpp"
 #include "drum/crypto/hmac.hpp"
 
 namespace drum::crypto {
@@ -49,8 +49,8 @@ util::Bytes portbox_seal(util::ByteSpan key, util::ByteSpan plaintext,
                         plaintext),
       "portbox nonce reuse under one pair key");
 
-  ChaCha20 cipher(key, util::ByteSpan(nonce.data(), nonce.size()), 1);
-  util::Bytes ct = cipher.crypt_copy(plaintext);
+  util::Bytes ct = chacha20_xor_copy(
+      key, util::ByteSpan(nonce.data(), nonce.size()), 1, plaintext);
   auto tag = compute_tag(key, util::ByteSpan(nonce.data(), nonce.size()),
                          util::ByteSpan(ct.data(), ct.size()));
 
@@ -78,8 +78,7 @@ std::optional<util::Bytes> portbox_open(util::ByteSpan key,
   if (!util::ct_equal(util::ByteSpan(expected.data(), expected.size()), tag)) {
     return std::nullopt;
   }
-  ChaCha20 cipher(key, nonce, 1);
-  return cipher.crypt_copy(ct);
+  return chacha20_xor_copy(key, nonce, 1, ct);
 }
 
 util::Bytes portbox_seal_port(util::ByteSpan key, std::uint16_t port,

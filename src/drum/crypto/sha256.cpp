@@ -1,5 +1,8 @@
 #include "drum/crypto/sha256.hpp"
 
+#include "drum/crypto/backend.hpp"
+#include "drum/crypto/backend_impl.hpp"
+
 namespace drum::crypto {
 
 namespace {
@@ -23,39 +26,63 @@ inline std::uint32_t rotr(std::uint32_t x, int n) {
 
 }  // namespace
 
+namespace detail {
+
+// Portable reference compression (the scalar backend). Multi-block so the
+// ISA backends can be swapped in at the same call site.
+void sha256_compress_scalar(std::uint32_t state[8], const std::uint8_t* blocks,
+                            std::size_t nblocks) {
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const std::uint8_t* block = blocks + 64 * blk;
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
+             static_cast<std::uint32_t>(block[4 * i + 1]) << 16 |
+             static_cast<std::uint32_t>(block[4 * i + 2]) << 8 |
+             static_cast<std::uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      std::uint32_t ch = (e & f) ^ (~e & g);
+      std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+      std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      std::uint32_t t2 = s0 + maj;
+      h = g; g = f; f = e; e = d + t1;
+      d = c; c = b; b = a; a = t1 + t2;
+    }
+    state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+    state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+  }
+}
+
+// Scalar fallback for the multi-buffer form: the eight lanes just run one
+// after another.
+void sha256_compress_x8_scalar(std::uint32_t states[8][8],
+                               const std::uint8_t* const blocks[8],
+                               std::size_t nblocks) {
+  for (int lane = 0; lane < 8; ++lane) {
+    sha256_compress_scalar(states[lane], blocks[lane], nblocks);
+  }
+}
+
+}  // namespace detail
+
 Sha256::Sha256()
     : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
              0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
-void Sha256::compress(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
-           static_cast<std::uint32_t>(block[4 * i + 1]) << 16 |
-           static_cast<std::uint32_t>(block[4 * i + 2]) << 8 |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-  auto [a, b, c, d, e, f, g, h] = state_;
-  for (int i = 0; i < 64; ++i) {
-    std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    std::uint32_t ch = (e & f) ^ (~e & g);
-    std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    std::uint32_t t2 = s0 + maj;
-    h = g; g = f; f = e; e = d + t1;
-    d = c; c = b; b = a; a = t1 + t2;
-  }
-  state_[0] += a; state_[1] += b; state_[2] += c; state_[3] += d;
-  state_[4] += e; state_[5] += f; state_[6] += g; state_[7] += h;
-}
-
 void Sha256::update(util::ByteSpan data) {
+  const Backend& be = active_backend();
   bits_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t i = 0;
   if (buf_len_ > 0) {
@@ -63,18 +90,18 @@ void Sha256::update(util::ByteSpan data) {
       buf_[buf_len_++] = data[i++];
     }
     if (buf_len_ == kBlockSize) {
-      compress(buf_.data());
+      be.sha256_compress(state_.data(), buf_.data(), 1);
       buf_len_ = 0;
     }
   }
-  while (i + kBlockSize <= data.size()) {
-    compress(data.data() + i);
-    i += kBlockSize;
+  if (const std::size_t nblocks = (data.size() - i) / kBlockSize) {
+    be.sha256_compress(state_.data(), data.data() + i, nblocks);
+    i += nblocks * kBlockSize;
   }
   while (i < data.size()) buf_[buf_len_++] = data[i++];
 }
 
-Sha256::Digest Sha256::finish() {
+Sha256::Digest Sha256::final() {
   std::uint64_t bits = bits_;
   std::uint8_t pad = 0x80;
   update(util::ByteSpan(&pad, 1));
@@ -95,10 +122,15 @@ Sha256::Digest Sha256::finish() {
   return out;
 }
 
+// Out-of-line definition of the deprecated alias: silence the
+// self-deprecation warning, which -Werror would otherwise promote.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 Sha256::Digest Sha256::hash(util::ByteSpan data) {
   Sha256 h;
   h.update(data);
-  return h.finish();
+  return h.final();
 }
+#pragma GCC diagnostic pop
 
 }  // namespace drum::crypto

@@ -1,8 +1,12 @@
-// SHA-256 (FIPS 180-4). Implemented from the specification; verified against
-// the NIST example vectors in tests/crypto_test.cpp.
+// SHA-256 (FIPS 180-4). The incremental (init/update/final) form of the
+// primitive; one-shot and batch forms live in drum/crypto/api.hpp. The
+// block compression routes through the active crypto::Backend (scalar
+// reference, SHA-NI, or AVX2 multi-buffer — see backend.hpp), all of which
+// are bit-identical and verified against the NIST example vectors in
+// tests/crypto_test.cpp and per-backend in tests/crypto_backend_test.cpp.
 //
-// Used for: message digests in gossip digests, message ids, HMAC-SHA256, and
-// certificate fingerprints.
+// Used for: message digests in gossip digests, message ids, HMAC-SHA256,
+// and certificate fingerprints.
 #pragma once
 
 #include <array>
@@ -20,17 +24,19 @@ class Sha256 {
 
   Sha256();
 
-  /// Streaming interface.
+  /// Incremental interface: construct (init), update repeatedly, final.
   void update(util::ByteSpan data);
   /// Finalizes and returns the digest. The object must not be reused after.
-  Digest finish();
+  Digest final();
 
-  /// One-shot convenience.
-  static Digest hash(util::ByteSpan data);
+  /// DEPRECATED alias for final(); kept for one PR cycle.
+  [[deprecated("use final()")]] Digest finish() { return final(); }
+
+  /// DEPRECATED one-shot helper; use crypto::sha256() from api.hpp.
+  [[deprecated("use crypto::sha256() from drum/crypto/api.hpp")]] static Digest
+  hash(util::ByteSpan data);
 
  private:
-  void compress(const std::uint8_t* block);
-
   std::array<std::uint32_t, 8> state_;
   std::uint64_t bits_ = 0;
   std::array<std::uint8_t, kBlockSize> buf_{};

@@ -1,0 +1,153 @@
+// 8-way multi-buffer SHA-256 with AVX2. SHA-256 has a strict sequential
+// dependency inside one message, so single-stream SIMD gains little; instead
+// this runs EIGHT independent messages in lockstep, one per 32-bit SIMD
+// lane. Used by crypto::sha256_batch() (api.hpp) and by the batch verify
+// path, where many same-length digests are needed at once.
+//
+// Layout: states[lane][word] outside, transposed to word-major __m256i
+// vectors inside (vector w holds word w of all eight lanes). Message words
+// are loaded with an 8x8 dword transpose per half-block plus a byteswap.
+//
+// Compiled with -mavx2 (see crypto/CMakeLists.txt); empty TU without it.
+#include "drum/crypto/backend_impl.hpp"
+
+#if defined(DRUM_CRYPTO_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace drum::crypto::detail {
+
+namespace {
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline __m256i rotr(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+
+// In-place 8x8 dword transpose: on return r[j] holds dword j of each input
+// row, row index in the lane position.
+inline void transpose8x8(__m256i r[8]) {
+  __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+  __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+  __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+  __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+  __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+  __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+  __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+  __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+  __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+  r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+  r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+  r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+  r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+  r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+  r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+  r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+  r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+}  // namespace
+
+void sha256_compress_x8_avx2(std::uint32_t states[8][8],
+                             const std::uint8_t* const blocks[8],
+                             std::size_t nblocks) {
+  // Per-dword big-endian byteswap, replicated across both 128-bit halves.
+  const __m256i bswap = _mm256_setr_epi8(
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,  //
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+
+  __m256i h[8];
+  for (int w = 0; w < 8; ++w) {
+    h[w] = _mm256_set_epi32(
+        static_cast<int>(states[7][w]), static_cast<int>(states[6][w]),
+        static_cast<int>(states[5][w]), static_cast<int>(states[4][w]),
+        static_cast<int>(states[3][w]), static_cast<int>(states[2][w]),
+        static_cast<int>(states[1][w]), static_cast<int>(states[0][w]));
+  }
+
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    __m256i w[64];
+    for (int half = 0; half < 2; ++half) {
+      __m256i rows[8];
+      for (int lane = 0; lane < 8; ++lane) {
+        rows[lane] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+            blocks[lane] + 64 * blk + 32 * half));
+      }
+      transpose8x8(rows);
+      for (int j = 0; j < 8; ++j) {
+        w[8 * half + j] = _mm256_shuffle_epi8(rows[j], bswap);
+      }
+    }
+    for (int i = 16; i < 64; ++i) {
+      const __m256i w15 = w[i - 15];
+      const __m256i w2 = w[i - 2];
+      const __m256i s0 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr(w15, 7), rotr(w15, 18)),
+          _mm256_srli_epi32(w15, 3));
+      const __m256i s1 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr(w2, 17), rotr(w2, 19)),
+          _mm256_srli_epi32(w2, 10));
+      w[i] = _mm256_add_epi32(_mm256_add_epi32(w[i - 16], s0),
+                              _mm256_add_epi32(w[i - 7], s1));
+    }
+
+    __m256i a = h[0], b = h[1], c = h[2], d = h[3];
+    __m256i e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const __m256i s1 =
+          _mm256_xor_si256(_mm256_xor_si256(rotr(e, 6), rotr(e, 11)),
+                           rotr(e, 25));
+      const __m256i ch = _mm256_xor_si256(
+          _mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+      const __m256i t1 = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(hh, s1), _mm256_add_epi32(ch, w[i])),
+          _mm256_set1_epi32(static_cast<int>(kK[i])));
+      const __m256i s0 =
+          _mm256_xor_si256(_mm256_xor_si256(rotr(a, 2), rotr(a, 13)),
+                           rotr(a, 22));
+      const __m256i maj = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+          _mm256_and_si256(b, c));
+      const __m256i t2 = _mm256_add_epi32(s0, maj);
+      hh = g; g = f; f = e; e = _mm256_add_epi32(d, t1);
+      d = c; c = b; b = a; a = _mm256_add_epi32(t1, t2);
+    }
+    h[0] = _mm256_add_epi32(h[0], a);
+    h[1] = _mm256_add_epi32(h[1], b);
+    h[2] = _mm256_add_epi32(h[2], c);
+    h[3] = _mm256_add_epi32(h[3], d);
+    h[4] = _mm256_add_epi32(h[4], e);
+    h[5] = _mm256_add_epi32(h[5], f);
+    h[6] = _mm256_add_epi32(h[6], g);
+    h[7] = _mm256_add_epi32(h[7], hh);
+  }
+
+  alignas(32) std::uint32_t tmp[8];
+  for (int w = 0; w < 8; ++w) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), h[w]);
+    for (int lane = 0; lane < 8; ++lane) states[lane][w] = tmp[lane];
+  }
+}
+
+}  // namespace drum::crypto::detail
+
+#endif  // DRUM_CRYPTO_HAVE_AVX2 && __AVX2__

@@ -92,7 +92,7 @@ void Sha512::update(util::ByteSpan data) {
   while (i < data.size()) buf_[buf_len_++] = data[i++];
 }
 
-Sha512::Digest Sha512::finish() {
+Sha512::Digest Sha512::final() {
   std::uint64_t bits = bits_;
   std::uint8_t pad = 0x80;
   update(util::ByteSpan(&pad, 1));
@@ -112,10 +112,15 @@ Sha512::Digest Sha512::finish() {
   return out;
 }
 
+// Out-of-line definition of the deprecated alias: silence the
+// self-deprecation warning, which -Werror would otherwise promote.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 Sha512::Digest Sha512::hash(util::ByteSpan data) {
   Sha512 h;
   h.update(data);
-  return h.finish();
+  return h.final();
 }
+#pragma GCC diagnostic pop
 
 }  // namespace drum::crypto

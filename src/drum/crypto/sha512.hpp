@@ -1,5 +1,6 @@
 // SHA-512 (FIPS 180-4). Required by Ed25519 (RFC 8032). Verified against
-// NIST example vectors in tests.
+// NIST example vectors in tests. The incremental (init/update/final) form;
+// the one-shot crypto::sha512() lives in drum/crypto/api.hpp.
 #pragma once
 
 #include <array>
@@ -17,10 +18,17 @@ class Sha512 {
 
   Sha512();
 
+  /// Incremental interface: construct (init), update repeatedly, final.
   void update(util::ByteSpan data);
-  Digest finish();
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Digest final();
 
-  static Digest hash(util::ByteSpan data);
+  /// DEPRECATED alias for final(); kept for one PR cycle.
+  [[deprecated("use final()")]] Digest finish() { return final(); }
+
+  /// DEPRECATED one-shot helper; use crypto::sha512() from api.hpp.
+  [[deprecated("use crypto::sha512() from drum/crypto/api.hpp")]] static Digest
+  hash(util::ByteSpan data);
 
  private:
   void compress(const std::uint8_t* block);

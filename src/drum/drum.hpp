@@ -7,8 +7,9 @@
 //   util        — bytes/serialization, RNG, stats, flags, tables, logging
 //   obs         — metrics registry (counters/gauges/histograms), gossip
 //                 trace ring, JSON/CSV exporters
-//   crypto      — SHA-256/512, HMAC/HKDF, ChaCha20, X25519, Ed25519,
-//                 port boxes, identities
+//   crypto      — SHA-256/512, HMAC/HKDF, ChaCha20, X25519, Ed25519 (one-
+//                 shot/incremental/batch, see crypto/api.hpp; SIMD backends
+//                 behind crypto/backend.hpp), port boxes, identities
 //   net         — Transport abstraction, in-memory LAN, UDP sockets
 //   core        — the Drum protocol node and its Push/Pull/ablation variants
 //   runtime     — real-time thread-per-node execution
@@ -27,6 +28,8 @@
 #include "drum/core/config.hpp"
 #include "drum/core/message.hpp"
 #include "drum/core/node.hpp"
+#include "drum/crypto/api.hpp"
+#include "drum/crypto/backend.hpp"
 #include "drum/crypto/chacha20.hpp"
 #include "drum/crypto/ed25519.hpp"
 #include "drum/crypto/hmac.hpp"

@@ -386,30 +386,7 @@ void Cluster::maybe_sample_series() {
 }
 
 // All stat summaries are assembled from the nodes' metric registries — the
-// single bookkeeping path. Registry merge is the aggregation primitive;
-// NodeStats is just a flat view of the "node.*" counters.
-core::NodeStats Cluster::total_stats() const {
-  return core::NodeStats::from_registry(merged_registry(NodeSet::kAll));
-}
-
-std::vector<Cluster::PerNodeStats> Cluster::per_node_stats() const {
-  std::vector<PerNodeStats> out;
-  out.reserve(nodes_.size());
-  for (const auto& live : nodes_) {
-    PerNodeStats per;
-    per.id = live.id;
-    per.attacked = is_attacked(live.id);
-    per.stats = core::NodeStats::from_registry(live.node->registry());
-    out.push_back(per);
-  }
-  return out;
-}
-
-core::NodeStats Cluster::split_stats(bool attacked) const {
-  return core::NodeStats::from_registry(merged_registry(
-      attacked ? NodeSet::kAttacked : NodeSet::kNonAttacked));
-}
-
+// single bookkeeping path. Registry merge is the aggregation primitive.
 obs::MetricsRegistry Cluster::merged_registry(NodeSet set) const {
   obs::MetricsRegistry merged;
   for (const auto& live : nodes_) {
@@ -451,25 +428,25 @@ std::string Cluster::metrics_json() const {
   out += "  \"net\": " + net_registry_.to_json() + ",\n";
   out += "  \"per_node\": [";
   bool first = true;
-  for (const auto& per : per_node_stats()) {
+  static constexpr const char* kNodeCounters[] = {
+      "rounds",          "delivered",
+      "duplicates",      "datagrams_read",
+      "flushed_unread",  "decode_errors",
+      "box_failures",    "sig_failures",
+      "unknown_sender",  "certs_admitted",
+      "pull_requests_served", "push_offers_answered",
+      "push_replies_acted"};
+  for (const auto& live : nodes_) {
     out += first ? "\n" : ",\n";
     first = false;
-    const core::NodeStats& s = per.stats;
-    out += "    {\"id\": " + std::to_string(per.id);
-    out += ", \"attacked\": " + std::string(per.attacked ? "true" : "false");
-    out += ", \"rounds\": " + u64(s.rounds);
-    out += ", \"delivered\": " + u64(s.delivered);
-    out += ", \"duplicates\": " + u64(s.duplicates);
-    out += ", \"datagrams_read\": " + u64(s.datagrams_read);
-    out += ", \"flushed_unread\": " + u64(s.flushed_unread);
-    out += ", \"decode_errors\": " + u64(s.decode_errors);
-    out += ", \"box_failures\": " + u64(s.box_failures);
-    out += ", \"sig_failures\": " + u64(s.sig_failures);
-    out += ", \"unknown_sender\": " + u64(s.unknown_sender);
-    out += ", \"certs_admitted\": " + u64(s.certs_admitted);
-    out += ", \"pull_requests_served\": " + u64(s.pull_requests_served);
-    out += ", \"push_offers_answered\": " + u64(s.push_offers_answered);
-    out += ", \"push_replies_acted\": " + u64(s.push_replies_acted);
+    const obs::MetricsRegistry& reg = live.node->registry();
+    out += "    {\"id\": " + std::to_string(live.id);
+    out += ", \"attacked\": " +
+           std::string(is_attacked(live.id) ? "true" : "false");
+    for (const char* name : kNodeCounters) {
+      out += ", \"" + std::string(name) +
+             "\": " + u64(reg.counter_value(std::string("node.") + name));
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";

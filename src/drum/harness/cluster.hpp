@@ -133,26 +133,12 @@ class Cluster {
     return nodes_[i].trace.get();
   }
 
-  /// Sum of a stat over all live nodes (for tests).
-  [[nodiscard]] core::NodeStats total_stats() const;
-
   /// drum::check invariants over the harness: node_index_ is a bijection
   /// onto live nodes, victims and the source are correct (instantiated)
   /// members, every armed round tick lies in the future, and tracked
   /// messages never record more deliveries than there are receivers.
   /// Called at construction and after every run_for_us(); no-op in Release.
   void check_invariants() const;
-
-  /// Per-node (not just summed) stats, so attacked and non-attacked nodes
-  /// are distinguishable — the paper's Fig. 6 split.
-  struct PerNodeStats {
-    std::uint32_t id = 0;
-    bool attacked = false;
-    core::NodeStats stats;
-  };
-  [[nodiscard]] std::vector<PerNodeStats> per_node_stats() const;
-  /// total_stats() restricted to the attacked (or non-attacked) nodes.
-  [[nodiscard]] core::NodeStats split_stats(bool attacked) const;
 
   /// Which nodes a merged registry covers.
   enum class NodeSet { kAll, kAttacked, kNonAttacked };

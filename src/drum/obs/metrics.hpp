@@ -99,8 +99,7 @@ class MetricsRegistry {
   [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
   [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
 
-  /// Typed read accessors — the supported way to consume metrics (the
-  /// NodeStats mirror struct is a deprecated shim over these). Absent
+  /// Typed read accessors — the supported way to consume metrics. Absent
   /// metrics read as 0, so callers need no existence checks.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
   [[nodiscard]] double gauge_value(std::string_view name) const;

@@ -1,7 +1,5 @@
 #include "drum/runtime/runner.hpp"
 
-#include "drum/check/check.hpp"
-
 namespace drum::runtime {
 
 namespace {
@@ -17,8 +15,6 @@ ReactorConfig to_reactor(const RunnerConfig& cfg) {
 
 NodeRunner::NodeRunner(core::Node& node, RunnerConfig cfg, std::uint64_t seed)
     : reactor_(to_reactor(cfg)) {
-  DRUM_REQUIRE(cfg.poll_interval.count() >= 0,
-               "poll interval must be non-negative");
   reactor_.add_node(node, seed);
 }
 

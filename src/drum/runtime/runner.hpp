@@ -1,11 +1,10 @@
 // NodeRunner — single-node compatibility facade over ReactorRuntime.
 //
-// Historically this was a dedicated thread sleep-polling the node every
-// poll_interval. It is now a thin shim over a one-node ReactorRuntime with
+// Historically this was a dedicated thread sleep-polling the node on a
+// fixed cadence. It is now a thin shim over a one-node ReactorRuntime with
 // workers == 0: one thread total (the event loop), woken by socket readiness
 // and the round timer instead of a sleep cadence. The public API and the
-// "runner.*" telemetry names are unchanged; poll_interval is accepted but
-// ignored — readiness has no polling period.
+// "runner.*" telemetry names are unchanged.
 //
 // New code hosting more than one node should use ReactorRuntime directly
 // (reactor.hpp).
@@ -27,9 +26,6 @@ struct RunnerConfig {
   /// unsynchronized across nodes so an attacker cannot aim at round starts
   /// (paper §4).
   double jitter = 0.2;
-  /// DEPRECATED, ignored: the runner is readiness-driven and polls exactly
-  /// when datagrams arrive. Kept so existing call sites compile.
-  std::chrono::milliseconds poll_interval{2};
   /// Record runner telemetry into the node's metrics registry:
   /// "runner.ticks" / "runner.polls" counters, the "runner.poll_us" poll-
   /// call duration histogram, and "runner.tick_interval_us" — the realized

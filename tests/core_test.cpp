@@ -384,7 +384,8 @@ TEST(IdentitySecrets, SerializeDeserializeRoundTrip) {
   // Signatures from the restored identity verify against the original key.
   util::Bytes msg = {1, 2, 3};
   auto sig = restored->sign(util::ByteSpan(msg));
-  EXPECT_TRUE(crypto::verify(original.sign_public(), util::ByteSpan(msg), sig));
+  EXPECT_TRUE(
+      crypto::ed25519_verify(original.sign_public(), util::ByteSpan(msg), sig));
   // Wrong length rejected.
   util::Bytes tiny(10);
   EXPECT_FALSE(

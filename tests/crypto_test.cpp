@@ -3,6 +3,7 @@
 // RFC 7748, RFC 8032), plus property tests for round-trips and tampering.
 #include <gtest/gtest.h>
 
+#include "drum/crypto/api.hpp"
 #include "drum/crypto/bigint.hpp"
 #include "drum/crypto/chacha20.hpp"
 #include "drum/crypto/ed25519.hpp"
@@ -39,12 +40,12 @@ std::array<std::uint8_t, N> arr_from_hex(const std::string& hex) {
 // ------------------------------------------------------------- SHA-256
 
 TEST(Sha256, Fips180Vectors) {
-  EXPECT_EQ(to_hex(ByteSpan(Sha256::hash(span_of("abc")))),
+  EXPECT_EQ(to_hex(ByteSpan(sha256(span_of("abc")))),
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
-  EXPECT_EQ(to_hex(ByteSpan(Sha256::hash(span_of("")))),
+  EXPECT_EQ(to_hex(ByteSpan(sha256(span_of("")))),
             "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
   EXPECT_EQ(
-      to_hex(ByteSpan(Sha256::hash(span_of(
+      to_hex(ByteSpan(sha256(span_of(
           "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")))),
       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
 }
@@ -53,7 +54,7 @@ TEST(Sha256, MillionAs) {
   Sha256 h;
   std::string a(1000, 'a');
   for (int i = 0; i < 1000; ++i) h.update(span_of(a));
-  EXPECT_EQ(to_hex(ByteSpan(h.finish())),
+  EXPECT_EQ(to_hex(ByteSpan(h.final())),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
 }
 
@@ -61,7 +62,7 @@ TEST(Sha256, StreamingEqualsOneShot) {
   util::Rng rng(1);
   Bytes data(1337);
   for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
-  auto one_shot = Sha256::hash(ByteSpan(data));
+  auto one_shot = sha256(ByteSpan(data));
   Sha256 h;
   // Update in awkward chunk sizes straddling block boundaries.
   std::size_t pos = 0;
@@ -70,19 +71,19 @@ TEST(Sha256, StreamingEqualsOneShot) {
     pos += chunk;
   }
   ASSERT_EQ(pos, data.size());
-  EXPECT_EQ(h.finish(), one_shot);
+  EXPECT_EQ(h.final(), one_shot);
 }
 
 // ------------------------------------------------------------- SHA-512
 
 TEST(Sha512, Fips180Vectors) {
-  EXPECT_EQ(to_hex(ByteSpan(Sha512::hash(span_of("abc")))),
+  EXPECT_EQ(to_hex(ByteSpan(sha512(span_of("abc")))),
             "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
             "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
-  EXPECT_EQ(to_hex(ByteSpan(Sha512::hash(span_of("")))),
+  EXPECT_EQ(to_hex(ByteSpan(sha512(span_of("")))),
             "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
             "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
-  EXPECT_EQ(to_hex(ByteSpan(Sha512::hash(span_of(
+  EXPECT_EQ(to_hex(ByteSpan(sha512(span_of(
                 "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
                 "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")))),
             "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
@@ -449,9 +450,9 @@ TEST(Identity, SignVerify) {
   auto id = Identity::generate(rng);
   std::string msg = "signed multicast payload";
   auto sig = id.sign(span_of(msg));
-  EXPECT_TRUE(verify(id.sign_public(), span_of(msg), sig));
+  EXPECT_TRUE(ed25519_verify(id.sign_public(), span_of(msg), sig));
   auto other = Identity::generate(rng);
-  EXPECT_FALSE(verify(other.sign_public(), span_of(msg), sig));
+  EXPECT_FALSE(ed25519_verify(other.sign_public(), span_of(msg), sig));
   EXPECT_EQ(id.short_id().size(), 16u);
 }
 
@@ -522,12 +523,12 @@ TEST_P(ShaSplit, StreamingSplitConsistency) {
   util::Rng rng(7);
   util::Bytes data(130);
   for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
-  auto expected = Sha256::hash(util::ByteSpan(data));
+  auto expected = sha256(util::ByteSpan(data));
   std::size_t split = GetParam();
   Sha256 h;
   h.update(util::ByteSpan(data.data(), split));
   h.update(util::ByteSpan(data.data() + split, data.size() - split));
-  EXPECT_EQ(h.finish(), expected);
+  EXPECT_EQ(h.final(), expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Splits, ShaSplit,

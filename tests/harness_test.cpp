@@ -59,11 +59,12 @@ TEST(Cluster, SignaturesVerifiedEndToEnd) {
   auto cfg = small_config(core::Variant::kDrum);
   cfg.verify_signatures = true;
   auto cluster = run_scenario(cfg, 3, 10);
-  auto stats = cluster->total_stats();
-  EXPECT_GT(stats.delivered, 100u);
-  EXPECT_EQ(stats.sig_failures, 0u);  // honest traffic always verifies
+  auto all = cluster->merged_registry();
+  EXPECT_GT(all.counter_value("node.delivered"), 100u);
+  // Honest traffic always verifies.
+  EXPECT_EQ(all.counter_value("node.sig_failures"), 0u);
   // Every node delivered each message at most once.
-  EXPECT_GT(stats.duplicates, 0u);    // gossip redundancy exists...
+  EXPECT_GT(all.counter_value("node.duplicates"), 0u);
 }
 
 TEST(Cluster, FloodIsReadBoundedAndDiscarded) {
@@ -71,12 +72,12 @@ TEST(Cluster, FloodIsReadBoundedAndDiscarded) {
   cfg.alpha = 0.2;
   cfg.x = 100;
   auto cluster = run_scenario(cfg, 3, 15);
-  auto stats = cluster->total_stats();
+  auto all = cluster->merged_registry();
   // The flood shows up as box failures (type-correct garbage) and as
   // unread datagrams flushed at round ends — not as deliveries.
-  EXPECT_GT(stats.box_failures, 100u);
-  EXPECT_GT(stats.flushed_unread, 500u);
-  EXPECT_EQ(stats.sig_failures, 0u);
+  EXPECT_GT(all.counter_value("node.box_failures"), 100u);
+  EXPECT_GT(all.counter_value("node.flushed_unread"), 500u);
+  EXPECT_EQ(all.counter_value("node.sig_failures"), 0u);
   // And the protocol still works.
   EXPECT_GT(cluster->metrics().messages_completed, 0u);
 }
@@ -190,8 +191,9 @@ TEST(Cluster, SharedBoundsDegradeUnderAttack) {
   EXPECT_LT(shared_tp, drum_tp * 0.5);
   // And the source's push path is specifically what dies: it acts on
   // (nearly) no push-replies, while plain Drum keeps pushing.
-  EXPECT_LT(shared->node(0).stats().push_replies_acted + 10,
-            drum->node(0).stats().push_replies_acted);
+  EXPECT_LT(
+      shared->node(0).registry().counter_value("node.push_replies_acted") + 10,
+      drum->node(0).registry().counter_value("node.push_replies_acted"));
 }
 
 TEST(Cluster, WellKnownPortsDegradeUnderAttack) {
@@ -234,7 +236,7 @@ TEST(Cluster, WorksOverRealUdpLoopback) {
   cfg.rate = 3;
   auto cluster = run_scenario(cfg, 3, 12);
   EXPECT_GT(cluster->metrics().messages_completed, 0u);
-  EXPECT_GT(cluster->total_stats().delivered, 50u);
+  EXPECT_GT(cluster->merged_registry().counter_value("node.delivered"), 50u);
 }
 
 TEST(Cluster, RejectsDegenerateConfig) {
@@ -289,7 +291,7 @@ TEST(Cluster, UmbrellaHeaderCompiles) {
   cfg.rate = 2;
   Cluster cluster(cfg);
   cluster.run_rounds(8, true);
-  EXPECT_GT(cluster.total_stats().delivered, 0u);
+  EXPECT_GT(cluster.merged_registry().counter_value("node.delivered"), 0u);
 }
 
 }  // namespace
@@ -311,7 +313,8 @@ TEST(Cluster, UdpClusterUnderAttackStillDelivers) {
   cfg.verify_signatures = false;
   auto cluster = run_scenario(cfg, 3, 12);
   // The flood arrived (box failures at victims) and gossip still works.
-  EXPECT_GT(cluster->total_stats().box_failures, 20u);
+  EXPECT_GT(cluster->merged_registry().counter_value("node.box_failures"),
+            20u);
   EXPECT_GT(cluster->metrics().messages_completed, 0u);
 }
 
@@ -324,36 +327,41 @@ TEST(Cluster, LargerFanoutConfig) {
             cluster->metrics().messages_sent * 8 / 10);
 }
 
-TEST(Cluster, PerNodeStatsDistinguishAttackedFromNot) {
+TEST(Cluster, PerNodeRegistriesDistinguishAttackedFromNot) {
   auto cfg = small_config(core::Variant::kDrum);
   cfg.alpha = 0.25;
   cfg.x = 64;
   auto cluster = run_scenario(cfg);
 
-  auto per = cluster->per_node_stats();
-  EXPECT_EQ(per.size(), cluster->correct_count());
   std::uint64_t att_flushed = 0, non_flushed = 0;
+  std::uint64_t sum_flushed = 0, sum_delivered = 0;
   std::size_t n_att = 0;
-  core::NodeStats sum;
-  for (const auto& p : per) {
-    (p.attacked ? att_flushed : non_flushed) += p.stats.flushed_unread;
-    n_att += p.attacked ? 1 : 0;
-    sum.flushed_unread += p.stats.flushed_unread;
-    sum.delivered += p.stats.delivered;
+  for (std::size_t i = 0; i < cluster->correct_count(); ++i) {
+    const auto& reg = cluster->node(i).registry();
+    bool attacked = cluster->is_attacked(cluster->node(i).config().id);
+    std::uint64_t flushed = reg.counter_value("node.flushed_unread");
+    (attacked ? att_flushed : non_flushed) += flushed;
+    n_att += attacked ? 1 : 0;
+    sum_flushed += flushed;
+    sum_delivered += reg.counter_value("node.delivered");
   }
   EXPECT_GT(n_att, 0u);
-  EXPECT_LT(n_att, per.size());
+  EXPECT_LT(n_att, cluster->correct_count());
   // Only the victims receive the flood, so only they discard unread input.
   EXPECT_GT(att_flushed, 0u);
   EXPECT_GT(att_flushed, non_flushed);
-  // The splits partition the totals.
-  auto total = cluster->total_stats();
-  auto att = cluster->split_stats(true);
-  auto non = cluster->split_stats(false);
-  EXPECT_EQ(att.flushed_unread + non.flushed_unread, total.flushed_unread);
-  EXPECT_EQ(att.delivered + non.delivered, total.delivered);
-  EXPECT_EQ(sum.flushed_unread, total.flushed_unread);
-  EXPECT_EQ(sum.delivered, total.delivered);
+  // The merged-registry splits partition the totals.
+  auto total = cluster->merged_registry(Cluster::NodeSet::kAll);
+  auto att = cluster->merged_registry(Cluster::NodeSet::kAttacked);
+  auto non = cluster->merged_registry(Cluster::NodeSet::kNonAttacked);
+  EXPECT_EQ(att.counter_value("node.flushed_unread") +
+                non.counter_value("node.flushed_unread"),
+            total.counter_value("node.flushed_unread"));
+  EXPECT_EQ(att.counter_value("node.delivered") +
+                non.counter_value("node.delivered"),
+            total.counter_value("node.delivered"));
+  EXPECT_EQ(sum_flushed, total.counter_value("node.flushed_unread"));
+  EXPECT_EQ(sum_delivered, total.counter_value("node.delivered"));
 }
 
 TEST(Cluster, MergedRegistryAndJsonCoverChannels) {

@@ -197,18 +197,18 @@ TEST(Node, FloodedChannelIsBudgetBoundedPerRound) {
   }
   p.node->poll();
   // Budget for pull-requests in Drum with F=4 is 2.
-  EXPECT_EQ(p.node->stats().datagrams_read, 2u);
-  EXPECT_EQ(p.node->stats().decode_errors, 2u);
+  EXPECT_EQ(p.node->registry().counter_value("node.datagrams_read"), 2u);
+  EXPECT_EQ(p.node->registry().counter_value("node.decode_errors"), 2u);
   // The round tick flushes the rest unread.
   p.node->on_round();
-  EXPECT_GE(p.node->stats().flushed_unread, 498u);
+  EXPECT_GE(p.node->registry().counter_value("node.flushed_unread"), 498u);
   // Fresh round, fresh budget.
   for (int i = 0; i < 10; ++i) {
     p.net.send_raw(net::Address{77, 1}, net::Address{0, 3000},
                    util::ByteSpan(junk));
   }
   p.node->poll();
-  EXPECT_EQ(p.node->stats().datagrams_read, 4u);
+  EXPECT_EQ(p.node->registry().counter_value("node.datagrams_read"), 4u);
 }
 
 TEST(Node, FloodOnPullPortDoesNotConsumeOfferBudget) {
@@ -221,8 +221,8 @@ TEST(Node, FloodOnPullPortDoesNotConsumeOfferBudget) {
                    util::ByteSpan(junk));
   }
   p.node->poll();
-  auto before = p.node->stats();
-  EXPECT_EQ(before.push_offers_answered, 0u);
+  EXPECT_EQ(p.node->registry().counter_value("node.push_offers_answered"),
+            0u);
   // A genuine push-offer from node 1 (who targets node 0 via its own round
   // sometimes; force it by crafting a valid offer ourselves).
   auto key = p.ids[1].derive_pair_key(p.ids[0].dh_public());
@@ -233,7 +233,7 @@ TEST(Node, FloodOnPullPortDoesNotConsumeOfferBudget) {
   p.net.send_raw(net::Address{1, 60000}, net::Address{0, 3001},
                  util::ByteSpan(encode(offer)));
   p.node->poll();
-  EXPECT_EQ(p.node->stats().push_offers_answered, 1u);
+  EXPECT_EQ(p.node->registry().counter_value("node.push_offers_answered"), 1u);
 }
 
 TEST(Node, FabricatedControlCountsAsBoxFailure) {
@@ -244,8 +244,8 @@ TEST(Node, FabricatedControlCountsAsBoxFailure) {
   p.net.send_raw(net::Address{9, 9}, net::Address{0, 3001},
                  util::ByteSpan(encode(offer)));
   p.node->poll();
-  EXPECT_EQ(p.node->stats().box_failures, 1u);
-  EXPECT_EQ(p.node->stats().push_offers_answered, 0u);
+  EXPECT_EQ(p.node->registry().counter_value("node.box_failures"), 1u);
+  EXPECT_EQ(p.node->registry().counter_value("node.push_offers_answered"), 0u);
 }
 
 TEST(Node, UnknownOrSelfSenderRejected) {
@@ -259,7 +259,7 @@ TEST(Node, UnknownOrSelfSenderRejected) {
   p.net.send_raw(net::Address{9, 9}, net::Address{0, 3001},
                  util::ByteSpan(encode(offer)));
   p.node->poll();
-  EXPECT_EQ(p.node->stats().unknown_sender, 2u);
+  EXPECT_EQ(p.node->registry().counter_value("node.unknown_sender"), 2u);
 }
 
 TEST(Node, ForgedDataSignatureRejected) {
@@ -281,8 +281,8 @@ TEST(Node, ForgedDataSignatureRejected) {
   q.net.send_raw(net::Address{9, 9}, net::Address{0, 3002},
                  util::ByteSpan(encode(reply)));
   q.node->poll();
-  EXPECT_EQ(q.node->stats().sig_failures, 1u);
-  EXPECT_EQ(q.node->stats().delivered, 0u);
+  EXPECT_EQ(q.node->registry().counter_value("node.sig_failures"), 1u);
+  EXPECT_EQ(q.node->registry().counter_value("node.delivered"), 0u);
 }
 
 TEST(Node, CarryOverKeepsBacklogAcrossRounds) {
@@ -308,13 +308,15 @@ TEST(Node, CarryOverKeepsBacklogAcrossRounds) {
                  util::ByteSpan(junk));
   }
   node.poll();
-  auto read_r1 = node.stats().datagrams_read;
+  auto read_r1 = node.registry().counter_value("node.datagrams_read");
   EXPECT_EQ(read_r1, 2u);  // budget
   node.on_round();
-  EXPECT_EQ(node.stats().flushed_unread, 0u);  // nothing discarded
+  EXPECT_EQ(node.registry().counter_value("node.flushed_unread"),
+            0u);  // nothing discarded
   node.poll();
   // The stale backlog is read (and burns budget) in the new round too.
-  EXPECT_EQ(node.stats().datagrams_read, read_r1 + 2);
+  EXPECT_EQ(node.registry().counter_value("node.datagrams_read"),
+            read_r1 + 2);
 }
 
 TEST(Node, UpdatePeersValidation) {
@@ -346,7 +348,7 @@ TEST(Node, RemovedPeerNoLongerAccepted) {
   p.net.send_raw(net::Address{1, 60000}, net::Address{0, 3001},
                  util::ByteSpan(encode(offer)));
   p.node->poll();
-  EXPECT_EQ(p.node->stats().unknown_sender, 1u);
+  EXPECT_EQ(p.node->registry().counter_value("node.unknown_sender"), 1u);
 }
 
 TEST(Node, RandomReplyPortsRotateAcrossRoundsAndAreEncrypted) {
@@ -427,12 +429,14 @@ TEST(Node, SurvivesRandomGarbageOnEveryChannel) {
     p.node->poll();
     p.node->on_round();
   }
-  const auto& s = p.node->stats();
-  EXPECT_EQ(s.delivered, 0u);
-  EXPECT_EQ(s.sig_failures + s.delivered, s.sig_failures);
+  const auto& reg = p.node->registry();
+  EXPECT_EQ(reg.counter_value("node.delivered"), 0u);
   // Everything read was either rejected or flushed; totals reconcile.
-  EXPECT_GT(s.datagrams_read, 0u);
-  EXPECT_GT(s.decode_errors + s.box_failures + s.unknown_sender, 0u);
+  EXPECT_GT(reg.counter_value("node.datagrams_read"), 0u);
+  EXPECT_GT(reg.counter_value("node.decode_errors") +
+                reg.counter_value("node.box_failures") +
+                reg.counter_value("node.unknown_sender"),
+            0u);
 }
 
 }  // namespace

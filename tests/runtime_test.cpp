@@ -115,7 +115,7 @@ TEST(Runtime, WithNodeGivesExclusiveAccess) {
   EXPECT_TRUE(eventually([&] { return f.delivered.load() >= 3; }, 5000ms));
   std::uint64_t rounds = 0;
   f.runners[2]->with_node(
-      [&](core::Node& n) { rounds = n.stats().rounds; });
+      [&](core::Node& n) { rounds = n.registry().counter_value("node.rounds"); });
   EXPECT_GE(rounds, 1u);
   f.stop();
 }

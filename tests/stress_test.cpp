@@ -99,7 +99,7 @@ TEST(Stress, ConcurrentMulticastAndWithNode) {
         f.runners[which]->multicast(util::ByteSpan(payload, sizeof payload));
         f.runners[(which + 1) % f.runners.size()]->with_node(
             [&rounds_seen](core::Node& n) {
-              rounds_seen.fetch_add(n.stats().rounds);
+              rounds_seen.fetch_add(n.registry().counter_value("node.rounds"));
             });
       }
     });
@@ -148,7 +148,9 @@ TEST(Stress, StartStopChurnWithReaders) {
   std::thread reader([&] {
     while (!done.load()) {
       for (auto& r : f.runners) {
-        r->with_node([](core::Node& n) { (void)n.stats().rounds; });
+        r->with_node([](core::Node& n) {
+          (void)n.registry().counter_value("node.rounds");
+        });
       }
       std::this_thread::sleep_for(1ms);
     }
