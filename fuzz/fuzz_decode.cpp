@@ -8,9 +8,11 @@
 //
 // Standalone mode (default): deterministic seed-driven loop; each iteration
 // builds a random VALID message of a random type, asserts it decodes, then
-// mutates it and feeds every decoder. Registered as a ctest target
-// ("fuzz_decode_10k"), so scripts/check.sh runs it under ASan+UBSan and
-// TSan. With DRUM_LIBFUZZER the same fuzz_one() becomes a libFuzzer target.
+// mutates it and feeds every decoder — plus one adversarial boundary shape
+// (frames at / one past the amplification caps; see adversarial_one below).
+// Registered as a ctest target ("fuzz_decode_10k"), so scripts/check.sh runs
+// it under ASan+UBSan and TSan. With DRUM_LIBFUZZER the same fuzz_one()
+// becomes a libFuzzer target; seed its mutator with fuzz_decode.dict.
 #include <exception>
 #include <string>
 
@@ -178,6 +180,111 @@ void assert_valid_decodes(const Bytes& wire, std::uint64_t iter,
   }
 }
 
+Digest digest_of(std::size_t n, drum::util::Rng& rng) {
+  Digest d;
+  d.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.push_back(MessageId{static_cast<std::uint32_t>(rng.next()),
+                          rng.next()});
+  }
+  return d;
+}
+
+template <typename Fn>
+void assert_cap_rejects(Fn&& decode, const char* what, std::uint64_t iter,
+                        std::uint64_t seed) {
+  try {
+    decode();
+  } catch (const drum::util::DecodeError&) {
+    return;  // the cap held
+  }
+  drum::fuzz::die("fuzz_decode", iter, seed,
+                  std::string("anti-amplification cap accepted: ") + what);
+}
+
+// Adversarial frame shapes (the zoo's wire-level ammunition): frames sized
+// exactly AT the anti-amplification caps must decode — an attacker may
+// legally send them and the node must survive — while frames one entry,
+// one message, or one byte PAST a cap must throw. Boundary sizes are drawn
+// near the cap so the off-by-one region gets dense coverage.
+void adversarial_one(drum::util::Rng& rng, std::uint64_t iter,
+                     std::uint64_t seed) {
+  switch (rng.below(6)) {
+    case 0: {  // amplified pull request at the digest cap: valid
+      drum::core::PullRequest m;
+      m.sender = static_cast<std::uint32_t>(rng.next());
+      m.digest = digest_of(kMaxDigest - rng.below(4), rng);
+      m.boxed_reply_port = drum::fuzz::random_bytes(rng, 30);
+      const Bytes w = encode(m);
+      assert_valid_decodes(w, iter, seed);
+      break;
+    }
+    case 1: {  // pull request past the digest cap: must throw
+      drum::core::PullRequest m;
+      m.sender = static_cast<std::uint32_t>(rng.next());
+      m.digest = digest_of(kMaxDigest + 1 + rng.below(4), rng);
+      m.boxed_reply_port = drum::fuzz::random_bytes(rng, 30);
+      const Bytes w = encode(m);
+      assert_cap_rejects(
+          [&] { drum::core::decode_pull_request(ByteSpan(w), kMaxDigest); },
+          "pull request digest", iter, seed);
+      break;
+    }
+    case 2: {  // pull reply at the message-count cap, full payloads: valid
+      drum::core::PullReply m;
+      m.sender = static_cast<std::uint32_t>(rng.next());
+      for (std::size_t i = 0; i < kMaxMessages; ++i) {
+        auto msg = random_message(rng);
+        msg.payload = drum::fuzz::random_bytes(rng, kMaxPayload);
+        m.messages.push_back(std::move(msg));
+      }
+      const Bytes w = encode(m);
+      assert_valid_decodes(w, iter, seed);
+      break;
+    }
+    case 3: {  // one message past the count cap: must throw
+      drum::core::PullReply m;
+      m.sender = static_cast<std::uint32_t>(rng.next());
+      for (std::size_t i = 0; i < kMaxMessages + 1; ++i) {
+        m.messages.push_back(random_message(rng));
+      }
+      const Bytes w = encode(m);
+      assert_cap_rejects(
+          [&] {
+            drum::core::decode_pull_reply(ByteSpan(w), kMaxMessages,
+                                          kMaxPayload);
+          },
+          "pull reply message count", iter, seed);
+      break;
+    }
+    case 4: {  // one payload byte past the cap: must throw
+      drum::core::PushData m;
+      m.sender = static_cast<std::uint32_t>(rng.next());
+      auto msg = random_message(rng);
+      msg.payload = drum::fuzz::random_bytes(rng, kMaxPayload + 1);
+      m.messages.push_back(std::move(msg));
+      const Bytes w = encode(m);
+      assert_cap_rejects(
+          [&] {
+            drum::core::decode_push_data(ByteSpan(w), kMaxMessages,
+                                         kMaxPayload);
+          },
+          "push data payload size", iter, seed);
+      break;
+    }
+    default: {  // cap-sized frame truncated at a random byte: never crashes
+      drum::core::PushReply m;
+      m.sender = static_cast<std::uint32_t>(rng.next());
+      m.digest = digest_of(kMaxDigest, rng);
+      m.boxed_data_port = drum::fuzz::random_bytes(rng, 30);
+      Bytes w = encode(m);
+      w.resize(rng.below(w.size() + 1));
+      fuzz_one(ByteSpan(w));
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,6 +300,7 @@ int main(int argc, char** argv) {
       // Purely random buffers keep the shallow paths honest too.
       const Bytes noise = drum::fuzz::random_bytes(rng, rng.below(96));
       fuzz_one(ByteSpan(noise));
+      adversarial_one(rng, i, args.seed);
     } catch (const std::exception& e) {
       drum::fuzz::die("fuzz_decode", i, args.seed,
                       std::string("unexpected exception escaped: ") +

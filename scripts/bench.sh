@@ -10,9 +10,13 @@
 # anything but an optimized build are not comparable to the committed ones.
 #
 # Outputs (committed):
-#   results/microbench.txt   google-benchmark hot-path numbers
-#   results/bench_all.txt    every figure binary + asymptotics + ablations
-#   results/BENCH_sim.json   parallel sim engine thread sweep (Fig. 3 workload)
+#   results/microbench.txt        google-benchmark hot-path numbers
+#   results/bench_all.txt         every figure binary + asymptotics + ablations
+#   results/BENCH_sim.json        parallel sim engine thread sweep (Fig. 3)
+#   results/BENCH_adversary.json  adversary zoo: attack x protocol curves
+#
+# Every results/BENCH_*.json is stamped with host metadata (cpu, threads,
+# governor, compiler, kernel) by scripts/stamp_host.py.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +51,17 @@ mkdir -p results
 "$BUILD"/bench/bench_sim --sweep "$SWEEP" --json results/BENCH_sim.json \
   "${EXTRA[@]}"
 
+# Stamp every JSON artifact with host metadata (cpu model, thread count,
+# governor, compiler, kernel) — numbers are only comparable with known
+# provenance. The compiler string comes from the bench tree's cache so it
+# matches what actually built the binaries.
+COMPILER=$(grep -m1 '^CMAKE_CXX_COMPILER:' "$BUILD"/CMakeCache.txt \
+             | cut -d= -f2- || true)
+if [[ -n "$COMPILER" && -x "$COMPILER" ]]; then
+  COMPILER="$("$COMPILER" --version | head -n1)"
+fi
+python3 scripts/stamp_host.py --compiler "$COMPILER" results/BENCH_*.json
+
 echo
 echo "bench.sh: wrote results/bench_all.txt, results/microbench.txt," \
-     "results/BENCH_sim.json"
+     "results/BENCH_sim.json, results/BENCH_adversary.json (fig15)"

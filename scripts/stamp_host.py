@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Stamp benchmark JSON artifacts with host metadata.
+
+Usage: stamp_host.py [--compiler STRING] FILE.json [FILE.json ...]
+
+Inserts (or replaces) a top-level "host" object in each artifact:
+cpu model, hardware thread count, cpufreq governor, compiler, and kernel.
+Numbers from different hosts are not comparable; the stamp makes the
+provenance of committed results/BENCH_*.json explicit.
+"""
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+
+
+def cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as f:
+            for line in f:
+                if line.lower().startswith(("model name", "hardware", "cpu model")):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
+def governor() -> str:
+    path = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"
+    try:
+        with open(path, encoding="utf-8") as f:
+            return f.read().strip()
+    except OSError:
+        return "unknown"
+
+
+def compiler_version(override: str) -> str:
+    if override:
+        return override
+    for cc in (os.environ.get("CXX"), "c++"):
+        if not cc:
+            continue
+        try:
+            out = subprocess.run([cc, "--version"], capture_output=True,
+                                 text=True, timeout=10, check=True)
+            return out.stdout.splitlines()[0].strip()
+        except (OSError, subprocess.SubprocessError, IndexError):
+            continue
+    return "unknown"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--compiler", default="",
+                    help="compiler identification string (else `c++ --version`)")
+    ap.add_argument("files", nargs="+", help="BENCH_*.json artifacts to stamp")
+    args = ap.parse_args()
+
+    host = {
+        "cpu_model": cpu_model(),
+        "hardware_threads": os.cpu_count() or 0,
+        "governor": governor(),
+        "compiler": compiler_version(args.compiler),
+        "kernel": platform.release(),
+    }
+
+    status = 0
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"stamp_host: skipping {path}: {e}", file=sys.stderr)
+            status = 1
+            continue
+        if not isinstance(doc, dict):
+            print(f"stamp_host: skipping {path}: top level is not an object",
+                  file=sys.stderr)
+            status = 1
+            continue
+        doc["host"] = host
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"stamp_host: stamped {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+#include "drum/adversary/adversary.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace drum::adversary {
+
+const char* channel_name(Channel c) {
+  switch (c) {
+    case Channel::kOffer:
+      return "offer";
+    case Channel::kPullRequest:
+      return "pull-request";
+    case Channel::kPullReply:
+      return "pull-reply";
+  }
+  return "?";
+}
+
+namespace detail {
+void register_builtins();  // strategies.cpp
+}  // namespace detail
+
+namespace {
+
+std::map<std::string, Factory>& registry() {
+  static std::map<std::string, Factory> map;
+  return map;
+}
+
+void ensure_builtins() {
+  static const bool once = [] {
+    detail::register_builtins();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+bool register_strategy(const std::string& name, Factory factory) {
+  return registry().emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<Adversary> make(std::string_view name, const Params& params) {
+  ensure_builtins();
+  auto& map = registry();
+  auto it = map.find(std::string(name));
+  if (it == map.end()) {
+    std::ostringstream msg;
+    msg << "unknown adversary strategy '" << name << "' (registered:";
+    for (const auto& [key, factory] : map) {
+      msg << ' ' << key;
+    }
+    msg << ')';
+    throw std::invalid_argument(msg.str());
+  }
+  return it->second(params);
+}
+
+std::vector<std::string> registered() {
+  ensure_builtins();
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [key, factory] : registry()) {
+    names.push_back(key);
+  }
+  return names;
+}
+
+}  // namespace drum::adversary

@@ -1,0 +1,156 @@
+// drum::adversary — the adversary-strategy subsystem (DESIGN.md §10).
+//
+// The paper evaluates Drum against exactly one adversary: a flooder that
+// splits a fixed budget of fabricated messages across the victims'
+// well-known ports. The GossipSub formal-analysis line (arXiv 2212.05197,
+// 2311.08859) catalogues richer misbehaving-peer attacks; this subsystem
+// models them behind one interface so that every strategy runs identically
+// against the Monte-Carlo simulator (sim::engine) and the live reactor
+// harness (harness::Swarm).
+//
+// Shape: once per round the backend builds a RoundView (what a real attacker
+// could observe: group size, victim set, colluding insider ids, the public
+// per-round budgets, and coarse per-node activity). The strategy's
+// plan_round() fills a Plan — a list of Flood actions plus a view-capture
+// knob — and the backend realizes it: the sim converts floods into
+// fabricated arrivals at the acceptance bounds; the swarm crafts and sends
+// real datagrams. Strategies therefore contain zero transport or simulator
+// code.
+//
+// Two attacker capabilities are distinguished by Flood::claimed_sender:
+//  * kSpoofed  — off-path traffic with garbage authenticators. Consumes the
+//    victim's bounded reception budget but fails the port-box, so it is not
+//    attributable to any group member (peer scoring cannot touch it).
+//  * a colluder id — an INSIDER frame sealed with the real pair key of a
+//    malicious member. It passes authentication and competes for budget as
+//    legitimate traffic, but is attributable — exactly the traffic class
+//    peer scoring exists for.
+//
+// Registry: strategies self-register by name ("flood", "slow-drip",
+// "pull-amplify", "adaptive", "eclipse", "collude"); make() instantiates by
+// name so benches/CLI flags select strategies without compile-time coupling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "drum/util/rng.hpp"
+
+namespace drum::adversary {
+
+/// Sentinel claimed_sender for non-attributable spoofed traffic.
+inline constexpr std::uint32_t kSpoofed = 0xFFFFFFFFU;
+
+/// Victim-side channel a flood aims at. kPullReply is only attackable when
+/// replies use a well-known port (the §9 ablation); RoundView says whether
+/// the backend exposes it.
+enum class Channel : std::uint8_t {
+  kOffer = 0,
+  kPullRequest = 1,
+  kPullReply = 2,
+};
+
+const char* channel_name(Channel c);
+
+/// One flood action: `count` fabricated messages aimed at `target`'s
+/// `channel` this round, claiming to come from `claimed_sender`.
+struct Flood {
+  std::uint32_t target = 0;
+  Channel channel = Channel::kOffer;
+  std::uint32_t count = 0;
+  std::uint32_t claimed_sender = kSpoofed;
+};
+
+/// Everything a strategy may do in one round.
+struct Plan {
+  std::vector<Flood> floods;
+  /// Eclipse knob in [0,1]: fraction of each attacked node's gossip view
+  /// slots the colluders capture (membership poisoning). Backends realize
+  /// it by redirecting that fraction of the victim's view samples to
+  /// colluders.
+  double view_capture = 0.0;
+
+  void clear() {
+    floods.clear();
+    view_capture = 0.0;
+  }
+};
+
+/// What the attacker can observe at the start of a round. Spans point into
+/// backend-owned storage valid for the duration of plan_round().
+struct RoundView {
+  std::uint64_t round = 0;
+  std::size_t n = 0;  ///< group size
+  std::span<const std::uint32_t> attacked;   ///< victim ids
+  std::span<const std::uint32_t> colluders;  ///< malicious member ids
+  /// Public per-round acceptance budgets at each victim (protocol config).
+  std::size_t offer_budget = 2;
+  std::size_t pull_request_budget = 2;
+  /// Which control channels this protocol variant exposes.
+  bool push_channel = true;
+  bool pull_channel = true;
+  /// True only for the wk-ports ablation: pull replies arrive on an
+  /// attackable well-known port.
+  bool reply_port_attackable = false;
+  /// Coarse per-node activity signal (observed traffic volume last round),
+  /// indexed by node id; empty when the backend exposes none. Drives the
+  /// adaptive re-targeting strategy.
+  std::span<const float> usefulness;
+};
+
+/// Strategy tuning knobs; every strategy reads the subset it cares about.
+struct Params {
+  /// Fabricated messages per round per attacked process (the paper's x).
+  double x = 64.0;
+  /// pull-amplify: colluders per victim squad.
+  std::size_t squad = 4;
+  /// eclipse: fraction of victim view slots captured.
+  double capture = 0.6;
+  /// adaptive: number of nodes the budget concentrates on.
+  std::size_t focus = 8;
+  /// slow-drip: fraction of each per-round budget to fill (1.0 = exactly
+  /// the budget, the "just below detection thresholds" operating point).
+  double drip_fill = 1.0;
+};
+
+/// Strategy selection for a simulation/benchmark point. An empty strategy
+/// name means "no zoo adversary" (the legacy paper flooder model applies).
+struct Spec {
+  std::string strategy;
+  Params params;
+
+  [[nodiscard]] bool enabled() const { return !strategy.empty(); }
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Fills `plan` for this round. `rng` is the attacker's private stream
+  /// (forked per trial by the sim; seeded by the harness) — strategies must
+  /// take all randomness from it.
+  virtual void plan_round(const RoundView& view, util::Rng& rng,
+                          Plan& plan) = 0;
+};
+
+using Factory =
+    std::function<std::unique_ptr<Adversary>(const Params& params)>;
+
+/// Registers a strategy factory under `name`; returns false (and keeps the
+/// existing entry) if the name is taken.
+bool register_strategy(const std::string& name, Factory factory);
+
+/// Instantiates a registered strategy. Throws std::invalid_argument for an
+/// unknown name (the message lists the registered ones).
+[[nodiscard]] std::unique_ptr<Adversary> make(std::string_view name,
+                                              const Params& params);
+
+/// Names of all registered strategies, sorted.
+[[nodiscard]] std::vector<std::string> registered();
+
+}  // namespace drum::adversary

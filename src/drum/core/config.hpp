@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "drum/core/scoring.hpp"
+
 namespace drum::core {
 
 enum class Variant {
@@ -66,6 +68,11 @@ struct NodeConfig {
   /// and verification cost is per-message-constant — orthogonal to the DoS
   /// behaviour under study (documented in EXPERIMENTS.md).
   bool verify_signatures = true;
+
+  /// Peer-scoring + greylist defense layer (DESIGN.md §10). Off by default:
+  /// vanilla Drum is the paper's protocol; scoring is the ablatable
+  /// extension the adversary zoo evaluates.
+  ScoringConfig scoring;
 
   // Derived helpers -------------------------------------------------------
   [[nodiscard]] bool push_enabled() const { return variant != Variant::kPull; }

@@ -157,6 +157,18 @@ MsgType peek_type(util::ByteSpan wire) {
   return static_cast<MsgType>(wire[0]);
 }
 
+std::optional<std::uint32_t> peek_sender(util::ByteSpan wire) {
+  if (wire.size() < 5) return std::nullopt;
+  const auto type = wire[0];
+  if (type < static_cast<std::uint8_t>(MsgType::kPullRequest) ||
+      type > static_cast<std::uint8_t>(MsgType::kPushData)) {
+    return std::nullopt;
+  }
+  util::ByteReader r(wire);
+  r.u8();
+  return r.u32();
+}
+
 PullRequest decode_pull_request(util::ByteSpan wire, std::size_t max_digest) {
   auto r = begin_decode(wire, MsgType::kPullRequest);
   PullRequest m;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "drum/crypto/ed25519.hpp"
@@ -117,6 +118,13 @@ util::Bytes encode_push_data(std::uint32_t sender,
 
 /// Peeks at the type byte; throws DecodeError on empty input.
 MsgType peek_type(util::ByteSpan wire);
+
+/// Nothrow peek at the claimed sender id: every frame encodes the type byte
+/// followed by the sender u32, so five bytes suffice. Returns nullopt for
+/// truncated or unknown-type input. This is what lets the scoring layer
+/// drop a greylisted peer's frames BEFORE spending reception budget on a
+/// full decode.
+std::optional<std::uint32_t> peek_sender(util::ByteSpan wire);
 
 /// Each decode_* checks the type byte and full consumption; throws
 /// util::DecodeError otherwise. `max_*` caps guard against memory-

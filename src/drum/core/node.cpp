@@ -40,6 +40,9 @@ Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
   if (cfg_.id >= peers_.size() || peers_[cfg_.id].id != cfg_.id) {
     throw std::invalid_argument("peer directory must be indexed by id");
   }
+  if (cfg_.scoring.enabled) {
+    score_.reset(peers_.size(), cfg_.scoring, cfg_.id);
+  }
   init_metrics();
   auto bind_wk = [&](std::uint16_t port, Channel ch) {
     auto res = transport_.bind(port);
@@ -88,6 +91,15 @@ void Node::init_metrics() {
     shared_control_.budget_used =
         &registry_.histogram("chan.control.budget_used");
   }
+  if (cfg_.scoring.enabled) {
+    c_.score_greylist_drops = &registry_.counter("score.greylist_drops");
+    c_.score_overflow_acks = &registry_.counter("score.overflow_acks");
+    g_score_greylisted_ = &registry_.gauge("score.greylisted");
+    g_score_entries_ = &registry_.gauge("score.greylist_entries");
+    g_score_pen_decode_ = &registry_.gauge("score.penalties.decode");
+    g_score_pen_overuse_ = &registry_.gauge("score.penalties.overuse");
+    g_score_pen_futility_ = &registry_.gauge("score.penalties.futility");
+  }
   h_poll_drained_ = &registry_.histogram("node.poll.drained");
 }
 
@@ -134,6 +146,7 @@ const Peer* Node::resolve_sender(std::uint32_t id, const util::Bytes& cert) {
   }
   peers_[admitted->id] = *admitted;
   c_.certs_admitted->inc();
+  if (cfg_.scoring.enabled) score_.resize(peers_.size());
   return &peers_[id];
 }
 
@@ -155,6 +168,7 @@ void Node::update_peers(std::vector<Peer> peers) {
     it = keep ? std::next(it) : pair_keys_.erase(it);
   }
   peers_ = std::move(peers);
+  if (cfg_.scoring.enabled) score_.resize(peers_.size());
 }
 
 util::ByteSpan Node::pair_key(std::uint32_t peer_id) {
@@ -246,9 +260,58 @@ void Node::poll() {
   std::size_t drained = 0;
   for (auto& bs : sockets_) {
     ChannelMetrics& cm = chan_[static_cast<int>(bs.channel)];
-    while (budget_available(bs.channel)) {
+    // With scoring on, frames from greylisted peers on the well-known
+    // control ports are dropped BEFORE consuming reception budget — the
+    // greylisted peer loses its share of the bounded channel capacity. A
+    // hard read cap keeps the budget-free drop loop from becoming its own
+    // CPU DoS vector.
+    const bool scored =
+        cfg_.scoring.enabled && bs.well_known &&
+        (bs.channel == Channel::kOffer || bs.channel == Channel::kPullReq);
+    const std::size_t read_cap =
+        channel_budget(bs.channel) * cfg_.scoring.read_multiplier;
+    // Scored channels are additionally drained PAST their budget (still
+    // under the read cap) so budget-exhaustion is attributable the way the
+    // simulator models it — the receiver observes WHO flooded the bound,
+    // not just that it overflowed. Over-budget frames are never served:
+    // a valid pull request gets the constant-size empty ack (so a busy
+    // correct node stays distinguishable from a black hole at every
+    // requester's futility signal); a valid offer is scored and dropped.
+    std::size_t reads = 0;
+    while (true) {
+      const bool in_budget = budget_available(bs.channel);
+      if (!in_budget && !scored) break;
+      if (scored && reads >= read_cap) break;
       auto dgram = bs.sock->recv();
       if (!dgram) break;
+      if (scored) {
+        ++reads;
+        auto claimed = peek_sender(util::ByteSpan(dgram->payload));
+        if (claimed && score_.greylisted(*claimed)) {
+          c_.score_greylist_drops->inc();
+          continue;
+        }
+      }
+      if (!in_budget) {
+        // Budget exhausted: decode + score (+ ack), budget untouched.
+        ++drained;
+        try {
+          if (bs.channel == Channel::kPullReq) {
+            handle_pull_request(*dgram, /*ack_only=*/true);
+          } else {
+            handle_push_offer(*dgram, /*score_only=*/true);
+          }
+        } catch (const util::DecodeError&) {
+          c_.decode_errors->inc();
+          cm.decode_errors->inc();
+          if (auto claimed = peek_sender(util::ByteSpan(dgram->payload))) {
+            score_.on_decode_error(*claimed);
+          }
+          trace(obs::EventKind::kDecodeError,
+                static_cast<std::uint32_t>(bs.channel));
+        }
+        continue;
+      }
       // Reading a datagram consumes the channel's budget *regardless of its
       // validity* — processing bogus requests is precisely the resource a
       // DoS attack burns (paper §1, §4).
@@ -261,6 +324,13 @@ void Node::poll() {
       } catch (const util::DecodeError&) {
         c_.decode_errors->inc();
         cm.decode_errors->inc();
+        if (cfg_.scoring.enabled) {
+          // A malformed frame naming a known peer is weak (frameable)
+          // evidence against that peer.
+          if (auto claimed = peek_sender(util::ByteSpan(dgram->payload))) {
+            score_.on_decode_error(*claimed);
+          }
+        }
         trace(obs::EventKind::kDecodeError,
               static_cast<std::uint32_t>(bs.channel));
       }
@@ -293,7 +363,7 @@ void Node::process(const BoundSocket& bs, const net::Datagram& dgram) {
   }
 }
 
-void Node::handle_pull_request(const net::Datagram& dgram) {
+void Node::handle_pull_request(const net::Datagram& dgram, bool ack_only) {
   auto req = decode_pull_request(util::ByteSpan(dgram.payload), cfg_.max_digest);
   const Peer* peer = resolve_sender(req.sender, req.cert);
   if (!peer) return;
@@ -303,11 +373,39 @@ void Node::handle_pull_request(const net::Datagram& dgram) {
   if (!port) {
     c_.box_failures->inc();  // fabricated or corrupted request
     trace(obs::EventKind::kBoxFailure, req.sender);
+    if (cfg_.scoring.enabled) score_.on_decode_error(req.sender);
+    return;
+  }
+  if (cfg_.scoring.enabled) {
+    // A valid box proves pair-key possession: this arrival is attributable
+    // beyond framing. Overuse past the per-round allowance is the
+    // budget-exhaustion signal; if it just tripped the greylist, stop
+    // serving immediately.
+    score_.on_control_arrival(req.sender);
+    if (score_.greylisted(req.sender)) return;
+  }
+  if (ack_only) {
+    // Past this round's budget: answer with the empty ack instead of data.
+    // Serving is what the bound protects; the ack is a constant-size send
+    // already capped by the read multiplier.
+    c_.score_overflow_acks->inc();
+    sockets_.front().sock->send(net::Address{peer->host, *port},
+                                util::ByteSpan(encode_pull_reply(cfg_.id, {})));
     return;
   }
   auto msgs = buffer_.select_missing(req.digest, cfg_.max_msgs_per_gossip, rng_);
   c_.pull_requests_served->inc();
-  if (msgs.empty()) return;
+  if (msgs.empty()) {
+    if (cfg_.scoring.enabled) {
+      // Protocol extension: acknowledge valid pull requests even when we
+      // hold nothing, so requesters' futility signal only accrues at black
+      // holes and saturated victims, never at honest idle peers.
+      sockets_.front().sock->send(
+          net::Address{peer->host, *port},
+          util::ByteSpan(encode_pull_reply(cfg_.id, {})));
+    }
+    return;
+  }
   trace(obs::EventKind::kPullReplySend, req.sender,
         static_cast<std::uint32_t>(msgs.size()));
   // The reply goes to the requester's random (boxed) port. We send from our
@@ -318,7 +416,7 @@ void Node::handle_pull_request(const net::Datagram& dgram) {
                               util::ByteSpan(encode_pull_reply(cfg_.id, msgs)));
 }
 
-void Node::handle_push_offer(const net::Datagram& dgram) {
+void Node::handle_push_offer(const net::Datagram& dgram, bool score_only) {
   auto offer = decode_push_offer(util::ByteSpan(dgram.payload));
   const Peer* peer = resolve_sender(offer.sender, offer.cert);
   if (!peer) return;
@@ -328,8 +426,14 @@ void Node::handle_push_offer(const net::Datagram& dgram) {
   if (!port) {
     c_.box_failures->inc();
     trace(obs::EventKind::kBoxFailure, offer.sender);
+    if (cfg_.scoring.enabled) score_.on_decode_error(offer.sender);
     return;
   }
+  if (cfg_.scoring.enabled) {
+    score_.on_control_arrival(offer.sender);
+    if (score_.greylisted(offer.sender)) return;
+  }
+  if (score_only) return;  // over-budget arrival: attributed, never answered
   c_.push_offers_answered->inc();
   trace(obs::EventKind::kPushReplySend, offer.sender);
   PushReply reply;
@@ -368,16 +472,31 @@ void Node::handle_push_reply(const net::Datagram& dgram) {
 
 void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {
   std::vector<DataMessage> msgs;
+  std::uint32_t frame_sender = 0;
   if (is_pull_reply) {
-    msgs = decode_pull_reply(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload)
-               .messages;
+    auto reply =
+        decode_pull_reply(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload);
+    frame_sender = reply.sender;
+    msgs = std::move(reply.messages);
   } else {
-    msgs = decode_push_data(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload)
-               .messages;
+    auto push =
+        decode_push_data(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload);
+    frame_sender = push.sender;
+    msgs = std::move(push.messages);
   }
   trace(is_pull_reply ? obs::EventKind::kPullReplyRecv
                       : obs::EventKind::kPushDataRecv,
-        0, static_cast<std::uint32_t>(msgs.size()));
+        frame_sender, static_cast<std::uint32_t>(msgs.size()));
+  if (is_pull_reply && cfg_.scoring.enabled) {
+    // Any pull-reply frame (including the empty ack) answers this round's
+    // outstanding pull to that peer — the futility streak resets.
+    for (auto& [target, answered] : pending_pulls_) {
+      if (target == frame_sender && !answered) {
+        answered = true;
+        break;
+      }
+    }
+  }
 
   auto accept = [&](DataMessage&& msg) {
     Delivery delivery{msg, msg.round_counter};
@@ -439,6 +558,10 @@ void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {
     if (!verdicts[i]) {
       c_.sig_failures->inc();
       trace(obs::EventKind::kSigFailure, pending[i].msg.id.source);
+      // Attribute the bad signature to whoever FORWARDED the frame (the
+      // frame sender), not the claimed message source — the source field is
+      // attacker-chosen, the forwarding peer relayed garbage.
+      if (cfg_.scoring.enabled) score_.on_decode_error(frame_sender);
       continue;
     }
     // Re-check: the same id can appear twice in one datagram, and a
@@ -480,11 +603,22 @@ void Node::rotate_random_ports() {
 }
 
 void Node::send_gossip() {
-  // Candidate gossip partners: present peers other than ourselves.
+  // Candidate gossip partners: present peers other than ourselves. With
+  // scoring on, greylisted peers are excluded from view selection (they get
+  // no gossip slots from us); if that would empty the candidate set, fall
+  // back to the unfiltered directory rather than going silent.
   std::vector<std::uint32_t> candidates;
   candidates.reserve(peers_.size());
+  const bool filter = cfg_.scoring.enabled;
   for (const auto& p : peers_) {
-    if (p.present && p.id != cfg_.id) candidates.push_back(p.id);
+    if (!p.present || p.id == cfg_.id) continue;
+    if (filter && score_.greylisted(p.id)) continue;
+    candidates.push_back(p.id);
+  }
+  if (candidates.empty() && filter) {
+    for (const auto& p : peers_) {
+      if (p.present && p.id != cfg_.id) candidates.push_back(p.id);
+    }
   }
   if (candidates.empty()) return;
   const auto nc = static_cast<std::uint32_t>(candidates.size());
@@ -502,6 +636,7 @@ void Node::send_gossip() {
       req.boxed_reply_port =
           crypto::portbox_seal_port(pair_key(t), cur_pull_reply_port_, rng_);
       trace(obs::EventKind::kPullReqSend, t);
+      if (cfg_.scoring.enabled) pending_pulls_.emplace_back(t, false);
       sockets_.front().sock->send(
           net::Address{peers_[t].host, peers_[t].wk_pull_port},
           util::ByteSpan(encode(req)));
@@ -538,6 +673,15 @@ void Node::on_round() {
 
   record_round_budgets();
 
+  if (cfg_.scoring.enabled) {
+    // Settle this round's outgoing pulls: anything still unanswered feeds
+    // the futility streak of its target.
+    for (const auto& [target, answered] : pending_pulls_) {
+      score_.on_pull_outcome(target, answered);
+    }
+    pending_pulls_.clear();
+  }
+
   ++round_;
   c_.rounds->inc();
   trace(obs::EventKind::kRoundTick,
@@ -563,6 +707,18 @@ void Node::on_round() {
   }
   used_.clear();
   shared_control_used_ = 0;
+
+  if (cfg_.scoring.enabled) {
+    score_.begin_round(round_);
+    g_score_greylisted_->set(
+        static_cast<double>(score_.currently_greylisted()));
+    g_score_entries_->set(static_cast<double>(score_.greylist_entries()));
+    g_score_pen_decode_->set(static_cast<double>(score_.penalties_decode()));
+    g_score_pen_overuse_->set(
+        static_cast<double>(score_.penalties_overuse()));
+    g_score_pen_futility_->set(
+        static_cast<double>(score_.penalties_futility()));
+  }
 
   buffer_.on_round(round_);
   rotate_random_ports();
@@ -609,6 +765,12 @@ void Node::check_invariants() const {
   if (cfg_.variant == Variant::kDrumWkPorts) {
     DRUM_INVARIANT(cur_pull_reply_port_ == cfg_.wk_pull_reply_port,
                    "wk-ports ablation must keep the fixed pull-reply port");
+  }
+
+  if (cfg_.scoring.enabled) {
+    DRUM_INVARIANT(score_.size() >= peers_.size(),
+                   "score table lags the peer directory");
+    score_.check_invariants();
   }
 
   buffer_.check_invariants(round_);

@@ -34,6 +34,7 @@
 #include "drum/core/buffer.hpp"
 #include "drum/core/config.hpp"
 #include "drum/core/message.hpp"
+#include "drum/core/scoring.hpp"
 #include "drum/crypto/keys.hpp"
 #include "drum/net/transport.hpp"
 #include "drum/obs/metrics.hpp"
@@ -138,6 +139,11 @@ class Node {
   void set_trace(obs::TraceRing* trace) { trace_ = trace; }
   [[nodiscard]] const NodeConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t round() const { return round_; }
+  /// The peer-scoring table (meaningful only when cfg.scoring.enabled;
+  /// empty otherwise). Exposed for tests and harness reporting; the node
+  /// itself owns and drives it.
+  [[nodiscard]] PeerScoreTable& score_table() { return score_; }
+  [[nodiscard]] bool scoring_enabled() const { return cfg_.scoring.enabled; }
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
   [[nodiscard]] bool has_message(const MessageId& id) const {
     return buffer_.seen(id);
@@ -162,8 +168,15 @@ class Node {
   };
 
   void process(const BoundSocket& bs, const net::Datagram& dgram);
-  void handle_pull_request(const net::Datagram& dgram);
-  void handle_push_offer(const net::Datagram& dgram);
+  /// `ack_only`: the request arrived past this round's pull-request budget.
+  /// It is decoded and scored but NOT served — a valid one just gets the
+  /// empty pull-reply ack so the requester's futility signal stays clean
+  /// (bound overflow at a busy correct node is not misbehavior).
+  void handle_pull_request(const net::Datagram& dgram, bool ack_only = false);
+  /// `score_only`: over-budget offer — decoded and scored for attribution
+  /// (the simulator's receiver sees every arrival pre-bound; this is the
+  /// live equivalent, capped by the read multiplier) but never answered.
+  void handle_push_offer(const net::Datagram& dgram, bool score_only = false);
   void handle_push_reply(const net::Datagram& dgram);
   void handle_data(util::ByteSpan wire, bool is_pull_reply);
 
@@ -214,6 +227,13 @@ class Node {
 
   std::unordered_map<std::uint32_t, util::Bytes> pair_keys_;
   util::Bytes own_cert_;
+
+  // Peer-scoring layer (cfg_.scoring.enabled; DESIGN.md §10). The table
+  // scores peers from attributable events; pending_pulls_ tracks this
+  // round's outgoing pull requests for the futility signal (resolved at the
+  // next on_round()).
+  PeerScoreTable score_;
+  std::vector<std::pair<std::uint32_t, bool>> pending_pulls_;
   CertValidator cert_validator_;
   SocketHook socket_hook_;
 
@@ -236,7 +256,20 @@ class Node {
     obs::Counter* pull_requests_served = nullptr;
     obs::Counter* push_offers_answered = nullptr;
     obs::Counter* push_replies_acted = nullptr;
+    /// Scoring layer (registered only when cfg.scoring.enabled):
+    /// frames from greylisted peers dropped before consuming budget.
+    obs::Counter* score_greylist_drops = nullptr;
+    /// valid pull requests read past the budget and answered with an empty
+    /// ack instead of data (futility-signal hygiene).
+    obs::Counter* score_overflow_acks = nullptr;
   } c_;
+  /// Scoring gauges, refreshed each on_round(): peers currently greylisted,
+  /// cumulative greylist entries, and per-signal penalty totals.
+  obs::Gauge* g_score_greylisted_ = nullptr;
+  obs::Gauge* g_score_entries_ = nullptr;
+  obs::Gauge* g_score_pen_decode_ = nullptr;
+  obs::Gauge* g_score_pen_overuse_ = nullptr;
+  obs::Gauge* g_score_pen_futility_ = nullptr;
   struct ChannelMetrics {
     obs::Counter* read = nullptr;
     obs::Counter* flushed_unread = nullptr;

@@ -12,10 +12,6 @@
 // scalar reference, or ISA-accelerated paths picked at startup from CPUID
 // and overridable with DRUM_CRYPTO_BACKEND=scalar|native. Results are
 // bit-identical across backends.
-//
-// This header supersedes the per-primitive one-shot helpers
-// (Sha256::hash, Sha512::hash, keys.hpp's crypto::verify), which are
-// deprecated aliases for one PR cycle.
 #pragma once
 
 #include <span>

@@ -208,7 +208,8 @@ namespace {
 
 using detail::Ge;
 
-// SHA512 one-shot without going through the deprecated Sha512::hash.
+// Local SHA512 one-shot: this file sits below api.hpp in the layering, so
+// it cannot route through the backend dispatcher.
 Sha512::Digest sha512_oneshot(util::ByteSpan data) {
   Sha512 h;
   h.update(data);

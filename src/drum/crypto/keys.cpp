@@ -62,14 +62,4 @@ std::string Identity::short_id() const {
   return util::to_hex(util::ByteSpan(digest.data(), 8));
 }
 
-// Definition of the deprecated alias; suppress the self-referential warning
-// GCC emits for deprecated definitions.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-bool verify(const Ed25519PublicKey& pub, util::ByteSpan message,
-            const Ed25519Signature& sig) {
-  return ed25519_verify(pub, message, sig);
-}
-#pragma GCC diagnostic pop
-
 }  // namespace drum::crypto

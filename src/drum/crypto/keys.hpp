@@ -58,10 +58,4 @@ class Identity {
   X25519Key dh_pub_{};
 };
 
-/// DEPRECATED duplicate of ed25519_verify; use crypto::ed25519_verify from
-/// drum/crypto/api.hpp. Kept as an alias for one PR cycle.
-[[deprecated("use crypto::ed25519_verify from drum/crypto/api.hpp")]] bool
-verify(const Ed25519PublicKey& pub, util::ByteSpan message,
-       const Ed25519Signature& sig);
-
 }  // namespace drum::crypto

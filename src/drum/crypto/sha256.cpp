@@ -122,15 +122,4 @@ Sha256::Digest Sha256::final() {
   return out;
 }
 
-// Out-of-line definition of the deprecated alias: silence the
-// self-deprecation warning, which -Werror would otherwise promote.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Sha256::Digest Sha256::hash(util::ByteSpan data) {
-  Sha256 h;
-  h.update(data);
-  return h.final();
-}
-#pragma GCC diagnostic pop
-
 }  // namespace drum::crypto

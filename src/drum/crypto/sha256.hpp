@@ -29,13 +29,6 @@ class Sha256 {
   /// Finalizes and returns the digest. The object must not be reused after.
   Digest final();
 
-  /// DEPRECATED alias for final(); kept for one PR cycle.
-  [[deprecated("use final()")]] Digest finish() { return final(); }
-
-  /// DEPRECATED one-shot helper; use crypto::sha256() from api.hpp.
-  [[deprecated("use crypto::sha256() from drum/crypto/api.hpp")]] static Digest
-  hash(util::ByteSpan data);
-
  private:
   std::array<std::uint32_t, 8> state_;
   std::uint64_t bits_ = 0;

@@ -112,15 +112,4 @@ Sha512::Digest Sha512::final() {
   return out;
 }
 
-// Out-of-line definition of the deprecated alias: silence the
-// self-deprecation warning, which -Werror would otherwise promote.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Sha512::Digest Sha512::hash(util::ByteSpan data) {
-  Sha512 h;
-  h.update(data);
-  return h.final();
-}
-#pragma GCC diagnostic pop
-
 }  // namespace drum::crypto

@@ -23,13 +23,6 @@ class Sha512 {
   /// Finalizes and returns the digest. The object must not be reused after.
   Digest final();
 
-  /// DEPRECATED alias for final(); kept for one PR cycle.
-  [[deprecated("use final()")]] Digest finish() { return final(); }
-
-  /// DEPRECATED one-shot helper; use crypto::sha512() from api.hpp.
-  [[deprecated("use crypto::sha512() from drum/crypto/api.hpp")]] static Digest
-  hash(util::ByteSpan data);
-
  private:
   void compress(const std::uint8_t* block);
 

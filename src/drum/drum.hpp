@@ -11,15 +11,18 @@
 //                 shot/incremental/batch, see crypto/api.hpp; SIMD backends
 //                 behind crypto/backend.hpp), port boxes, identities
 //   net         — Transport abstraction, in-memory LAN, UDP sockets
-//   core        — the Drum protocol node and its Push/Pull/ablation variants
+//   core        — the Drum protocol node, its Push/Pull/ablation variants,
+//                 and the peer-scoring/greylist defense layer
 //   runtime     — real-time thread-per-node execution
 //   membership  — CA, certificates, membership table, failure detector,
 //                 the gossip-borne membership service, networked CA
 //   sim         — the paper's round-based Monte-Carlo simulator
 //   analysis    — the paper's closed-form / numerical analysis
-//   harness     — measurement clusters with DoS attack injection
+//   adversary   — the attack-strategy registry (DESIGN.md §10)
+//   harness     — measurement clusters / live swarms with DoS injection
 #pragma once
 
+#include "drum/adversary/adversary.hpp"
 #include "drum/analysis/appendix_a.hpp"
 #include "drum/analysis/appendix_b.hpp"
 #include "drum/analysis/appendix_c.hpp"
@@ -28,6 +31,7 @@
 #include "drum/core/config.hpp"
 #include "drum/core/message.hpp"
 #include "drum/core/node.hpp"
+#include "drum/core/scoring.hpp"
 #include "drum/crypto/api.hpp"
 #include "drum/crypto/backend.hpp"
 #include "drum/crypto/chacha20.hpp"
@@ -39,6 +43,7 @@
 #include "drum/crypto/sha512.hpp"
 #include "drum/crypto/x25519.hpp"
 #include "drum/harness/cluster.hpp"
+#include "drum/harness/swarm.hpp"
 #include "drum/membership/ca.hpp"
 #include "drum/membership/ca_server.hpp"
 #include "drum/membership/certificate.hpp"

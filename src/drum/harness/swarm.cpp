@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "drum/check/check.hpp"
 #include "drum/core/message.hpp"
@@ -76,17 +77,37 @@ Swarm::Swarm(SwarmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
     p.dh_pub = identities[id].dh_public();
   }
 
+  // Colluding insiders occupy the tail ids: directory members with real
+  // identities the attacker holds, but no live protocol node.
+  auto n_colluders = static_cast<std::size_t>(
+      cfg_.malicious * static_cast<double>(cfg_.n) + 0.5);
+  n_colluders = std::min(n_colluders, cfg_.n / 2);
+  const std::size_t n_live = cfg_.n - n_colluders;
+  for (std::size_t i = n_live; i < cfg_.n; ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    colluder_ids_.push_back(id);
+    colluder_identities_.push_back(identities[id]);
+  }
+
   auto n_attacked = static_cast<std::size_t>(
       cfg_.alpha * static_cast<double>(cfg_.n) + 0.5);
-  n_attacked = std::min(n_attacked, cfg_.n);
-  if (cfg_.x > 0) {
+  n_attacked = std::min(n_attacked, n_live);
+  const bool attack_on =
+      n_attacked > 0 && (cfg_.x > 0 || n_colluders > 0);
+  if (attack_on) {
+    // The legacy x knob keeps its meaning for every strategy: fabricated
+    // messages per victim per round.
+    adversary::Params aparams = cfg_.attack_params;
+    if (cfg_.x > 0) aparams.x = cfg_.x;
+    adversary_ = adversary::make(cfg_.adversary, aparams);
     for (std::size_t i = 0; i < n_attacked; ++i) {
       victims_.push_back(static_cast<std::uint32_t>(i));
     }
   }
 
-  nodes_.reserve(cfg_.n);
-  for (std::uint32_t id = 0; id < cfg_.n; ++id) {
+  activity_ = std::vector<std::atomic<std::uint32_t>>(n_live);
+  nodes_.reserve(n_live);
+  for (std::uint32_t id = 0; id < n_live; ++id) {
     LiveNode live;
     live.id = id;
     live.transport = cfg_.use_udp
@@ -99,9 +120,10 @@ Swarm::Swarm(SwarmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
     ncfg.wk_offer_port = directory_[id].wk_offer_port;
     ncfg.wk_pull_reply_port = directory_[id].wk_pull_reply_port;
     ncfg.verify_signatures = cfg_.verify_signatures;
+    ncfg.scoring = cfg_.scoring;
     live.node = std::make_unique<core::Node>(
         ncfg, identities[id], directory_, *live.transport, rng_.next(),
-        [this](const core::Node::Delivery& d) { on_delivery(d); });
+        [this, id](const core::Node::Delivery& d) { on_delivery(id, d); });
     nodes_.push_back(std::move(live));
   }
 
@@ -125,8 +147,10 @@ Swarm::Swarm(SwarmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 
 Swarm::~Swarm() { stop(); }
 
-void Swarm::on_delivery(const core::Node::Delivery& d) {
+void Swarm::on_delivery(std::uint32_t node_id,
+                        const core::Node::Delivery& d) {
   delivered_.fetch_add(1, std::memory_order_relaxed);
+  activity_[node_id].fetch_add(1, std::memory_order_relaxed);
   if (!measuring_.load(std::memory_order_relaxed)) return;
   if (d.msg.payload.size() < 8) return;
   const auto sent =
@@ -208,94 +232,141 @@ void Swarm::attacker_main() {
     if (!sock) return;
   }
 
+  // Per-victim budgets and channel availability are protocol configuration —
+  // public knowledge a real attacker has.
+  const core::NodeConfig proto =
+      core::make_node_config(cfg_.variant, 0, cfg_.fanout);
+
+  const std::size_t n_live = nodes_.size();
+  std::vector<float> usefulness(cfg_.n, 0.0F);
+  std::vector<std::uint32_t> last_activity(n_live, 0);
+
+  // Pairwise keys for insider frames, derived lazily per (colluder, victim)
+  // from the colluder identities the attacker holds.
+  std::unordered_map<std::uint64_t, util::Bytes> pair_keys;
+  const auto first_colluder = static_cast<std::uint32_t>(n_live);
+  auto insider_key = [&](std::uint32_t colluder,
+                         std::uint32_t target) -> util::ByteSpan {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(colluder) << 32) | target;
+    auto it = pair_keys.find(k);
+    if (it == pair_keys.end()) {
+      it = pair_keys
+               .emplace(k, colluder_identities_[colluder - first_colluder]
+                               .derive_pair_key(directory_[target].dh_pub))
+               .first;
+    }
+    return util::ByteSpan(it->second);
+  };
+
+  auto port_for = [](const core::Peer& p, adversary::Channel c) {
+    switch (c) {
+      case adversary::Channel::kOffer:
+        return p.wk_offer_port;
+      case adversary::Channel::kPullRequest:
+        return p.wk_pull_port;
+      case adversary::Channel::kPullReply:
+      default:
+        return p.wk_pull_reply_port;
+    }
+  };
+
+  // One fabricated datagram for a flood action. Spoofed frames carry garbage
+  // boxes (off-path attacker, unattributable); insider frames are sealed
+  // with the real pair key around a bogus reply port, so they authenticate —
+  // and then black-hole whatever the victim sends back.
+  auto craft = [&](const adversary::Flood& f) -> util::Bytes {
+    const bool spoofed = f.claimed_sender == adversary::kSpoofed;
+    const std::uint32_t sender =
+        spoofed ? static_cast<std::uint32_t>(arng.below(cfg_.n))
+                : f.claimed_sender;
+    if (f.channel == adversary::Channel::kPullReply) {
+      return core::encode(core::PullReply{sender, {}});
+    }
+    util::Bytes box;
+    if (spoofed) {
+      box.resize(crypto::kPortBoxOverhead + 2);
+      for (auto& b : box) b = static_cast<std::uint8_t>(arng.below(256));
+    } else {
+      box = crypto::portbox_seal_port(insider_key(sender, f.target), 9, arng);
+    }
+    if (f.channel == adversary::Channel::kOffer) {
+      core::PushOffer offer;
+      offer.sender = sender;
+      offer.boxed_reply_port = std::move(box);
+      return core::encode(offer);
+    }
+    core::PullRequest req;
+    req.sender = sender;
+    req.boxed_reply_port = std::move(box);
+    return core::encode(req);
+  };
+
   const auto bursts =
       std::max<std::size_t>(1, cfg_.attacker_bursts_per_round);
   const auto gap = std::chrono::duration_cast<Clock::duration>(cfg_.round) /
                    static_cast<std::int64_t>(bursts);
-  const double per_burst = cfg_.x / static_cast<double>(bursts);
-  std::uint64_t seq = 0;
 
-  // Per-victim scratch, grouped by destination port so the UDP path ships
-  // each group in one sendmmsg.
-  struct Group {
-    net::Address target;
-    std::vector<util::Bytes> payloads;
-    std::vector<util::ByteSpan> spans;
-  };
-  std::vector<Group> groups(3);
+  adversary::Plan plan;
+  std::vector<util::Bytes> payloads;
+  std::vector<util::ByteSpan> spans;
+  std::uint64_t round_no = 0;
 
   while (!attacker_stop_.load()) {
-    const auto burst_start = Clock::now();
-    for (auto victim : victims_) {
-      const core::Peer& p = directory_[victim];
-      auto count = static_cast<std::size_t>(per_burst);
-      if (arng.chance(per_burst - static_cast<double>(count))) ++count;
-      for (auto& g : groups) {
-        g.payloads.clear();
-        g.spans.clear();
-      }
-      groups[0].target = {p.host, p.wk_offer_port};
-      groups[1].target = {p.host, p.wk_pull_port};
-      groups[2].target = {p.host, p.wk_pull_reply_port};
-      for (std::size_t i = 0; i < count; ++i) {
-        util::Bytes garbage_box(crypto::kPortBoxOverhead + 2);
-        for (auto& b : garbage_box) {
-          b = static_cast<std::uint8_t>(arng.below(256));
+    // Usefulness = deliveries observed at each node since the last plan,
+    // the coarse activity signal adaptive re-targeting keys on.
+    for (std::size_t i = 0; i < n_live; ++i) {
+      const std::uint32_t cur = activity_[i].load(std::memory_order_relaxed);
+      usefulness[i] = static_cast<float>(cur - last_activity[i]);
+      last_activity[i] = cur;
+    }
+
+    adversary::RoundView view;
+    view.round = round_no++;
+    view.n = cfg_.n;
+    view.attacked = victims_;
+    view.colluders = colluder_ids_;
+    view.offer_budget = proto.offer_budget();
+    view.pull_request_budget = proto.pull_request_budget();
+    view.push_channel = proto.view_push() > 0;
+    view.pull_channel = proto.view_pull() > 0;
+    view.reply_port_attackable = cfg_.variant == core::Variant::kDrumWkPorts;
+    view.usefulness = usefulness;
+    plan.clear();
+    adversary_->plan_round(view, arng, plan);
+    // plan.view_capture is the sim's membership model; the live realization
+    // of an eclipse is the colluders themselves — authenticated directory
+    // members that never answer, black-holing every pull aimed at them.
+
+    for (std::size_t b = 0; b < bursts && !attacker_stop_.load(); ++b) {
+      const auto burst_start = Clock::now();
+      for (const auto& f : plan.floods) {
+        std::size_t count = f.count / bursts;
+        if (b < f.count % bursts) ++count;
+        if (count == 0 || f.target >= directory_.size()) continue;
+        const core::Peer& p = directory_[f.target];
+        const net::Address target{p.host, port_for(p, f.channel)};
+        payloads.clear();
+        for (std::size_t i = 0; i < count; ++i) {
+          payloads.push_back(craft(f));
         }
-        auto fake_sender = static_cast<std::uint32_t>(arng.below(cfg_.n));
-        const std::uint64_t k = seq++;
-        std::size_t slot;
-        util::Bytes payload;
-        switch (cfg_.variant) {
-          case core::Variant::kPush:
-            slot = 0;
-            break;
-          case core::Variant::kPull:
-            slot = 1;
-            break;
-          case core::Variant::kDrumWkPorts:
-            // x/2 push, x/4 pull-request, x/4 pull-reply port (paper §9).
-            slot = k % 4 < 2 ? 0 : (k % 4 == 2 ? 1 : 2);
-            break;
-          case core::Variant::kDrum:
-          case core::Variant::kDrumSharedBounds:
-          default:
-            slot = k % 2;
-            break;
-        }
-        if (slot == 0) {
-          core::PushOffer offer;
-          offer.sender = fake_sender;
-          offer.boxed_reply_port = garbage_box;
-          payload = core::encode(offer);
-        } else if (slot == 1) {
-          core::PullRequest req;
-          req.sender = fake_sender;
-          req.boxed_reply_port = garbage_box;
-          payload = core::encode(req);
-        } else {
-          payload = core::encode(core::PullReply{fake_sender, {}});
-        }
-        groups[slot].payloads.push_back(std::move(payload));
-      }
-      for (auto& g : groups) {
-        if (g.payloads.empty()) continue;
         if (mem_net_) {
-          for (const auto& pl : g.payloads) {
-            net::Address spoofed{
+          for (const auto& pl : payloads) {
+            net::Address src{
                 0xDEAD0000u | static_cast<std::uint32_t>(arng.below(65536)),
                 static_cast<std::uint16_t>(1024 + arng.below(60000))};
-            mem_net_->send_raw(spoofed, g.target, util::ByteSpan(pl));
+            mem_net_->send_raw(src, target, util::ByteSpan(pl));
           }
         } else {
-          g.spans.reserve(g.payloads.size());
-          for (const auto& pl : g.payloads) g.spans.emplace_back(pl);
-          sock->send_batch(g.target, g.spans.data(), g.spans.size());
+          spans.clear();
+          spans.reserve(payloads.size());
+          for (const auto& pl : payloads) spans.emplace_back(pl);
+          sock->send_batch(target, spans.data(), spans.size());
         }
-        attack_sent_.fetch_add(g.payloads.size(), std::memory_order_relaxed);
+        attack_sent_.fetch_add(payloads.size(), std::memory_order_relaxed);
       }
+      std::this_thread::sleep_until(burst_start + gap);
     }
-    std::this_thread::sleep_until(burst_start + gap);
   }
 }
 
@@ -312,6 +383,15 @@ SwarmReport Swarm::report() const {
   r.polls = merged.counter_value("runner.polls");
   r.delivered = merged.counter_value("node.delivered");
   r.attack_datagrams = attack_sent_.load();
+  r.colluders = colluder_ids_.size();
+  if (cfg_.scoring.enabled) {
+    r.greylist_drops = merged.counter_value("score.greylist_drops");
+    for (const auto& live : nodes_) {
+      core::PeerScoreTable& t = live.node->score_table();
+      r.greylist_entries += t.greylist_entries();
+      r.greylisted_at_end += t.currently_greylisted();
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(lat_mu_);
     r.latency_samples = latency_ms_.count();

@@ -11,10 +11,14 @@
 //  * thread-per-node baseline: one NodeRunner (and thus one thread) per node,
 //    the deployment shape the paper's per-machine JVMs imply.
 //
-// A flooding adversary thread sends fabricated control messages at the
-// attacked nodes' well-known ports continuously (spoofed sources on the mem
-// network; a real socket with sendmmsg batching on UDP), so the swarm also
-// demonstrates DoS pressure with unsynchronized rounds at scale.
+// An adversary thread drives one strategy from the drum::adversary registry
+// — the same registry the Monte-Carlo simulator uses — against the attacked
+// nodes' well-known ports (spoofed sources on the mem network; a real socket
+// with sendmmsg batching on UDP), so the swarm demonstrates DoS pressure
+// with unsynchronized rounds at scale. Colluding insiders are directory
+// members whose identities the attacker holds: their frames carry valid
+// port boxes (sealed with the real pairwise keys) but they run no protocol
+// node, making them authenticated black holes.
 //
 // Delivery latency is measured end-to-end in wall time: the source embeds a
 // steady-clock timestamp in each payload's first 8 bytes; every delivery
@@ -31,8 +35,10 @@
 #include <thread>
 #include <vector>
 
+#include "drum/adversary/adversary.hpp"
 #include "drum/core/config.hpp"
 #include "drum/core/node.hpp"
+#include "drum/crypto/keys.hpp"
 #include "drum/net/mem_transport.hpp"
 #include "drum/obs/metrics.hpp"
 #include "drum/runtime/reactor.hpp"
@@ -59,10 +65,24 @@ struct SwarmConfig {
   std::uint16_t udp_base_port = 31000;
   bool reactor = true;          ///< false: thread-per-node baseline
   std::size_t workers = 2;      ///< reactor worker threads (0 = loop only)
-  /// Flood pacing: each burst delivers x / bursts fabricated datagrams per
-  /// victim.
+  /// Flood pacing: each burst delivers 1 / bursts of the round's planned
+  /// datagrams.
   std::size_t attacker_bursts_per_round = 20;
   bool verify_signatures = true;
+
+  // ---- adversary zoo + defense (DESIGN.md §10) -------------------------
+  /// Strategy name in the drum::adversary registry. The attacker thread is
+  /// armed when alpha > 0 and the strategy can act (x > 0 or insiders
+  /// exist).
+  std::string adversary = "flood";
+  adversary::Params attack_params;
+  /// Fraction of the group run as colluding insiders. They occupy the TAIL
+  /// ids of the directory, hold real identities (the attacker keeps the
+  /// private keys), and run no protocol node.
+  double malicious = 0.0;
+  /// Peer-scoring + greylist defense applied to every live node
+  /// (scoring.enabled selects it).
+  core::ScoringConfig scoring;
 };
 
 /// What one measurement window produced. All times are wall-clock.
@@ -79,6 +99,13 @@ struct SwarmReport {
   std::uint64_t polls = 0;      ///< sum of poll() invocations
   std::uint64_t delivered = 0;  ///< application deliveries (all nodes)
   std::uint64_t attack_datagrams = 0;
+  /// Scoring layer (zero when disabled): frames dropped pre-budget because
+  /// the claimed sender was greylisted, cumulative greylist entries across
+  /// all nodes, and peers still greylisted at the end of the window.
+  std::uint64_t greylist_drops = 0;
+  std::uint64_t greylist_entries = 0;
+  std::uint64_t greylisted_at_end = 0;
+  std::size_t colluders = 0;
   std::uint64_t latency_samples = 0;
   double latency_ms_mean = 0.0;
   double latency_ms_p50 = 0.0;
@@ -125,7 +152,7 @@ class Swarm {
     std::unique_ptr<runtime::NodeRunner> runner;  // baseline mode only
   };
 
-  void on_delivery(const core::Node::Delivery& d);
+  void on_delivery(std::uint32_t node_id, const core::Node::Delivery& d);
   void attacker_main();
 
   SwarmConfig cfg_;
@@ -134,9 +161,21 @@ class Swarm {
   std::vector<core::Peer> directory_;
   std::vector<LiveNode> nodes_;
   std::vector<std::uint32_t> victims_;
+  /// Tail ids whose identities the attacker holds (no live node).
+  std::vector<std::uint32_t> colluder_ids_;
+  std::vector<crypto::Identity> colluder_identities_;
   std::unique_ptr<runtime::ReactorRuntime> reactor_;  // reactor mode only
 
+  /// Per-node delivery activity, written by delivery callbacks (any runtime
+  /// thread) and read by the attacker thread to build the adaptive
+  /// strategy's usefulness signal. obs counters are single-thread-confined,
+  /// hence this separate atomic array.
+  std::vector<std::atomic<std::uint32_t>> activity_;
+
   std::thread attacker_;
+  /// Built in the constructor (fail fast on unknown names); plan_round()
+  /// runs on the attacker thread only.
+  std::unique_ptr<adversary::Adversary> adversary_;
   std::atomic<bool> attacker_stop_{false};
   std::atomic<std::uint64_t> attack_sent_{0};
 

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -140,10 +141,16 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
   // Attacked set: round(alpha*n) correct processes starting at the first
   // correct id; the source is the first correct process, hence attacked
   // whenever the attack is active (paper §5).
+  // Adversary zoo + scoring layer. Both are strictly additive: with both
+  // disabled, the run consumes the rng stream exactly as before (the
+  // bit-identity contract of DESIGN.md §9 covers legacy parameters only).
+  const bool zoo = params.attack.enabled();
+  const bool scoring = params.scoring.enabled;
+
   auto n_attacked = static_cast<std::size_t>(
       std::llround(params.alpha * static_cast<double>(n)));
   n_attacked = std::min(n_attacked, n_correct);
-  const bool attack_on = params.x > 0 && n_attacked > 0;
+  const bool attack_on = zoo ? n_attacked > 0 : (params.x > 0 && n_attacked > 0);
   if (!attack_on) n_attacked = 0;
   const std::size_t first_correct = n_mal + n_crash;
   auto is_attacked = [&](std::size_t id) {
@@ -152,6 +159,35 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
   const std::size_t source = first_correct;
 
   const ChannelPlan plan = make_plan(params);
+  if ((zoo || scoring) && plan.shared_bound) {
+    throw std::invalid_argument(
+        "adversary zoo / scoring are not modelled for kDrumSharedBounds");
+  }
+
+  std::unique_ptr<adversary::Adversary> adv;
+  util::Rng adv_rng(0);
+  if (zoo) {
+    adv = adversary::make(params.attack.strategy, params.attack.params);
+    adv_rng = rng.fork();
+    sc.attacked_ids_.clear();
+    for (std::size_t i = 0; i < n_attacked; ++i) {
+      sc.attacked_ids_.push_back(static_cast<std::uint32_t>(first_correct + i));
+    }
+    sc.colluder_ids_.clear();
+    for (std::size_t i = 0; i < n_mal; ++i) {
+      sc.colluder_ids_.push_back(static_cast<std::uint32_t>(i));
+    }
+    sc.usefulness_.assign(n, 0.0F);
+    sc.served_.assign(n, 0.0F);
+  }
+  auto& tables = sc.tables_;
+  if (scoring) {
+    tables.resize(n);
+    for (std::size_t id = first_correct; id < n; ++id) {
+      tables[id].reset(n, params.scoring, static_cast<std::uint32_t>(id));
+    }
+    sc.sent_pulls_.resize(n);
+  }
 
   std::vector<char>& has_m = sc.has_m_;
   has_m.assign(n, 0);
@@ -215,22 +251,132 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
     }
     if (round == params.max_rounds) break;
 
-    // --- send phase (synchronized: everyone uses the snapshot `has_m`) ---
     for (auto& v : push_arrivals) v.clear();
     for (auto& v : pull_requests) v.clear();
     for (auto& v : reply_arrivals) v.clear();
 
+    // --- adversary planning + scoring round clock ---
+    if (scoring) {
+      for (std::size_t id = first_correct; id < n; ++id) {
+        tables[id].begin_round(round);
+        sc.sent_pulls_[id].clear();
+      }
+    }
+    double view_capture = 0.0;
+    if (zoo) {
+      sc.served_.assign(n, 0.0F);
+      sc.fab_push_.assign(n, 0);
+      sc.fab_pull_.assign(n, 0);
+      sc.fab_reply_.assign(n, 0);
+      sc.plan_.clear();
+      adversary::RoundView view;
+      view.round = round;
+      view.n = n;
+      view.attacked = sc.attacked_ids_;
+      view.colluders = sc.colluder_ids_;
+      view.offer_budget = plan.bound_push;
+      view.pull_request_budget = plan.bound_pull;
+      view.push_channel = plan.view_push > 0;
+      view.pull_channel = plan.view_pull > 0;
+      view.reply_port_attackable = plan.bounded_pull_replies;
+      view.usefulness = sc.usefulness_;
+      adv->plan_round(view, adv_rng, sc.plan_);
+      view_capture = sc.plan_.view_capture;
+
+      for (const adversary::Flood& f : sc.plan_.floods) {
+        if (f.target >= n || !is_correct(f.target)) continue;
+        if (f.claimed_sender == adversary::kSpoofed) {
+          // Off-path spoofed traffic: consumes budget, fails the port-box,
+          // unattributable. Each message independently survives link loss.
+          const std::size_t arrived = fabricated_arrivals(
+              static_cast<double>(f.count), params.loss, adv_rng);
+          switch (f.channel) {
+            case adversary::Channel::kOffer:
+              sc.fab_push_[f.target] += arrived;
+              break;
+            case adversary::Channel::kPullRequest:
+              sc.fab_pull_[f.target] += arrived;
+              break;
+            case adversary::Channel::kPullReply:
+              sc.fab_reply_[f.target] += arrived;
+              break;
+          }
+        } else if (f.claimed_sender < n) {
+          // Insider traffic: authenticates, competes like honest arrivals,
+          // and is attributable — the greylist drops it before the bound.
+          for (std::uint32_t i = 0; i < f.count; ++i) {
+            if (adv_rng.chance(params.loss)) continue;
+            if (scoring && tables[f.target].greylisted(f.claimed_sender)) {
+              continue;  // dropped pre-budget
+            }
+            switch (f.channel) {
+              case adversary::Channel::kOffer:
+                push_arrivals[f.target].push_back({f.claimed_sender, 0});
+                break;
+              case adversary::Channel::kPullRequest:
+                pull_requests[f.target].push_back(f.claimed_sender);
+                break;
+              case adversary::Channel::kPullReply:
+                sc.fab_reply_[f.target] += 1;
+                break;
+            }
+            if (scoring && f.channel != adversary::Channel::kPullReply) {
+              tables[f.target].on_control_arrival(f.claimed_sender);
+            }
+          }
+        }
+      }
+    }
+
+    // When a correct process finds a greylisted peer in its sampled view,
+    // it re-draws the slot (exclusion from view selection). Bounded
+    // retries; a failed re-draw wastes the slot.
+    auto fix_target = [&](std::uint32_t t, std::size_t p) -> std::uint32_t {
+      if (!scoring) return t;
+      for (int tries = 0;
+           tries < 4 && tables[p].greylisted(t); ++tries) {
+        t = static_cast<std::uint32_t>(rng.below(n));
+      }
+      return t;
+    };
+    // Eclipse view poisoning: a captured slot of an attacked process points
+    // at a colluder instead — unless the process has that colluder
+    // greylisted, in which case the poisoned entry is rejected.
+    auto capture_target = [&](std::uint32_t t, std::size_t p) -> std::uint32_t {
+      if (view_capture <= 0.0 || n_mal == 0 || !is_attacked(p)) return t;
+      if (!adv_rng.chance(view_capture)) return t;
+      const std::uint32_t c =
+          sc.colluder_ids_[adv_rng.below(sc.colluder_ids_.size())];
+      if (scoring && tables[p].greylisted(c)) return t;
+      return c;
+    };
+
+    // --- send phase (synchronized: everyone uses the snapshot `has_m`) ---
     for (std::size_t p = first_correct; p < n; ++p) {
       if (plan.view_push > 0) {
+        if (zoo && has_m[p]) {
+          // Observable data volume from p this round (adaptive's signal).
+          sc.served_[p] += static_cast<float>(plan.view_push);
+        }
         rng.sample_into(static_cast<std::uint32_t>(n),
                         static_cast<std::uint32_t>(plan.view_push),
                         static_cast<std::uint32_t>(p), sc.view_,
                         sc.sample_scratch_);
         for (auto t : sc.view_) {
+          if (zoo) t = capture_target(t, p);
+          t = fix_target(t, p);
+          if (t == p) continue;  // failed greylist re-draw hit self
           if (is_malicious(t) || is_crashed(t)) continue;  // wasted fan-out
           if (rng.chance(params.loss)) continue;
+          if (scoring && tables[t].greylisted(
+                             static_cast<std::uint32_t>(p))) {
+            continue;  // receiver drops greylisted peers pre-budget
+          }
           push_arrivals[t].push_back(
               {static_cast<std::uint32_t>(p), has_m[p]});
+          if (scoring) {
+            tables[t].on_control_arrival(static_cast<std::uint32_t>(p));
+          }
         }
       }
       if (plan.view_pull > 0) {
@@ -239,9 +385,34 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
                         static_cast<std::uint32_t>(p), sc.view_,
                         sc.sample_scratch_);
         for (auto t : sc.view_) {
+          if (zoo) t = capture_target(t, p);
+          t = fix_target(t, p);
+          if (t == p) continue;
+          std::size_t sent_idx = 0;
+          if (scoring) {
+            // Track the request for the futility signal. A correct
+            // receiver acks every valid request that reaches it (the
+            // empty pull-reply extension — bound overflow is normal
+            // operation, never misbehavior), so `answered` is decided
+            // here: the request arrives AND the ack survives the return
+            // path. Only black holes — malicious or crashed peers — and
+            // link loss leave a pull unanswered.
+            sent_idx = sc.sent_pulls_[p].size();
+            sc.sent_pulls_[p].push_back({t, 0});
+          }
           if (is_malicious(t) || is_crashed(t)) continue;
           if (rng.chance(params.loss)) continue;
+          if (scoring && tables[t].greylisted(
+                             static_cast<std::uint32_t>(p))) {
+            continue;
+          }
           pull_requests[t].push_back(static_cast<std::uint32_t>(p));
+          if (scoring) {
+            tables[t].on_control_arrival(static_cast<std::uint32_t>(p));
+            if (!rng.chance(params.loss)) {
+              sc.sent_pulls_[p][sent_idx].answered = 1;
+            }
+          }
         }
       }
     }
@@ -298,7 +469,9 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
         const bool att = is_attacked(t);
         if (plan.view_push > 0) {
           std::size_t fab =
-              att ? fabricated_arrivals(plan.x_push, params.loss, rng) : 0;
+              zoo ? sc.fab_push_[t]
+                  : (att ? fabricated_arrivals(plan.x_push, params.loss, rng)
+                         : 0);
           accept_bounded(push_arrivals[t].size(), fab, plan.bound_push, rng,
                          sc.accepted_, sc.picks_, sc.sample_scratch_);
           for (auto idx : sc.accepted_) {
@@ -307,13 +480,17 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
         }
         if (plan.view_pull > 0) {
           std::size_t fab =
-              att ? fabricated_arrivals(plan.x_pull_req, params.loss, rng) : 0;
+              zoo ? sc.fab_pull_[t]
+                  : (att ? fabricated_arrivals(plan.x_pull_req, params.loss,
+                                               rng)
+                         : 0);
           accept_bounded(pull_requests[t].size(), fab, plan.bound_pull, rng,
                          sc.accepted_, sc.picks_, sc.sample_scratch_);
           for (auto idx : sc.accepted_) {
             auto requester = pull_requests[t][idx];
             if (has_m[t] && !rng.chance(params.loss)) {
               reply_arrivals[requester].push_back(1);
+              if (zoo) sc.served_[t] += 1.0F;
             }
           }
         }
@@ -326,7 +503,8 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
       if (replies.empty()) continue;
       if (plan.bounded_pull_replies) {
         // §9 ablation: replies land on a well-known, attacked, bounded port.
-        std::size_t fab = is_attacked(t)
+        std::size_t fab = zoo ? sc.fab_reply_[t]
+                          : is_attacked(t)
                               ? fabricated_arrivals(plan.x_pull_reply,
                                                     params.loss, rng)
                               : 0;
@@ -342,7 +520,26 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
       }
     }
 
+    // --- round-end scoring bookkeeping ---
+    if (scoring) {
+      for (std::size_t p = first_correct; p < n; ++p) {
+        for (const auto& sent : sc.sent_pulls_[p]) {
+          tables[p].on_pull_outcome(sent.target, sent.answered != 0);
+        }
+      }
+    }
+    if (zoo) {
+      sc.usefulness_.swap(sc.served_);
+    }
+
     has_m.swap(new_m);
+  }
+
+  if (scoring) {
+    for (std::size_t id = first_correct; id < n; ++id) {
+      result.greylist_entries += tables[id].greylist_entries();
+      result.greylisted_at_end += tables[id].currently_greylisted();
+    }
   }
   return result;
 }
@@ -352,6 +549,7 @@ void AggregateResult::merge(const AggregateResult& other) {
   rounds_to_target_attacked.merge(other.rounds_to_target_attacked);
   rounds_to_target_non_attacked.merge(other.rounds_to_target_non_attacked);
   rounds_to_leave_source.merge(other.rounds_to_leave_source);
+  greylist_entries.merge(other.greylist_entries);
   coverage.merge(other.coverage);
   unreached_runs += other.unreached_runs;
 }
@@ -363,7 +561,7 @@ namespace {
 void accumulate(AggregateResult& agg, const SimParams& params,
                 const RunResult& res) {
   agg.rounds_to_target.add(static_cast<double>(res.rounds_to_target));
-  if (params.alpha > 0 && params.x > 0) {
+  if (params.alpha > 0 && (params.x > 0 || params.attack.enabled())) {
     agg.rounds_to_target_attacked.add(
         static_cast<double>(res.rounds_to_target_attacked));
     agg.rounds_to_target_non_attacked.add(
@@ -371,6 +569,9 @@ void accumulate(AggregateResult& agg, const SimParams& params,
   }
   agg.rounds_to_leave_source.add(
       static_cast<double>(res.rounds_to_leave_source));
+  if (params.scoring.enabled) {
+    agg.greylist_entries.add(static_cast<double>(res.greylist_entries));
+  }
   agg.coverage.add_run(res.coverage_by_round);
   if (!res.reached) ++agg.unreached_runs;
 }

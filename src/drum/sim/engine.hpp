@@ -33,6 +33,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "drum/adversary/adversary.hpp"
+#include "drum/core/scoring.hpp"
 #include "drum/obs/metrics.hpp"
 #include "drum/util/rng.hpp"
 #include "drum/util/stats.hpp"
@@ -70,6 +72,19 @@ struct SimParams {
   /// channel. Default 0.5 (the paper's attack). Drum's point is that no
   /// split helps: whichever channel the attacker abandons carries the data.
   double attack_push_fraction = 0.5;
+  /// Adversary-zoo strategy (drum::adversary). When enabled, it REPLACES
+  /// the legacy x-flooder above: all fabricated/insider traffic and view
+  /// poisoning come from the strategy's per-round Plan, with the malicious
+  /// members acting as its colluding insiders and the alpha-set as its
+  /// designated victims. Not supported for kDrumSharedBounds.
+  adversary::Spec attack;
+  /// Peer-scoring + greylist defense layer (core::PeerScoreTable), run by
+  /// every correct process. Independent of `attack` — an all-correct run
+  /// with scoring on is the false-positive gate. When enabled, correct
+  /// processes also acknowledge every accepted pull request (the empty
+  /// pull-reply protocol extension), so futility only accrues at black
+  /// holes and saturated victims. Not supported for kDrumSharedBounds.
+  core::ScoringConfig scoring;
 };
 
 /// Outcome of a single simulated run.
@@ -88,6 +103,11 @@ struct RunResult {
   /// beginning of round r.
   std::vector<double> coverage_by_round;
   bool reached = false;
+  /// Scoring-layer outcomes (zero when scoring is disabled): total
+  /// greylist-entry events across all correct processes, and how many
+  /// (process, peer) pairs were greylisted when the run ended.
+  std::uint64_t greylist_entries = 0;
+  std::uint64_t greylisted_at_end = 0;
 };
 
 /// Reusable per-worker scratch space for simulate_run: the per-round arrival
@@ -109,6 +129,11 @@ class SimScratch {
     char carries_m;
   };
 
+  struct SentPull {
+    std::uint32_t target;
+    char answered;
+  };
+
   std::vector<char> has_m_, new_m_;
   std::vector<std::vector<PushArrival>> push_arrivals_;
   std::vector<std::vector<std::uint32_t>> pull_requests_;
@@ -119,6 +144,15 @@ class SimScratch {
   std::vector<std::uint32_t> accepted_;   // accept_bounded output
   std::vector<std::uint32_t> picks_;      // accept_bounded sample
   std::vector<std::uint32_t> sample_scratch_;  // Rng::sample_into dense pool
+
+  // Adversary-zoo / scoring state; touched only when the respective
+  // feature is enabled in SimParams.
+  std::vector<core::PeerScoreTable> tables_;     // one per correct process
+  std::vector<std::uint32_t> attacked_ids_, colluder_ids_;
+  std::vector<float> usefulness_, served_;       // adaptive-attack signal
+  std::vector<std::uint32_t> fab_push_, fab_pull_, fab_reply_;
+  std::vector<std::vector<SentPull>> sent_pulls_;  // futility bookkeeping
+  adversary::Plan plan_;
 };
 
 /// Simulates one run. `rng` supplies all randomness (deterministic replay).
@@ -136,6 +170,8 @@ struct AggregateResult {
   util::Samples rounds_to_target_attacked;
   util::Samples rounds_to_target_non_attacked;
   util::Samples rounds_to_leave_source;
+  /// Greylist-entry events per run (all zero when scoring is disabled).
+  util::Samples greylist_entries;
   util::CoverageCurve coverage;
   std::size_t unreached_runs = 0;
 

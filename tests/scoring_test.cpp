@@ -1,0 +1,223 @@
+// PeerScoreTable edge cases: decay over idle rounds, the per-peer
+// allowance, greylist entry/release, re-offend hysteresis (duration
+// doubling inside the strike window), and the futility streak. The
+// false-positive gate (all-correct runs never greylist) lives in
+// adversary_test.cpp where the full simulator drives the table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drum/core/scoring.hpp"
+#include "drum/util/rng.hpp"
+
+namespace drum::core {
+namespace {
+
+ScoringConfig cfg() {
+  ScoringConfig c;
+  c.enabled = true;
+  return c;
+}
+
+TEST(ScoringTest, StartsCleanAndIgnoresSelf) {
+  PeerScoreTable t;
+  t.reset(8, cfg(), 3);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    EXPECT_FALSE(t.greylisted(p));
+    EXPECT_EQ(t.score(p), 0.0);
+  }
+  // Events naming self are dropped.
+  for (int i = 0; i < 100; ++i) t.on_decode_error(3);
+  EXPECT_EQ(t.score(3), 0.0);
+  EXPECT_FALSE(t.greylisted(3));
+  // Out-of-range peers are dropped, not UB.
+  t.on_decode_error(12345);
+  t.on_control_arrival(12345);
+  EXPECT_FALSE(t.greylisted(12345));
+}
+
+TEST(ScoringTest, DecayOverIdleRounds) {
+  PeerScoreTable t;
+  auto c = cfg();
+  t.reset(4, c, 0);
+  t.begin_round(1);
+  t.on_decode_error(1);
+  const double s0 = t.score(1);
+  EXPECT_DOUBLE_EQ(s0, -c.decode_error_penalty);
+
+  // 100 idle rounds: score decays by decay^100, applied lazily on read.
+  t.begin_round(101);
+  const double expected =
+      -c.decode_error_penalty * std::pow(c.decay, 100.0);
+  EXPECT_NEAR(t.score(1), expected, 1e-4);
+
+  // Past the tabulated horizon the residue rounds to exactly zero.
+  t.begin_round(100000);
+  EXPECT_EQ(t.score(1), 0.0);
+}
+
+TEST(ScoringTest, AllowanceThenOveruse) {
+  PeerScoreTable t;
+  auto c = cfg();
+  t.reset(4, c, 0);
+  t.begin_round(1);
+  // Within the per-round allowance: no penalty.
+  for (std::uint32_t i = 0; i < c.per_peer_allowance; ++i) {
+    t.on_control_arrival(1);
+  }
+  EXPECT_EQ(t.score(1), 0.0);
+  EXPECT_EQ(t.penalties_overuse(), 0U);
+  // Each arrival beyond it is penalized.
+  t.on_control_arrival(1);
+  t.on_control_arrival(1);
+  EXPECT_EQ(t.penalties_overuse(), 2U);
+  EXPECT_NEAR(t.score(1), -2.0 * c.overuse_penalty, 1e-5);
+  // The counter is per round: next round starts a fresh allowance.
+  t.begin_round(2);
+  t.on_control_arrival(1);
+  EXPECT_EQ(t.penalties_overuse(), 2U);
+}
+
+TEST(ScoringTest, FutilityStreak) {
+  PeerScoreTable t;
+  auto c = cfg();
+  ASSERT_EQ(c.futility_streak, 3U);  // the default this test encodes
+  t.reset(4, c, 0);
+  t.begin_round(1);
+  // Below the streak: no penalty.
+  t.on_pull_outcome(1, false);
+  t.on_pull_outcome(1, false);
+  EXPECT_EQ(t.penalties_futility(), 0U);
+  // An answer resets the streak.
+  t.on_pull_outcome(1, true);
+  t.on_pull_outcome(1, false);
+  t.on_pull_outcome(1, false);
+  EXPECT_EQ(t.penalties_futility(), 0U);
+  // The third consecutive unanswered pull charges one penalty and resets.
+  t.on_pull_outcome(1, false);
+  EXPECT_EQ(t.penalties_futility(), 1U);
+  EXPECT_NEAR(t.score(1), -c.futility_penalty, 1e-5);
+  // Resets after firing: two more misses alone do not fire again.
+  t.on_pull_outcome(1, false);
+  t.on_pull_outcome(1, false);
+  EXPECT_EQ(t.penalties_futility(), 1U);
+}
+
+TEST(ScoringTest, GreylistEntryAndRelease) {
+  PeerScoreTable t;
+  auto c = cfg();
+  t.reset(4, c, 0);
+  t.begin_round(1);
+  while (!t.greylisted(1)) t.on_control_arrival(1);
+  EXPECT_EQ(t.greylist_entries(), 1U);
+  EXPECT_LE(t.score(1), c.greylist_threshold);
+
+  // Still greylisted one round before expiry...
+  t.begin_round(c.greylist_rounds);
+  EXPECT_TRUE(t.greylisted(1));
+  // ...released at expiry, with the residual score clamped up so fresh
+  // evidence is needed to re-enter.
+  t.begin_round(1 + c.greylist_rounds);
+  EXPECT_FALSE(t.greylisted(1));
+  EXPECT_GE(t.score(1), c.greylist_threshold / 2);
+}
+
+TEST(ScoringTest, ReoffendInsideStrikeWindowDoublesDuration) {
+  PeerScoreTable t;
+  auto c = cfg();
+  t.reset(4, c, 0);
+
+  auto drive_into_greylist = [&] {
+    while (!t.greylisted(1)) t.on_control_arrival(1);
+  };
+
+  t.begin_round(1);
+  drive_into_greylist();
+  const std::uint64_t release1 = 1 + c.greylist_rounds;
+  t.begin_round(release1);
+  ASSERT_FALSE(t.greylisted(1));
+
+  // Re-offend immediately: the second sentence is twice the base duration.
+  drive_into_greylist();
+  EXPECT_EQ(t.greylist_entries(), 2U);
+  t.begin_round(release1 + 2 * c.greylist_rounds - 1);
+  EXPECT_TRUE(t.greylisted(1));
+  const std::uint64_t release2 = release1 + 2 * c.greylist_rounds;
+  t.begin_round(release2);
+  EXPECT_FALSE(t.greylisted(1));
+
+  // Third offense still inside the window: 4x base.
+  drive_into_greylist();
+  t.begin_round(release2 + 4 * c.greylist_rounds - 1);
+  EXPECT_TRUE(t.greylisted(1));
+  t.begin_round(release2 + 4 * c.greylist_rounds);
+  EXPECT_FALSE(t.greylisted(1));
+}
+
+TEST(ScoringTest, ReoffendAfterStrikeWindowStartsOver) {
+  PeerScoreTable t;
+  auto c = cfg();
+  t.reset(4, c, 0);
+  t.begin_round(1);
+  while (!t.greylisted(1)) t.on_control_arrival(1);
+  const std::uint64_t release1 = 1 + c.greylist_rounds;
+  // Come back long after the strike window: the ladder resets to base.
+  const std::uint64_t later = release1 + c.strike_window + 10;
+  t.begin_round(later);
+  ASSERT_FALSE(t.greylisted(1));
+  while (!t.greylisted(1)) t.on_control_arrival(1);
+  t.begin_round(later + c.greylist_rounds - 1);
+  EXPECT_TRUE(t.greylisted(1));
+  t.begin_round(later + c.greylist_rounds);
+  EXPECT_FALSE(t.greylisted(1));
+}
+
+TEST(ScoringTest, ResizeKeepsState) {
+  PeerScoreTable t;
+  auto c = cfg();
+  t.reset(4, c, 0);
+  t.begin_round(5);
+  t.on_decode_error(1);
+  const double s = t.score(1);
+  t.resize(16);
+  EXPECT_EQ(t.size(), 16U);
+  EXPECT_DOUBLE_EQ(t.score(1), s);
+  EXPECT_EQ(t.score(15), 0.0);
+  // New entries settle from the current round, not round 0.
+  t.begin_round(6);
+  t.on_decode_error(15);
+  EXPECT_DOUBLE_EQ(t.score(15), -c.decode_error_penalty);
+}
+
+TEST(ScoringTest, HonestInteractionRateNeverGreylists) {
+  // A peer that sends exactly the honest ceiling (allowance) every round and
+  // occasionally loses a pull answer must stay far from the threshold.
+  PeerScoreTable t;
+  auto c = cfg();
+  t.reset(4, c, 0);
+  util::Rng rng(42);
+  std::uint64_t unanswered = 0;
+  for (std::uint64_t r = 1; r <= 20000; ++r) {
+    t.begin_round(r);
+    t.on_control_arrival(1);
+    t.on_control_arrival(1);
+    // An honest node pulls a GIVEN peer at the pair interaction rate
+    // (view_pull/n, here 2/50); each pull goes unanswered with 20% loss —
+    // the worst honest case. Some consecutive losses DO charge futility
+    // penalties, but slow decay at that interaction rate keeps the
+    // equilibrium far above the greylist threshold.
+    if (rng.chance(2.0 / 50.0)) {
+      const bool answered = !rng.chance(0.2);
+      t.on_pull_outcome(1, answered);
+      if (!answered) ++unanswered;
+    }
+    ASSERT_FALSE(t.greylisted(1)) << "round " << r;
+  }
+  EXPECT_GT(unanswered, 0U);
+  EXPECT_GT(t.penalties_futility(), 0U);
+  EXPECT_EQ(t.greylist_entries(), 0U);
+  t.check_invariants();
+}
+
+}  // namespace
+}  // namespace drum::core
