@@ -162,6 +162,7 @@ void Swarm::on_delivery(std::uint32_t node_id,
 }
 
 void Swarm::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (started_) return;
   started_ = true;
   if (reactor_) {
@@ -176,6 +177,7 @@ void Swarm::start() {
 }
 
 void Swarm::stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (!started_) return;
   started_ = false;
   attacker_stop_.store(true);
@@ -188,7 +190,10 @@ void Swarm::stop() {
 }
 
 void Swarm::run_for(std::chrono::milliseconds d) {
-  DRUM_REQUIRE(started_, "run_for before start()");
+  {
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+    DRUM_REQUIRE(started_, "run_for before start()");
+  }
   rusage ru0{};
   ::getrusage(RUSAGE_SELF, &ru0);
   const auto t0 = Clock::now();

@@ -172,6 +172,12 @@ class Swarm {
   /// hence this separate atomic array.
   std::vector<std::atomic<std::uint32_t>> activity_;
 
+  /// Serializes start()/stop() and owns the attacker thread handle. Without
+  /// it, two concurrent stop() calls both saw started_ == true and both
+  /// joined attacker_ — undefined behavior (the PR-2 lifecycle race had
+  /// the same shape in NodeRunner).
+  mutable std::mutex lifecycle_mu_;
+  bool started_ = false;
   std::thread attacker_;
   /// Built in the constructor (fail fast on unknown names); plan_round()
   /// runs on the attacker thread only.
@@ -184,10 +190,10 @@ class Swarm {
   util::Samples latency_ms_;
   std::atomic<std::uint64_t> delivered_{0};
 
+  // Measurement window accumulators; written only by the run_for() caller.
   double wall_s_ = 0.0;
   double cpu_user_s_ = 0.0;
   double cpu_sys_s_ = 0.0;
-  bool started_ = false;
 };
 
 }  // namespace drum::harness

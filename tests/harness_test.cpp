@@ -5,7 +5,11 @@
 // port boxes, and signatures.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "drum/harness/cluster.hpp"
+#include "drum/harness/swarm.hpp"
 
 namespace drum::harness {
 namespace {
@@ -432,6 +436,33 @@ TEST(Cluster, TraceRingCapturesRoundTicksWhenEnabled) {
   ClusterConfig plain = small_config(core::Variant::kDrum);
   Cluster off(plain);
   EXPECT_EQ(off.trace(0), nullptr);
+}
+
+// Regression: start()/stop() used to check-and-set a naked `started_` bool
+// and join the attacker thread without any lock, so two concurrent stop()
+// calls could both see started_ == true and both join attacker_ — undefined
+// behavior (the same shape as the PR-2 NodeRunner lifecycle race). The
+// lifecycle mutex makes every interleaving safe; this hammers it.
+TEST(Swarm, ConcurrentStopAndRestartAreSafe) {
+  SwarmConfig cfg;
+  cfg.n = 8;
+  cfg.alpha = 0.5;  // arm the attacker thread: the race needs its join
+  cfg.x = 4;
+  cfg.round = std::chrono::milliseconds(20);
+  cfg.workers = 1;
+  cfg.seed = 7;
+  Swarm swarm(cfg);
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    swarm.start();
+    swarm.run_for(std::chrono::milliseconds(30));
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&swarm] { swarm.stop(); });
+    }
+    for (auto& t : stoppers) t.join();
+  }
+  EXPECT_GE(swarm.report().rounds, 1u);
 }
 
 }  // namespace
