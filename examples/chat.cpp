@@ -10,10 +10,10 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "drum/check/annotations.hpp"
 #include "drum/core/node.hpp"
 #include "drum/crypto/keys.hpp"
 #include "drum/net/udp_transport.hpp"
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
                      true};
   }
 
-  std::mutex stdout_mu;
+  check::Mutex stdout_mu;
   std::atomic<int> delivered{0};
   std::vector<std::unique_ptr<net::UdpTransport>> transports;
   std::vector<std::unique_ptr<core::Node>> nodes;
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     nodes.push_back(std::make_unique<core::Node>(
         cfg, identities[id], directory, *transports.back(), rng.next(),
         [id, &stdout_mu, &delivered](const core::Node::Delivery& d) {
-          std::lock_guard<std::mutex> lock(stdout_mu);
+          check::MutexLock lock(stdout_mu);
           std::printf("[node %u] <%u> %.*s   (%u rounds)\n", id,
                       d.msg.id.source, static_cast<int>(d.msg.payload.size()),
                       reinterpret_cast<const char*>(d.msg.payload.data()),

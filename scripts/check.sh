@@ -2,17 +2,21 @@
 # Sanitizer gate: configure + build + ctest under sanitizers, with the
 # drum::check contract macros compiled in (DRUM_CHECKED=ON).
 #
-# Usage: scripts/check.sh [asan|tsan|all]     (default: all)
+# Usage: scripts/check.sh [asan|tsan|ubsan|all]     (default: all)
 #
-#   asan — AddressSanitizer + UndefinedBehaviorSanitizer: lifetime,
-#          bounds, aliasing, UB. Build dir: build-asan/.
-#   tsan — ThreadSanitizer: races on the NodeRunner / ReactorRuntime /
-#          EventLoop / MemNetwork / contract-layer paths
-#          (tests/stress_test.cpp hammers them, including the reactor's
-#          loop-thread + worker-pool + readiness-bridge handoffs in
-#          Stress.ReactorConcurrentMulticastFloodAndChurn).
-#          Build dir: build-tsan/.
-#   all  — both, in sequence.
+#   asan  — AddressSanitizer + UndefinedBehaviorSanitizer: lifetime,
+#           bounds, aliasing, UB. Build dir: build-asan/.
+#   tsan  — ThreadSanitizer: races on the NodeRunner / ReactorRuntime /
+#           EventLoop / MemNetwork / contract-layer paths
+#           (tests/stress_test.cpp hammers them, including the reactor's
+#           loop-thread + worker-pool + readiness-bridge handoffs in
+#           Stress.ReactorConcurrentMulticastFloodAndChurn).
+#           Build dir: build-tsan/.
+#   ubsan — UBSan alone, non-recoverable (-fno-sanitize-recover=all): any
+#           finding aborts the test instead of printing and continuing.
+#           Catches what the asan leg tolerates, and clang adds the
+#           `integer` group. Build dir: build-ubsan/.
+#   all   — all three, in sequence.
 #
 # Each mode keeps its own build tree so the caches never fight (TSan and
 # ASan cannot share objects). JOBS=<n> overrides the build parallelism.
@@ -37,12 +41,14 @@ run_mode() {
 case "$MODE" in
   asan) run_mode "address+undefined sanitizers" address build-asan ;;
   tsan) run_mode "thread sanitizer" thread build-tsan ;;
+  ubsan) run_mode "undefined-behavior sanitizer (fatal)" ubsan build-ubsan ;;
   all)
     run_mode "address+undefined sanitizers" address build-asan
     run_mode "thread sanitizer" thread build-tsan
+    run_mode "undefined-behavior sanitizer (fatal)" ubsan build-ubsan
     ;;
   *)
-    echo "usage: scripts/check.sh [asan|tsan|all]" >&2
+    echo "usage: scripts/check.sh [asan|tsan|ubsan|all]" >&2
     exit 2
     ;;
 esac

@@ -1,24 +1,63 @@
 #!/usr/bin/env python3
-"""drum_lint — small repo-specific checks clang-tidy cannot express.
+"""drum_lint — repo-specific static checks clang-tidy cannot express.
 
-Rules (scanned over src/, fuzz/, examples/, bench/, tools/, tests/ after
-stripping comments and string literals):
+Checks run over src/, fuzz/, examples/, bench/, tools/, tests/ after
+stripping comments and string literals (line numbers are preserved):
 
-  naked-new      No `new` expressions. Ownership flows through
-                 std::make_unique / containers; a naked new is either a leak
-                 or a hand-rolled owner.
-  libc-rand      No std::rand / srand / bare rand(). All randomness must
-                 flow through util::Rng so every run is seed-reproducible
-                 (the fuzzers and the simulator depend on it).
-  unbounded-decode
-                 Any function that both reads wire integers (ByteReader
-                 read_*) and sizes a container (reserve/resize) must
-                 reference a max_* bound AND DecodeError: a fabricated
-                 length field must hit a cap, not an allocation (the
-                 paper's memory-DoS surface).
+  naked-new        No `new` expressions. Ownership flows through
+                   std::make_unique / containers; a naked new is either a
+                   leak or a hand-rolled owner.
+  libc-rand        No std::rand / srand / bare rand(). All randomness must
+                   flow through util::Rng so every run is seed-reproducible
+                   (the fuzzers and the simulator depend on it).
+  unbounded-decode Any function that both reads wire integers (ByteReader
+                   read_*) and sizes a container (reserve/resize) must
+                   reference a max_* bound AND DecodeError: a fabricated
+                   length field must hit a cap, not an allocation (the
+                   paper's memory-DoS surface).
+  raw-mutex        No std::mutex / std::shared_mutex / std::lock_guard /
+                   std::unique_lock / std::scoped_lock / std::shared_lock /
+                   std::condition_variable, and no #include <mutex> or
+                   <shared_mutex>, outside drum/check/annotations.hpp.
+                   The tree locks through the drum::check capability
+                   wrappers (Mutex, MutexLock, ...) so Clang's
+                   -Wthread-safety analysis sees every acquisition
+                   (DESIGN.md §11). condition_variable_any is fine — it
+                   waits on a MutexLock.
+  naked-lock       No direct .lock()/.unlock()/.try_lock()/_shared calls
+                   outside annotations.hpp. Locking is RAII-only: a naked
+                   unlock is exactly the early-release pattern the
+                   thread-safety analysis cannot prove safe.
+  mutex-annotation Every namespace- or member-scope check::Mutex /
+                   check::SharedMutex in src/ must have at least one
+                   DRUM_GUARDED_BY / DRUM_PT_GUARDED_BY / DRUM_REQUIRES
+                   user naming it (same file or the sibling .hpp/.cpp).
+                   An unused capability is a lock whose protection story
+                   exists only in the author's head. Function-local
+                   mutexes can be suppressed with
+                   `// drum-lint: allow(mutex-annotation)`.
+  sim-determinism  Protects the Monte-Carlo bit-identity contract
+                   (DESIGN.md §9): inside src/drum/sim/, every draw from —
+                   or handoff of — a main-stream Rng must be either
+                   (a) inside a feature-gated block (an if/for whose
+                   condition mentions zoo/scoring/attack/adv/greylist —
+                   draws that never execute in a baseline run), or
+                   (b) marked `// drum-lint: legacy-stream`, meaning it is
+                   one of the audited draws the recorded RESULTS baselines
+                   consume. The number of legacy-stream sites is frozen
+                   (LEGACY_STREAM_SITES below): adding a draw to the
+                   legacy stream silently re-randomizes every recorded
+                   curve, so the constant must be bumped consciously and
+                   the baselines re-blessed. Streams named adv* are exempt
+                   — they are fork()-seeded behind a gate (which this
+                   check also verifies), so they cannot perturb the
+                   baseline stream.
 
 A finding can be suppressed with `// drum-lint: allow(<rule>)` on the same
 line (checked before stripping).
+
+Self-tests: `drum_lint.py --self-test` runs every check against known-good
+and known-bad snippets and exits nonzero on any mismatch (wired as a ctest).
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -32,7 +71,23 @@ from pathlib import Path
 SCAN_DIRS = ["src", "fuzz", "examples", "bench", "tools", "tests"]
 EXTS = {".cpp", ".hpp", ".cc", ".hh", ".h"}
 
+# The annotated wrappers themselves must use the raw std types and the raw
+# lock()/unlock() forwards — everything else must not. Their behavioral test
+# probes the same surface (try_lock while held, manual BasicLockable cycles,
+# size parity against std::mutex), so both are exempt from the locking
+# checks.
+ANNOTATIONS_HEADER = "src/drum/check/annotations.hpp"
+LOCKING_EXEMPT = {ANNOTATIONS_HEADER, "tests/annotations_test.cpp"}
+
+# Frozen count of `// drum-lint: legacy-stream` sites under src/drum/sim/.
+# These are the audited draws/handoffs on the shared baseline Rng stream;
+# every recorded RESULTS curve depends on their exact order and count.
+# Adding one re-randomizes the baselines: bump this constant in the same
+# commit, say why, and re-bless the recorded results.
+LEGACY_STREAM_SITES = 20
+
 ALLOW_RE = re.compile(r"//\s*drum-lint:\s*allow\(([a-z-]+)\)")
+LEGACY_RE = re.compile(r"//\s*drum-lint:\s*legacy-stream\b")
 
 
 def strip_code(text: str) -> str:
@@ -101,28 +156,22 @@ def allowed_lines(raw: str, rule: str) -> set[int]:
     return lines
 
 
-NAKED_NEW_RE = re.compile(r"(?<![_\w.])new\s+[\w:<(]")
-LIBC_RAND_RE = re.compile(r"(?:std::|(?<![_\w:.]))s?rand\s*\(")
+class SourceFile:
+    """One scanned file: repo-relative path, raw text, stripped text."""
+
+    def __init__(self, rel: str, raw: str):
+        self.rel = rel
+        self.raw = raw
+        self.code = strip_code(raw)
+
+    def allowed(self, rule: str) -> set[int]:
+        return allowed_lines(self.raw, rule)
 
 
-def check_tokens(path: Path, raw: str, code: str, findings: list[str]) -> None:
-    new_ok = allowed_lines(raw, "naked-new")
-    rand_ok = allowed_lines(raw, "libc-rand")
-    for lineno, line in enumerate(code.splitlines(), 1):
-        if NAKED_NEW_RE.search(line) and lineno not in new_ok:
-            findings.append(
-                f"{path}:{lineno}: [naked-new] use std::make_unique or a "
-                "container, not a naked new")
-        if LIBC_RAND_RE.search(line) and lineno not in rand_ok:
-            findings.append(
-                f"{path}:{lineno}: [libc-rand] use util::Rng (seeded, "
-                "reproducible), not libc rand")
-
+# ---------------------------------------------------------------------------
+# shared structural helpers
 
 FUNC_OPEN_RE = re.compile(r"^[^\s#].*\)\s*(?:const\s*)?\{", re.MULTILINE)
-READS_WIRE_RE = re.compile(r"\bread_u(?:8|16|32|64)\b")
-SIZES_CONTAINER_RE = re.compile(r"\.(?:reserve|resize)\s*\(")
-BOUND_RE = re.compile(r"\bmax_\w+|\bkMax\w+")
 
 
 def function_bodies(code: str):
@@ -145,29 +194,398 @@ def function_bodies(code: str):
         yield start_line, body
 
 
-def check_bounded_decode(path: Path, raw: str, code: str,
-                         findings: list[str]) -> None:
-    ok = allowed_lines(raw, "unbounded-decode")
-    for start_line, body in function_bodies(code):
-        if not (READS_WIRE_RE.search(body) and
-                SIZES_CONTAINER_RE.search(body)):
+def match_paren(code: str, open_idx: int) -> int:
+    """Index of the ')' matching the '(' at open_idx (or len(code))."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code)
+
+
+def match_brace(code: str, open_idx: int) -> int:
+    """Index of the '}' matching the '{' at open_idx (or len(code))."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code)
+
+
+# ---------------------------------------------------------------------------
+# checks
+
+def check_naked_new(files, findings) -> None:
+    pat = re.compile(r"(?<![_\w.])new\s+[\w:<(]")
+    for f in files:
+        ok = f.allowed("naked-new")
+        for lineno, line in enumerate(f.code.splitlines(), 1):
+            if pat.search(line) and lineno not in ok:
+                findings.append(
+                    f"{f.rel}:{lineno}: [naked-new] use std::make_unique or "
+                    "a container, not a naked new")
+
+
+def check_libc_rand(files, findings) -> None:
+    pat = re.compile(r"(?:std::|(?<![_\w:.]))s?rand\s*\(")
+    for f in files:
+        ok = f.allowed("libc-rand")
+        for lineno, line in enumerate(f.code.splitlines(), 1):
+            if pat.search(line) and lineno not in ok:
+                findings.append(
+                    f"{f.rel}:{lineno}: [libc-rand] use util::Rng (seeded, "
+                    "reproducible), not libc rand")
+
+
+READS_WIRE_RE = re.compile(r"\bread_u(?:8|16|32|64)\b")
+SIZES_CONTAINER_RE = re.compile(r"\.(?:reserve|resize)\s*\(")
+BOUND_RE = re.compile(r"\bmax_\w+|\bkMax\w+")
+
+
+def check_bounded_decode(files, findings) -> None:
+    for f in files:
+        ok = f.allowed("unbounded-decode")
+        for start_line, body in function_bodies(f.code):
+            if not (READS_WIRE_RE.search(body) and
+                    SIZES_CONTAINER_RE.search(body)):
+                continue
+            if start_line in ok:
+                continue
+            if not BOUND_RE.search(body):
+                findings.append(
+                    f"{f.rel}:{start_line}: [unbounded-decode] wire-driven "
+                    "reserve/resize without a max_* / kMax* cap")
+            elif "DecodeError" not in body:
+                findings.append(
+                    f"{f.rel}:{start_line}: [unbounded-decode] wire-driven "
+                    "allocation must throw DecodeError when the cap is hit")
+
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable)\b")
+RAW_MUTEX_INCLUDE_RE = re.compile(r"#\s*include\s*<(?:mutex|shared_mutex)>")
+
+
+def check_raw_mutex(files, findings) -> None:
+    for f in files:
+        if f.rel in LOCKING_EXEMPT:
             continue
-        if start_line in ok:
+        ok = f.allowed("raw-mutex")
+        for lineno, line in enumerate(f.code.splitlines(), 1):
+            if lineno in ok:
+                continue
+            if RAW_MUTEX_RE.search(line) or RAW_MUTEX_INCLUDE_RE.search(line):
+                findings.append(
+                    f"{f.rel}:{lineno}: [raw-mutex] use the drum::check "
+                    "capability wrappers (Mutex/MutexLock/...; "
+                    "condition_variable_any for waits) so -Wthread-safety "
+                    "sees the acquisition")
+
+
+NAKED_LOCK_RE = re.compile(
+    r"(?:\.|->)\s*(?:try_)?(?:lock|unlock)(?:_shared)?\s*\(\s*\)")
+
+
+def check_naked_lock(files, findings) -> None:
+    for f in files:
+        if f.rel in LOCKING_EXEMPT:
             continue
-        if not BOUND_RE.search(body):
-            findings.append(
-                f"{path}:{start_line}: [unbounded-decode] wire-driven "
-                "reserve/resize without a max_* / kMax* cap")
-        elif "DecodeError" not in body:
-            findings.append(
-                f"{path}:{start_line}: [unbounded-decode] wire-driven "
-                "allocation must throw DecodeError when the cap is hit")
+        ok = f.allowed("naked-lock")
+        for lineno, line in enumerate(f.code.splitlines(), 1):
+            if lineno in ok:
+                continue
+            for _ in NAKED_LOCK_RE.finditer(line):
+                findings.append(
+                    f"{f.rel}:{lineno}: [naked-lock] lock with RAII "
+                    "(check::MutexLock and friends), never a direct "
+                    ".lock()/.unlock()")
+
+
+MUTEX_DECL_RE = re.compile(
+    r"(?:mutable\s+)?(?:check::|drum::check::)(?:Shared)?Mutex\s+"
+    r"([A-Za-z_]\w*)\s*(?:;|\{)")
+
+
+def _mutex_user_re(name: str) -> re.Pattern:
+    return re.compile(
+        r"DRUM_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|"
+        r"ACQUIRE|ACQUIRE_SHARED|RELEASE|RELEASE_SHARED|TRY_ACQUIRE|"
+        r"EXCLUDES|ASSERT_CAPABILITY|RETURN_CAPABILITY)"
+        r"\s*\([^)]*\b" + re.escape(name) + r"\b[^)]*\)")
+
+
+def check_mutex_annotation(files, findings) -> None:
+    by_stem: dict[str, str] = {}
+    for f in files:
+        stem = re.sub(r"\.(cpp|hpp|cc|hh|h)$", "", f.rel)
+        by_stem[stem] = by_stem.get(stem, "") + "\n" + f.raw
+    for f in files:
+        if not f.rel.startswith("src/") or f.rel == ANNOTATIONS_HEADER:
+            continue
+        ok = f.allowed("mutex-annotation")
+        stem = re.sub(r"\.(cpp|hpp|cc|hh|h)$", "", f.rel)
+        corpus = by_stem[stem]
+        for lineno, line in enumerate(f.code.splitlines(), 1):
+            m = MUTEX_DECL_RE.search(line)
+            if not m or lineno in ok:
+                continue
+            name = m.group(1)
+            if not _mutex_user_re(name).search(corpus):
+                findings.append(
+                    f"{f.rel}:{lineno}: [mutex-annotation] capability "
+                    f"'{name}' has no DRUM_GUARDED_BY / DRUM_REQUIRES user "
+                    "— declare what it protects (function-local mutexes: "
+                    "suppress with // drum-lint: allow(mutex-annotation))")
+
+
+# --- sim-determinism -------------------------------------------------------
+
+DRAW_METHODS = {"chance", "below", "between", "uniform", "normal", "next",
+                "fork", "sample_into", "shuffle"}
+GATE_WORD_RE = re.compile(r"\b(?:zoo|scoring|attack\w*|adv\w*|greylist\w*)\b")
+IDENT_RE = re.compile(r"\b([A-Za-z_]\w*)\b")
+DECL_LINE_RE = re.compile(r"util::Rng\b|Rng\s*&")
+
+
+def _is_rng_name(name: str) -> bool:
+    return "rng" in name.lower() or name == "master"
+
+
+def gated_regions(code: str) -> list[tuple[int, int]]:
+    """Char ranges of if/for bodies whose condition mentions a feature-gate
+    word — code that a baseline (no attack, no scoring) run never executes,
+    so draws inside cannot perturb the legacy stream."""
+    regions = []
+    for m in re.finditer(r"\b(?:if|for|while)\s*\(", code):
+        open_paren = code.index("(", m.start())
+        close_paren = match_paren(code, open_paren)
+        cond = code[open_paren:close_paren + 1]
+        if not GATE_WORD_RE.search(cond):
+            continue
+        i = close_paren + 1
+        while i < len(code) and code[i] in " \t\n":
+            i += 1
+        if i < len(code) and code[i] == "{":
+            regions.append((i, match_brace(code, i)))
+        else:  # braceless body: one statement
+            end = code.find(";", i)
+            regions.append((i, len(code) if end < 0 else end))
+    return regions
+
+
+def check_sim_determinism(files, findings,
+                          legacy_budget: int = LEGACY_STREAM_SITES) -> None:
+    legacy_sites = 0
+    for f in files:
+        if "/sim/" not in "/" + f.rel:
+            continue
+        ok = f.allowed("sim-determinism")
+        regions = gated_regions(f.code)
+        raw_lines = f.raw.splitlines()
+        line_start = [0]
+        for line in f.code.splitlines(keepends=True):
+            line_start.append(line_start[-1] + len(line))
+
+        for lineno, line in enumerate(f.code.splitlines(), 1):
+            if lineno in ok:
+                continue
+            if DECL_LINE_RE.search(line):
+                continue  # declarations / signatures, not draws
+            legacy_here = lineno <= len(raw_lines) and LEGACY_RE.search(
+                raw_lines[lineno - 1])
+            for m in IDENT_RE.finditer(line):
+                name = m.group(1)
+                if not _is_rng_name(name):
+                    continue
+                rest = line[m.end():]
+                mm = re.match(r"\s*(?:\.|->)\s*(\w+)\s*\(", rest)
+                if mm:
+                    if mm.group(1) not in DRAW_METHODS:
+                        continue  # .reserve(), .push_back(), ...
+                elif not re.match(r"\s*[,)]", rest):
+                    continue  # not a draw, not an argument handoff
+                if "adv" in name.lower():
+                    continue  # forked adversary stream (seeding checked below)
+                pos = line_start[lineno - 1] + m.start()
+                if any(lo <= pos <= hi for lo, hi in regions):
+                    continue  # feature-gated: never runs in a baseline trial
+                if legacy_here:
+                    legacy_sites += 1
+                    continue
+                findings.append(
+                    f"{f.rel}:{lineno}: [sim-determinism] draw/handoff of "
+                    f"main-stream Rng '{name}' outside a feature gate — new "
+                    "randomness must come from a gated fork() (adv_* "
+                    "pattern) or be consciously added to the frozen legacy "
+                    "stream (// drum-lint: legacy-stream + bump "
+                    "LEGACY_STREAM_SITES)")
+                break  # one finding per line is enough
+
+        # adversary streams must be seeded (forked) only behind a gate —
+        # an unconditional fork would itself advance the legacy stream.
+        for m in re.finditer(r"\b(\w*adv\w*)\s*=\s*\w+\s*\.\s*fork\s*\(",
+                             f.code):
+            lineno = f.code.count("\n", 0, m.start()) + 1
+            if lineno in ok:
+                continue
+            if not any(lo <= m.start() <= hi for lo, hi in regions):
+                findings.append(
+                    f"{f.rel}:{lineno}: [sim-determinism] adversary stream "
+                    f"'{m.group(1)}' forked outside a feature gate — the "
+                    "fork itself is a draw on the legacy stream")
+
+    if legacy_sites != legacy_budget:
+        findings.append(
+            f"src/drum/sim: [sim-determinism] {legacy_sites} legacy-stream "
+            f"site(s), expected {legacy_budget} (LEGACY_STREAM_SITES) — the "
+            "audited draw set changed; if intentional, bump the constant in "
+            "scripts/drum_lint.py and re-bless the recorded baselines")
+
+
+# ---------------------------------------------------------------------------
+# registry + self-tests
+#
+# Each self-test is (files: {relpath: source}, expected: number of findings).
+# Cases cover one known-bad and one known-good snippet per rule, plus the
+# suppression syntax, so a regression in a check fails ctest before it lets
+# a real violation through.
+
+CHECKS = [
+    ("naked-new", check_naked_new, [
+        ({"src/a.cpp": "void f() { auto* p = new int(3); }\n"}, 1),
+        ({"src/a.cpp": "void f() { auto p = std::make_unique<int>(3); }\n"},
+         0),
+        ({"src/a.cpp":
+          "void f() { new int; }  // drum-lint: allow(naked-new)\n"}, 0),
+    ]),
+    ("libc-rand", check_libc_rand, [
+        ({"src/a.cpp": "int f() { return std::rand(); }\n"}, 1),
+        ({"src/a.cpp": "int f(util::Rng& r) { return r.next(); }\n"}, 0),
+    ]),
+    ("unbounded-decode", check_bounded_decode, [
+        ({"src/a.cpp":
+          "void f(ByteReader& r, std::vector<int>& v) {\n"
+          "  v.resize(r.read_u32());\n}\n"}, 1),
+        ({"src/a.cpp":
+          "void f(ByteReader& r, std::vector<int>& v) {\n"
+          "  auto n = r.read_u32();\n"
+          "  if (n > kMaxPeers) throw DecodeError(\"cap\");\n"
+          "  v.resize(n);\n}\n"}, 0),
+    ]),
+    ("raw-mutex", check_raw_mutex, [
+        ({"src/a.hpp": "#include <mutex>\nstd::mutex m_;\n"}, 2),
+        ({"src/a.hpp": "std::condition_variable cv_;\n"}, 1),
+        ({"src/a.hpp":
+          "#include \"drum/check/annotations.hpp\"\n"
+          "check::Mutex m_;\nstd::condition_variable_any cv_;\n"
+          "int x_ DRUM_GUARDED_BY(m_);\n"}, 0),
+        ({"src/a.hpp":
+          "std::mutex m_;  // drum-lint: allow(raw-mutex)\n"}, 0),
+    ]),
+    ("naked-lock", check_naked_lock, [
+        ({"src/a.cpp": "void f() { mu_.lock(); mu_.unlock(); }\n"}, 2),
+        ({"src/a.cpp": "void f() { check::MutexLock l(mu_); }\n"}, 0),
+        ({"src/a.cpp":
+          "void f() { mu_.lock(); }  // drum-lint: allow(naked-lock)\n"}, 0),
+    ]),
+    ("mutex-annotation", check_mutex_annotation, [
+        ({"src/a.hpp": "class C {\n  check::Mutex mu_;\n  int x_ = 0;\n};\n"},
+         1),
+        ({"src/a.hpp":
+          "class C {\n  check::Mutex mu_;\n"
+          "  int x_ DRUM_GUARDED_BY(mu_) = 0;\n};\n"}, 0),
+        # user in the sibling .cpp counts
+        ({"src/a.hpp": "class C {\n  check::Mutex mu_;\n  void g();\n};\n",
+          "src/a.cpp": "void C::g() DRUM_REQUIRES(mu_) {}\n"}, 0),
+        ({"src/a.cpp":
+          "void f() {\n"
+          "  check::Mutex local;  // drum-lint: allow(mutex-annotation)\n"
+          "}\n"}, 0),
+        # outside src/ the rule does not apply (tests hold locals)
+        ({"tests/a.cpp": "check::Mutex mu;\n"}, 0),
+    ]),
+    ("sim-determinism", check_sim_determinism, [
+        # ungated, unannotated draw on the main stream: finding
+        ({"src/drum/sim/x.cpp": "void f(util::Rng& rng) {\n"
+          "  rng.chance(0.5);\n}\n"}, 1),
+        # feature-gated draw: clean
+        ({"src/drum/sim/x.cpp": "void f(util::Rng& rng, bool zoo) {\n"
+          "  if (zoo) {\n    rng.chance(0.5);\n  }\n}\n"}, 0),
+        # audited legacy site with matching budget: clean
+        ({"src/drum/sim/x.cpp": "void f(util::Rng& rng) {\n"
+          "  rng.chance(0.5);  // drum-lint: legacy-stream\n}\n"}, 0),
+        # handoff (passing the stream into a helper) counts as a draw
+        ({"src/drum/sim/x.cpp": "void f(util::Rng& rng) {\n"
+          "  helper(1, rng);\n}\n"}, 1),
+        # adversary stream forked inside a gate: clean
+        ({"src/drum/sim/x.cpp":
+          "void f(util::Rng& rng, bool zoo) {\n"
+          "  util::Rng adv_rng(0);\n"
+          "  if (zoo) {\n    adv_rng = rng.fork();\n  }\n"
+          "  adv_rng.chance(0.5);\n}\n"}, 0),
+        # adversary stream forked unconditionally: two findings — the
+        # ungated rng.fork() draw itself, and the ungated adv seeding
+        ({"src/drum/sim/x.cpp":
+          "void f(util::Rng& rng) {\n"
+          "  util::Rng adv_rng(0);\n"
+          "  adv_rng = rng.fork();\n}\n"}, 2),
+        # outside sim/ the rule does not apply
+        ({"src/drum/core/x.cpp": "void f(util::Rng& rng) {\n"
+          "  rng.chance(0.5);\n}\n"}, 0),
+    ]),
+]
+
+
+def run_checks(files: list[SourceFile]) -> list[str]:
+    findings: list[str] = []
+    for _, fn, _ in CHECKS:
+        fn(files, findings)
+    return findings
+
+
+def self_test() -> int:
+    failures = 0
+    for name, fn, cases in CHECKS:
+        for i, (vfiles, expected) in enumerate(cases):
+            files = [SourceFile(rel, text) for rel, text in vfiles.items()]
+            findings: list[str] = []
+            if fn is check_sim_determinism:
+                # Virtual trees carry their own audited-site count.
+                budget = sum(
+                    len(LEGACY_RE.findall(text)) for text in vfiles.values())
+                fn(files, findings, legacy_budget=budget)
+            else:
+                fn(files, findings)
+            if len(findings) != expected:
+                failures += 1
+                print(f"SELF-TEST FAIL [{name} #{i}]: expected {expected} "
+                      f"finding(s), got {len(findings)}:")
+                for f in findings:
+                    print(f"    {f}")
+    total = sum(len(cases) for _, _, cases in CHECKS)
+    status = "FAILED" if failures else "passed"
+    print(f"drum_lint --self-test: {total - failures}/{total} cases {status}")
+    return 1 if failures else 0
 
 
 def main() -> int:
+    if len(sys.argv) > 1:
+        if sys.argv[1] == "--self-test":
+            return self_test()
+        print(__doc__)
+        return 2
     root = Path(__file__).resolve().parent.parent
-    findings: list[str] = []
-    scanned = 0
+    files: list[SourceFile] = []
     for d in SCAN_DIRS:
         base = root / d
         if not base.is_dir():
@@ -176,14 +594,12 @@ def main() -> int:
             if path.suffix not in EXTS:
                 continue
             raw = path.read_text(encoding="utf-8", errors="replace")
-            code = strip_code(raw)
-            rel = path.relative_to(root)
-            check_tokens(rel, raw, code, findings)
-            check_bounded_decode(rel, raw, code, findings)
-            scanned += 1
+            files.append(SourceFile(str(path.relative_to(root)), raw))
+    findings = run_checks(files)
     for f in findings:
         print(f)
-    print(f"drum_lint: {scanned} files scanned, {len(findings)} finding(s)")
+    print(f"drum_lint: {len(files)} files scanned, "
+          f"{len(findings)} finding(s)")
     return 1 if findings else 0
 
 

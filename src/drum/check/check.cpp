@@ -2,7 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
+#include "drum/check/annotations.hpp"
 #include <functional>
 #include <string_view>
 #include <unordered_map>
@@ -51,14 +51,15 @@ void fail(Kind kind, const char* expr, const char* file, int line,
 
 namespace {
 
-std::mutex g_nonce_mu;
+check::Mutex g_nonce_mu;
 // key||nonce blob -> hash of the plaintext sealed under it. A nonce may
 // repeat across different keys (fine and expected), so the key participates
 // in identity. The plaintext hash distinguishes the dangerous case
 // (keystream reuse: same pair, different plaintext) from a byte-identical
 // replay, which deterministic simulations produce on purpose (two worlds
 // built from the same seed emit the same seals).
-std::unordered_map<std::string, std::size_t> g_nonces;
+std::unordered_map<std::string, std::size_t> g_nonces
+    DRUM_GUARDED_BY(g_nonce_mu);
 
 }  // namespace
 
@@ -70,14 +71,14 @@ bool note_nonce(util::ByteSpan key, util::ByteSpan nonce,
   entry.append(reinterpret_cast<const char*>(nonce.data()), nonce.size());
   const std::size_t pt_hash = std::hash<std::string_view>{}(std::string_view(
       reinterpret_cast<const char*>(plaintext.data()), plaintext.size()));
-  std::lock_guard<std::mutex> lock(g_nonce_mu);
+  check::MutexLock lock(g_nonce_mu);
   if (g_nonces.size() >= kNonceTrackerCap) g_nonces.clear();
   auto [it, inserted] = g_nonces.emplace(std::move(entry), pt_hash);
   return inserted || it->second == pt_hash;
 }
 
 void reset_nonce_tracker() {
-  std::lock_guard<std::mutex> lock(g_nonce_mu);
+  check::MutexLock lock(g_nonce_mu);
   g_nonces.clear();
 }
 

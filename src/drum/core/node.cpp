@@ -25,6 +25,35 @@ struct ReentryGuard {
   ReentryGuard& operator=(const ReentryGuard&) = delete;
   bool& flag_;
 };
+
+// Claims the node for the calling thread, catching runtimes that violate
+// the "every entry into a node is serialized" contract (reactor.hpp). A
+// thread already inside may enter again (multicast from a delivery
+// callback); a *different* thread entering concurrently is the bug the
+// thread-safety annotations cannot see — the node deliberately has no
+// mutex of its own — so it is asserted here at runtime instead.
+struct EntryGuard {
+  explicit EntryGuard(std::atomic<std::thread::id>& owner) : owner_(owner) {
+    const std::thread::id self = std::this_thread::get_id();
+    if (owner_.load(std::memory_order_relaxed) == self) return;  // nested
+    std::thread::id nobody{};
+    const bool won = owner_.compare_exchange_strong(
+        nobody, self, std::memory_order_acquire, std::memory_order_relaxed);
+    DRUM_ASSERT(won,
+                "Node entered concurrently from two threads — the runtime "
+                "must serialize all entry into a node");
+    claimed_ = true;
+  }
+  ~EntryGuard() {
+    if (claimed_) owner_.store(std::thread::id{}, std::memory_order_release);
+  }
+  EntryGuard(const EntryGuard&) = delete;
+  EntryGuard& operator=(const EntryGuard&) = delete;
+
+ private:
+  std::atomic<std::thread::id>& owner_;
+  bool claimed_ = false;
+};
 }  // namespace
 
 Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
@@ -151,6 +180,7 @@ const Peer* Node::resolve_sender(std::uint32_t id, const util::Bytes& cert) {
 }
 
 void Node::update_peers(std::vector<Peer> peers) {
+  EntryGuard entry(entry_owner_);
   if (cfg_.id >= peers.size() || !peers[cfg_.id].present) {
     throw std::invalid_argument("own entry missing from new directory");
   }
@@ -255,6 +285,7 @@ void Node::record_round_budgets() {
 }
 
 void Node::poll() {
+  EntryGuard entry(entry_owner_);
   DRUM_REQUIRE(!in_poll_, "poll() re-entered (delivery callback drove node?)");
   ReentryGuard guard(in_poll_);
   std::size_t drained = 0;
@@ -661,6 +692,7 @@ void Node::send_gossip() {
 }
 
 void Node::on_round() {
+  EntryGuard entry(entry_owner_);
   DRUM_REQUIRE(!in_round_, "on_round() re-entered");
   DRUM_REQUIRE(!in_poll_, "on_round() called from inside poll()");
   ReentryGuard guard(in_round_);
@@ -786,6 +818,7 @@ void Node::set_cert_validator(CertValidator validator) {
 }
 
 MessageId Node::multicast(util::ByteSpan payload) {
+  EntryGuard entry(entry_owner_);
   DataMessage msg;
   msg.id = MessageId{cfg_.id, next_seqno_++};
   msg.payload.assign(payload.begin(), payload.end());

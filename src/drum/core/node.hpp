@@ -25,9 +25,11 @@
 // attackable one (§9).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -215,6 +217,14 @@ class Node {
   // (two bools), asserted only in checked builds.
   bool in_poll_ = false;
   bool in_round_ = false;
+  /// Which thread is currently inside the node (default id = nobody).
+  /// The node has no mutex on purpose — serialization is the *runtime's*
+  /// job (ReactorRuntime's per-node st.mu, NodeRunner's single thread) —
+  /// so this guard turns a broken runtime contract into a loud checked-
+  /// build failure instead of silent state corruption. Same-thread nesting
+  /// is legal (multicast from a delivery callback); cross-thread overlap
+  /// never is. See EntryGuard in node.cpp.
+  std::atomic<std::thread::id> entry_owner_{};
 
   std::vector<BoundSocket> sockets_;  // well-known first, then rotating
   std::uint16_t cur_pull_reply_port_ = 0;

@@ -157,12 +157,12 @@ void Swarm::on_delivery(std::uint32_t node_id,
       static_cast<std::int64_t>(get_u64(d.msg.payload.data()));
   const std::int64_t lat = now_us() - sent;
   if (lat < 0) return;
-  std::lock_guard<std::mutex> lock(lat_mu_);
+  check::MutexLock lock(lat_mu_);
   latency_ms_.add(static_cast<double>(lat) / 1000.0);
 }
 
 void Swarm::start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  check::MutexLock lifecycle(lifecycle_mu_);
   if (started_) return;
   started_ = true;
   if (reactor_) {
@@ -177,7 +177,7 @@ void Swarm::start() {
 }
 
 void Swarm::stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  check::MutexLock lifecycle(lifecycle_mu_);
   if (!started_) return;
   started_ = false;
   attacker_stop_.store(true);
@@ -191,7 +191,7 @@ void Swarm::stop() {
 
 void Swarm::run_for(std::chrono::milliseconds d) {
   {
-    std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+    check::MutexLock lifecycle(lifecycle_mu_);
     DRUM_REQUIRE(started_, "run_for before start()");
   }
   rusage ru0{};
@@ -398,7 +398,7 @@ SwarmReport Swarm::report() const {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(lat_mu_);
+    check::MutexLock lock(lat_mu_);
     r.latency_samples = latency_ms_.count();
     r.latency_ms_mean = latency_ms_.mean();
     r.latency_ms_p50 = latency_ms_.percentile(0.50);

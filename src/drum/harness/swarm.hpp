@@ -30,12 +30,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "drum/adversary/adversary.hpp"
+#include "drum/check/annotations.hpp"
 #include "drum/core/config.hpp"
 #include "drum/core/node.hpp"
 #include "drum/crypto/keys.hpp"
@@ -174,11 +174,11 @@ class Swarm {
 
   /// Serializes start()/stop() and owns the attacker thread handle. Without
   /// it, two concurrent stop() calls both saw started_ == true and both
-  /// joined attacker_ — undefined behavior (the PR-2 lifecycle race had
-  /// the same shape in NodeRunner).
-  mutable std::mutex lifecycle_mu_;
-  bool started_ = false;
-  std::thread attacker_;
+  /// joined attacker_ — undefined behavior (the PR-2 lifecycle race had the
+  /// same shape in NodeRunner).
+  mutable check::Mutex lifecycle_mu_;
+  bool started_ DRUM_GUARDED_BY(lifecycle_mu_) = false;
+  std::thread attacker_ DRUM_GUARDED_BY(lifecycle_mu_);
   /// Built in the constructor (fail fast on unknown names); plan_round()
   /// runs on the attacker thread only.
   std::unique_ptr<adversary::Adversary> adversary_;
@@ -186,8 +186,8 @@ class Swarm {
   std::atomic<std::uint64_t> attack_sent_{0};
 
   std::atomic<bool> measuring_{false};
-  mutable std::mutex lat_mu_;
-  util::Samples latency_ms_;
+  mutable check::Mutex lat_mu_;
+  util::Samples latency_ms_ DRUM_GUARDED_BY(lat_mu_);
   std::atomic<std::uint64_t> delivered_{0};
 
   // Measurement window accumulators; written only by the run_for() caller.

@@ -76,34 +76,39 @@ void EventLoop::wake() {
 
 EventLoop::SourceId EventLoop::add_socket(Socket& sock, Callback on_ready) {
   DRUM_REQUIRE(on_ready != nullptr, "add_socket requires a callback");
-  std::unique_lock<std::mutex> lock(mu_);
-  SourceId id = next_id_++;
-  Source src;
-  src.sock = &sock;
-  src.fd = sock.native_handle();
-  src.on_ready = std::move(on_ready);
-  sources_.emplace(id, std::move(src));
-  if (sock.native_handle() >= 0) {
-    epoll_event ev{};
-    // Edge-triggered: each datagram arrival re-arms the event (UDP's
-    // sk_data_ready fires per packet), so stale unread backlog — a node out
-    // of budget mid-round — does not busy-spin the loop.
-    ev.events = EPOLLIN | EPOLLET;
-    ev.data.u64 = id;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, sock.native_handle(), &ev) !=
-        0) {
-      DRUM_DEBUG << "EventLoop: epoll_ctl ADD failed: "
-                 << std::strerror(errno);
+  const bool has_fd = sock.native_handle() >= 0;
+  SourceId id = 0;
+  {
+    check::MutexLock lock(mu_);
+    id = next_id_++;
+    Source src;
+    src.sock = &sock;
+    src.fd = sock.native_handle();
+    src.on_ready = std::move(on_ready);
+    sources_.emplace(id, std::move(src));
+    if (has_fd) {
+      epoll_event ev{};
+      // Edge-triggered: each datagram arrival re-arms the event (UDP's
+      // sk_data_ready fires per packet), so stale unread backlog — a node
+      // out of budget mid-round — does not busy-spin the loop.
+      ev.events = EPOLLIN | EPOLLET;
+      ev.data.u64 = id;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, sock.native_handle(), &ev) !=
+          0) {
+        DRUM_DEBUG << "EventLoop: epoll_ctl ADD failed: "
+                   << std::strerror(errno);
+      }
+      // The fd may already hold datagrams that arrived before registration;
+      // ET would never report them. Queue one initial dispatch.
+      sources_[id].ready_pending = true;
+      mem_ready_.push_back(id);
     }
-    // The fd may already hold datagrams that arrived before registration;
-    // ET would never report them. Queue one initial dispatch.
-    sources_[id].ready_pending = true;
-    mem_ready_.push_back(id);
-    lock.unlock();
+  }
+  if (has_fd) {
     wake();
   } else {
-    lock.unlock();
-    // The bridge: flag + eventfd from whatever thread delivers.
+    // The bridge: flag + eventfd from whatever thread delivers. Installed
+    // outside mu_ — set_ready_callback takes the transport's own lock.
     sock.set_ready_callback([this, id] { notify_source(id); });
     // Same catch-up for datagrams delivered before the bridge attached.
     notify_source(id);
@@ -114,7 +119,7 @@ EventLoop::SourceId EventLoop::add_socket(Socket& sock, Callback on_ready) {
 void EventLoop::remove_socket(SourceId id) {
   Socket* detach = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(mu_);
     auto it = sources_.find(id);
     if (it == sources_.end()) return;
     if (it->second.fd >= 0) {
@@ -130,7 +135,7 @@ void EventLoop::remove_socket(SourceId id) {
 
 void EventLoop::notify_source(SourceId id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(mu_);
     auto it = sources_.find(id);
     if (it == sources_.end() || it->second.ready_pending) return;
     it->second.ready_pending = true;
@@ -139,7 +144,7 @@ void EventLoop::notify_source(SourceId id) {
   wake();
 }
 
-void EventLoop::arm_timerfd_locked() {
+void EventLoop::arm_timerfd() {
   Clock::time_point earliest =
       timers_.empty() ? Clock::time_point::max() : timers_.begin()->first;
   if (earliest == armed_deadline_) return;
@@ -159,27 +164,27 @@ void EventLoop::arm_timerfd_locked() {
 EventLoop::TimerId EventLoop::add_timer(Clock::time_point deadline,
                                         Callback fn) {
   DRUM_REQUIRE(fn != nullptr, "add_timer requires a callback");
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   TimerId id = next_id_++;
   auto it = timers_.emplace(deadline, Timer{id, std::move(fn)});
   timer_index_.emplace(id, it);
-  arm_timerfd_locked();
+  arm_timerfd();
   return id;
 }
 
 void EventLoop::cancel_timer(TimerId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   auto it = timer_index_.find(id);
   if (it == timer_index_.end()) return;
   timers_.erase(it->second);
   timer_index_.erase(it);
-  arm_timerfd_locked();
+  arm_timerfd();
 }
 
 void EventLoop::post(Callback fn) {
   DRUM_REQUIRE(fn != nullptr, "post requires a callback");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(mu_);
     posts_.push_back(std::move(fn));
   }
   wake();
@@ -215,7 +220,7 @@ void EventLoop::run() {
     bool timer_expired = false;
     ready_cbs.clear();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      check::MutexLock lock(mu_);
       for (int i = 0; i < n; ++i) {
         const std::uint64_t tag = events[i].data.u64;
         if (tag == kWakeSentinel) {
@@ -261,7 +266,7 @@ void EventLoop::run() {
     due_timers.clear();
     auto now = Clock::now();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      check::MutexLock lock(mu_);
       while (!timers_.empty() && timers_.begin()->first <= now) {
         auto it = timers_.begin();
         if (m_timer_slop_us_) {
@@ -274,7 +279,7 @@ void EventLoop::run() {
         timer_index_.erase(due_timers.back().id);
         timers_.erase(it);
       }
-      arm_timerfd_locked();
+      arm_timerfd();
     }
     for (auto& t : due_timers) {
       if (m_timers_fired_) m_timers_fired_->inc();

@@ -17,7 +17,9 @@
 // from callbacks. Callbacks are invoked with no loop lock held; a callback
 // may fire once after its source was removed (the event was already in
 // flight) — callers' callback targets must tolerate that or outlive the
-// loop.
+// loop. The locking discipline is compiler-enforced: mu_ is a
+// check::Mutex capability and every field it protects carries
+// DRUM_GUARDED_BY (see drum/check/annotations.hpp, DESIGN.md §11).
 //
 // Telemetry (set_registry, written by the loop thread only): "loop.wakeups",
 // "loop.fd_events", "loop.mem_ready", "loop.posts", "loop.timers_fired"
@@ -30,10 +32,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "drum/check/annotations.hpp"
 #include "drum/net/transport.hpp"
 #include "drum/obs/metrics.hpp"
 
@@ -102,25 +104,26 @@ class EventLoop {
 
   void notify_source(SourceId id);  // mem bridge, any thread
   void wake();
-  void arm_timerfd_locked();
+  void arm_timerfd() DRUM_REQUIRES(mu_);
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;   ///< eventfd: posts, stop, mem-socket readiness
   int timer_fd_ = -1;  ///< timerfd armed to the earliest deadline
 
-  std::mutex mu_;  // guards everything below
-  std::uint64_t next_id_ = 2;  // 0 = wakeup sentinel, 1 = timerfd sentinel
-  std::unordered_map<SourceId, Source> sources_;
-  std::vector<SourceId> mem_ready_;
-  std::vector<Callback> posts_;
+  check::Mutex mu_;
+  std::uint64_t next_id_ DRUM_GUARDED_BY(mu_) = 2;  // 0/1 = fd sentinels
+  std::unordered_map<SourceId, Source> sources_ DRUM_GUARDED_BY(mu_);
+  std::vector<SourceId> mem_ready_ DRUM_GUARDED_BY(mu_);
+  std::vector<Callback> posts_ DRUM_GUARDED_BY(mu_);
   struct Timer {
     TimerId id;
     Callback fn;
   };
-  std::multimap<Clock::time_point, Timer> timers_;
+  std::multimap<Clock::time_point, Timer> timers_ DRUM_GUARDED_BY(mu_);
   std::unordered_map<TimerId, std::multimap<Clock::time_point, Timer>::iterator>
-      timer_index_;
-  Clock::time_point armed_deadline_ = Clock::time_point::max();
+      timer_index_ DRUM_GUARDED_BY(mu_);
+  Clock::time_point armed_deadline_ DRUM_GUARDED_BY(mu_) =
+      Clock::time_point::max();
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};

@@ -19,7 +19,7 @@ class MemSocket final : public Socket {
   ~MemSocket() override { net_.unbind_queue(local_); }
 
   std::optional<Datagram> recv() override {
-    std::lock_guard<std::mutex> lock(net_.mu_);
+    check::MutexLock lock(net_.mu_);
     auto it = net_.queues_.find(local_);
     if (it == net_.queues_.end() || it->second.q.empty()) return std::nullopt;
     auto first = it->second.q.begin();
@@ -86,7 +86,7 @@ void MemNetwork::send_raw(const Address& from, const Address& to,
 }
 
 void MemNetwork::set_registry(obs::MetricsRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   if (!registry) {
     m_delivered_ = nullptr;
     m_dropped_loss_ = nullptr;
@@ -109,7 +109,7 @@ void MemNetwork::deliver(const Address& from, const Address& to,
   // foreign code invites lock-order cycles.
   std::function<void()> notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(mu_);
     if (opts_.loss > 0 && rng_.chance(opts_.loss)) {
       ++dropped_;
       if (m_dropped_loss_) m_dropped_loss_->inc();
@@ -153,31 +153,31 @@ void MemNetwork::deliver(const Address& from, const Address& to,
 }
 
 void MemNetwork::advance_to(std::int64_t now_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   now_us_ = std::max(now_us_, now_us);
 }
 
 bool MemNetwork::bind_queue(const Address& at) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   auto [it, inserted] = queues_.try_emplace(at);
   (void)it;
   return inserted;
 }
 
 void MemNetwork::unbind_queue(const Address& at) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   queues_.erase(at);
 }
 
 void MemNetwork::set_queue_ready_callback(const Address& at,
                                           std::function<void()> cb) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   auto it = queues_.find(at);
   if (it != queues_.end()) it->second.on_ready = std::move(cb);
 }
 
 std::uint16_t MemNetwork::pick_ephemeral(std::uint32_t host) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   for (int attempt = 0; attempt < 64; ++attempt) {
     auto port = static_cast<std::uint16_t>(kEphemeralBase +
                                            rng_.below(kEphemeralCount));
@@ -190,12 +190,12 @@ std::uint16_t MemNetwork::pick_ephemeral(std::uint32_t host) {
 }
 
 std::uint64_t MemNetwork::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   return dropped_;
 }
 
 std::uint64_t MemNetwork::delivered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   return delivered_;
 }
 

@@ -15,8 +15,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "drum/check/annotations.hpp"
 #include "drum/net/transport.hpp"
 #include "drum/obs/metrics.hpp"
 #include "drum/util/rng.hpp"
@@ -90,20 +90,20 @@ class MemNetwork {
   void set_queue_ready_callback(const Address& at, std::function<void()> cb);
   std::uint16_t pick_ephemeral(std::uint32_t host);
 
-  mutable std::mutex mu_;
-  Options opts_;
-  util::Rng rng_;
-  std::map<Address, Queue> queues_;
-  std::int64_t now_us_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t delivered_ = 0;
+  mutable check::Mutex mu_;
+  Options opts_;  ///< immutable after construction
+  util::Rng rng_ DRUM_GUARDED_BY(mu_);
+  std::map<Address, Queue> queues_ DRUM_GUARDED_BY(mu_);
+  std::int64_t now_us_ DRUM_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ DRUM_GUARDED_BY(mu_) = 0;
+  std::uint64_t delivered_ DRUM_GUARDED_BY(mu_) = 0;
 
   // Optional instrumentation (handles cached at attach time).
-  obs::Counter* m_delivered_ = nullptr;
-  obs::Counter* m_dropped_loss_ = nullptr;
-  obs::Counter* m_dropped_no_listener_ = nullptr;
-  obs::Counter* m_dropped_overflow_ = nullptr;
-  obs::Histogram* m_queue_depth_ = nullptr;
+  obs::Counter* m_delivered_ DRUM_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* m_dropped_loss_ DRUM_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* m_dropped_no_listener_ DRUM_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* m_dropped_overflow_ DRUM_GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* m_queue_depth_ DRUM_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace drum::net

@@ -24,6 +24,9 @@ ReactorRuntime::NodeId ReactorRuntime::add_node(core::Node& node,
   nodes_.emplace_back(node, seed);
   NodeState& st = nodes_.back();
   if (cfg_.instrument) {
+    // Uncontended (the runtime is stopped), but the telemetry fields are
+    // guarded by st.mu and the analysis rightly demands the lock.
+    check::MutexLock lock(st.mu);
     auto& reg = node.registry();
     st.m_ticks = &reg.counter("runner.ticks");
     st.m_polls = &reg.counter("runner.polls");
@@ -41,6 +44,7 @@ Clock::duration ReactorRuntime::jittered_round(NodeState& st) {
 
 void ReactorRuntime::install_hooks(NodeState& st) {
   NodeState* stp = &st;
+  check::MutexLock node_lock(st.mu);
   // Replays existing sockets immediately and fires again on every per-round
   // random-port rotation (from a worker, inside on_round, under st.mu).
   st.node->set_socket_hook([this, stp](net::Socket& sock, bool added) {
@@ -49,12 +53,12 @@ void ReactorRuntime::install_hooks(NodeState& st) {
         stp->ready.store(true);
         dispatch(*stp);
       });
-      std::lock_guard<std::mutex> lock(sources_mu_);
+      check::MutexLock lock(sources_mu_);
       sources_[&sock] = id;
     } else {
       net::EventLoop::SourceId id = 0;
       {
-        std::lock_guard<std::mutex> lock(sources_mu_);
+        check::MutexLock lock(sources_mu_);
         auto it = sources_.find(&sock);
         if (it == sources_.end()) return;
         id = it->second;
@@ -96,12 +100,12 @@ void ReactorRuntime::dispatch(NodeState& st) {
   // is covered: the winner clears `scheduled` before draining the flags, so
   // any flag set after that drain finds `scheduled` false and re-enqueues.
   if (st.scheduled.exchange(true)) return;
-  if (workers_.empty()) {
+  if (inline_dispatch_.load(std::memory_order_relaxed)) {
     run_node(st);
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    check::MutexLock lock(queue_mu_);
     queue_.push_back(&st);
   }
   queue_cv_.notify_one();
@@ -109,7 +113,11 @@ void ReactorRuntime::dispatch(NodeState& st) {
 
 void ReactorRuntime::run_node(NodeState& st) {
   st.scheduled.store(false);
-  std::lock_guard<std::mutex> lock(st.mu);
+  check::MutexLock lock(st.mu);
+  drain_node(st);
+}
+
+void ReactorRuntime::drain_node(NodeState& st) {
   for (;;) {
     const bool r = st.ready.exchange(false);
     const bool rd = st.round_due.exchange(false);
@@ -147,8 +155,10 @@ void ReactorRuntime::worker_main() {
   for (;;) {
     NodeState* st = nullptr;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return workers_stop_ || !queue_.empty(); });
+      check::MutexLock lock(queue_mu_);
+      queue_cv_.wait(lock, [this]() DRUM_REQUIRES(queue_mu_) {
+        return workers_stop_ || !queue_.empty();
+      });
       if (workers_stop_ && queue_.empty()) return;
       st = queue_.front();
       queue_.pop_front();
@@ -158,14 +168,16 @@ void ReactorRuntime::worker_main() {
 }
 
 void ReactorRuntime::start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  check::MutexLock lifecycle(lifecycle_mu_);
   if (running_.exchange(true)) return;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    check::MutexLock lock(queue_mu_);
     workers_stop_ = false;
   }
   // Workers first so inline-vs-queued dispatch is decided before any event
-  // can fire (dispatch() keys off workers_.empty()).
+  // can fire (dispatch() keys off inline_dispatch_ — the lock-free mirror
+  // of workers_.empty(), which itself stays under lifecycle_mu_).
+  inline_dispatch_.store(cfg_.workers == 0);
   for (std::size_t i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this] { worker_main(); });
   }
@@ -183,12 +195,12 @@ void ReactorRuntime::start() {
 }
 
 void ReactorRuntime::stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  check::MutexLock lifecycle(lifecycle_mu_);
   if (!running_.load()) return;
   loop_.stop();
   if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    check::MutexLock lock(queue_mu_);
     workers_stop_ = true;
   }
   queue_cv_.notify_all();
@@ -201,10 +213,11 @@ void ReactorRuntime::stop() {
   // backlog), detach the hooks, and unregister every socket.
   for (auto& st : nodes_) {
     loop_.cancel_timer(st.timer_id);
+    check::MutexLock node_lock(st.mu);
     st.node->set_socket_hook(nullptr);
   }
   {
-    std::lock_guard<std::mutex> lock(sources_mu_);
+    check::MutexLock lock(sources_mu_);
     for (auto& [sock, id] : sources_) loop_.remove_socket(id);
     sources_.clear();
   }
@@ -214,7 +227,7 @@ void ReactorRuntime::stop() {
 core::MessageId ReactorRuntime::multicast(NodeId id, util::ByteSpan payload) {
   DRUM_REQUIRE(id < nodes_.size(), "multicast: bad node id ", id);
   NodeState& st = nodes_[id];
-  std::lock_guard<std::mutex> lock(st.mu);
+  check::MutexLock lock(st.mu);
   return st.node->multicast(payload);
 }
 
@@ -223,7 +236,7 @@ void ReactorRuntime::with_node(NodeId id,
   DRUM_REQUIRE(id < nodes_.size(), "with_node: bad node id ", id);
   DRUM_REQUIRE(fn != nullptr, "with_node requires a callable");
   NodeState& st = nodes_[id];
-  std::lock_guard<std::mutex> lock(st.mu);
+  check::MutexLock lock(st.mu);
   fn(*st.node);
 }
 

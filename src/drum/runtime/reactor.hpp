@@ -39,11 +39,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "drum/check/annotations.hpp"
 #include "drum/core/node.hpp"
 #include "drum/net/event_loop.hpp"
 #include "drum/util/rng.hpp"
@@ -105,11 +105,12 @@ class ReactorRuntime {
 
  private:
   struct NodeState {
-    core::Node* node = nullptr;
+    /// Serializes all entry into the node — the lock that implements the
+    /// "a core::Node stays single-threaded" contract above.
+    check::Mutex mu;
+    core::Node* node DRUM_GUARDED_BY(mu) = nullptr;
     util::Rng rng;  ///< tick jitter; loop thread only (after start)
 
-    /// Serializes all entry into the node.
-    std::mutex mu;
     /// True while the node sits in the run queue or a worker is draining it
     /// — prevents duplicate queue entries, not duplicate work (mu does
     /// that).
@@ -127,12 +128,12 @@ class ReactorRuntime {
 
     // Telemetry; written under mu. Same names NodeRunner used, so merged
     // experiment metrics read identically across runtimes.
-    obs::Counter* m_ticks = nullptr;
-    obs::Counter* m_polls = nullptr;
-    obs::Histogram* m_poll_us = nullptr;
-    obs::Histogram* m_tick_interval_us = nullptr;
-    obs::Histogram* m_dispatch_us = nullptr;
-    net::EventLoop::Clock::time_point last_tick{};
+    obs::Counter* m_ticks DRUM_GUARDED_BY(mu) = nullptr;
+    obs::Counter* m_polls DRUM_GUARDED_BY(mu) = nullptr;
+    obs::Histogram* m_poll_us DRUM_GUARDED_BY(mu) = nullptr;
+    obs::Histogram* m_tick_interval_us DRUM_GUARDED_BY(mu) = nullptr;
+    obs::Histogram* m_dispatch_us DRUM_GUARDED_BY(mu) = nullptr;
+    net::EventLoop::Clock::time_point last_tick DRUM_GUARDED_BY(mu){};
 
     explicit NodeState(core::Node& n, std::uint64_t seed)
         : node(&n), rng(seed) {}
@@ -143,8 +144,11 @@ class ReactorRuntime {
   void on_round_timer(NodeState& st);  // loop thread
   /// Queues `st` for a worker (or drains it inline when workers == 0).
   void dispatch(NodeState& st);
-  /// Drains one node: poll / on_round until both flags are clear.
+  /// Takes st.mu, then drains the node via drain_node().
   void run_node(NodeState& st);
+  /// Drains one node: poll / on_round until both flags are clear. Split
+  /// from run_node so the analysis can prove every node entry holds st.mu.
+  void drain_node(NodeState& st) DRUM_REQUIRES(st.mu);
   void worker_main();
   void install_hooks(NodeState& st);
 
@@ -155,18 +159,25 @@ class ReactorRuntime {
 
   std::deque<NodeState> nodes_;  // deque: stable addresses, non-movable state
 
-  std::mutex sources_mu_;
-  std::unordered_map<net::Socket*, net::EventLoop::SourceId> sources_;
+  check::Mutex sources_mu_;
+  std::unordered_map<net::Socket*, net::EventLoop::SourceId> sources_
+      DRUM_GUARDED_BY(sources_mu_);
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<NodeState*> queue_;
-  bool workers_stop_ = false;
+  check::Mutex queue_mu_;
+  /// _any: waits on a check::MutexLock (BasicLockable), which keeps the
+  /// queue under the annotated capability.
+  std::condition_variable_any queue_cv_;
+  std::deque<NodeState*> queue_ DRUM_GUARDED_BY(queue_mu_);
+  bool workers_stop_ DRUM_GUARDED_BY(queue_mu_) = false;
 
-  std::thread loop_thread_;
-  std::vector<std::thread> workers_;
-  /// Serializes start()/stop() against each other.
-  std::mutex lifecycle_mu_;
+  /// Serializes start()/stop() against each other; owns the thread handles.
+  check::Mutex lifecycle_mu_;
+  std::thread loop_thread_ DRUM_GUARDED_BY(lifecycle_mu_);
+  std::vector<std::thread> workers_ DRUM_GUARDED_BY(lifecycle_mu_);
+  /// Mirror of `!workers_.empty()`, readable from loop/worker threads
+  /// without lifecycle_mu_: dispatch() keys inline-vs-queued execution off
+  /// it. Written in start() before any event can fire.
+  std::atomic<bool> inline_dispatch_{true};
   std::atomic<bool> running_{false};
 };
 

@@ -7,9 +7,10 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "drum/check/annotations.hpp"
 
 namespace drum::sim {
 
@@ -21,7 +22,7 @@ std::size_t fabricated_arrivals(double x, double loss, util::Rng& rng) {
   auto sent = static_cast<std::size_t>(std::llround(x));
   std::size_t arrived = 0;
   for (std::size_t i = 0; i < sent; ++i) {
-    if (!rng.chance(loss)) ++arrived;
+    if (!rng.chance(loss)) ++arrived;  // drum-lint: legacy-stream
   }
   return arrived;
 }
@@ -43,7 +44,7 @@ void accept_bounded(std::size_t valid, std::size_t fabricated,
     }
     return;
   }
-  rng.sample_into(static_cast<std::uint32_t>(total),
+  rng.sample_into(static_cast<std::uint32_t>(total),  // drum-lint: legacy-stream
                   static_cast<std::uint32_t>(bound),
                   static_cast<std::uint32_t>(total), picks, sample_scratch);
   for (auto p : picks) {
@@ -116,7 +117,7 @@ const char* protocol_name(SimProtocol p) {
 
 RunResult simulate_run(const SimParams& params, util::Rng& rng) {
   SimScratch scratch;
-  return simulate_run(params, rng, scratch);
+  return simulate_run(params, rng, scratch);  // drum-lint: legacy-stream
 }
 
 RunResult simulate_run(const SimParams& params, util::Rng& rng,
@@ -358,7 +359,7 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
           // Observable data volume from p this round (adaptive's signal).
           sc.served_[p] += static_cast<float>(plan.view_push);
         }
-        rng.sample_into(static_cast<std::uint32_t>(n),
+        rng.sample_into(static_cast<std::uint32_t>(n),  // drum-lint: legacy-stream
                         static_cast<std::uint32_t>(plan.view_push),
                         static_cast<std::uint32_t>(p), sc.view_,
                         sc.sample_scratch_);
@@ -367,7 +368,7 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
           t = fix_target(t, p);
           if (t == p) continue;  // failed greylist re-draw hit self
           if (is_malicious(t) || is_crashed(t)) continue;  // wasted fan-out
-          if (rng.chance(params.loss)) continue;
+          if (rng.chance(params.loss)) continue;  // drum-lint: legacy-stream
           if (scoring && tables[t].greylisted(
                              static_cast<std::uint32_t>(p))) {
             continue;  // receiver drops greylisted peers pre-budget
@@ -380,7 +381,7 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
         }
       }
       if (plan.view_pull > 0) {
-        rng.sample_into(static_cast<std::uint32_t>(n),
+        rng.sample_into(static_cast<std::uint32_t>(n),  // drum-lint: legacy-stream
                         static_cast<std::uint32_t>(plan.view_pull),
                         static_cast<std::uint32_t>(p), sc.view_,
                         sc.sample_scratch_);
@@ -401,7 +402,7 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
             sc.sent_pulls_[p].push_back({t, 0});
           }
           if (is_malicious(t) || is_crashed(t)) continue;
-          if (rng.chance(params.loss)) continue;
+          if (rng.chance(params.loss)) continue;  // drum-lint: legacy-stream
           if (scoring && tables[t].greylisted(
                              static_cast<std::uint32_t>(p))) {
             continue;
@@ -436,8 +437,8 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
       ratio.assign(n, 1.0);
       for (std::size_t t = first_correct; t < n; ++t) {
         if (is_attacked(t)) {
-          fab[t] = fabricated_arrivals(plan.x_push, params.loss, rng) +
-                   fabricated_arrivals(plan.x_pull_req, params.loss, rng);
+          fab[t] = fabricated_arrivals(plan.x_push, params.loss, rng) +  // drum-lint: legacy-stream
+                   fabricated_arrivals(plan.x_pull_req, params.loss, rng);  // drum-lint: legacy-stream
         }
         std::size_t total =
             push_arrivals[t].size() + pull_requests[t].size() + fab[t];
@@ -449,16 +450,16 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
       for (std::size_t t = first_correct; t < n; ++t) {
         std::size_t v_push = push_arrivals[t].size();
         std::size_t v_pull = pull_requests[t].size();
-        accept_bounded(v_push + v_pull, fab[t], plan.bound_push, rng,
+        accept_bounded(v_push + v_pull, fab[t], plan.bound_push, rng,  // drum-lint: legacy-stream
                        sc.accepted_, sc.picks_, sc.sample_scratch_);
         for (auto idx : sc.accepted_) {
           if (idx < v_push) {
             const auto& arr = push_arrivals[t][idx];
             // Push-reply must survive the sender's joint bound too.
-            if (arr.carries_m && rng.chance(ratio[arr.sender])) new_m[t] = 1;
+            if (arr.carries_m && rng.chance(ratio[arr.sender])) new_m[t] = 1;  // drum-lint: legacy-stream
           } else {
             auto requester = pull_requests[t][idx - v_push];
-            if (has_m[t] && !rng.chance(params.loss)) {
+            if (has_m[t] && !rng.chance(params.loss)) {  // drum-lint: legacy-stream
               reply_arrivals[requester].push_back(1);
             }
           }
@@ -470,9 +471,9 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
         if (plan.view_push > 0) {
           std::size_t fab =
               zoo ? sc.fab_push_[t]
-                  : (att ? fabricated_arrivals(plan.x_push, params.loss, rng)
+                  : (att ? fabricated_arrivals(plan.x_push, params.loss, rng)  // drum-lint: legacy-stream
                          : 0);
-          accept_bounded(push_arrivals[t].size(), fab, plan.bound_push, rng,
+          accept_bounded(push_arrivals[t].size(), fab, plan.bound_push, rng,  // drum-lint: legacy-stream
                          sc.accepted_, sc.picks_, sc.sample_scratch_);
           for (auto idx : sc.accepted_) {
             if (push_arrivals[t][idx].carries_m) new_m[t] = 1;
@@ -482,13 +483,13 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
           std::size_t fab =
               zoo ? sc.fab_pull_[t]
                   : (att ? fabricated_arrivals(plan.x_pull_req, params.loss,
-                                               rng)
+                                               rng)  // drum-lint: legacy-stream
                          : 0);
-          accept_bounded(pull_requests[t].size(), fab, plan.bound_pull, rng,
+          accept_bounded(pull_requests[t].size(), fab, plan.bound_pull, rng,  // drum-lint: legacy-stream
                          sc.accepted_, sc.picks_, sc.sample_scratch_);
           for (auto idx : sc.accepted_) {
             auto requester = pull_requests[t][idx];
-            if (has_m[t] && !rng.chance(params.loss)) {
+            if (has_m[t] && !rng.chance(params.loss)) {  // drum-lint: legacy-stream
               reply_arrivals[requester].push_back(1);
               if (zoo) sc.served_[t] += 1.0F;
             }
@@ -506,9 +507,9 @@ RunResult simulate_run(const SimParams& params, util::Rng& rng,
         std::size_t fab = zoo ? sc.fab_reply_[t]
                           : is_attacked(t)
                               ? fabricated_arrivals(plan.x_pull_reply,
-                                                    params.loss, rng)
+                                                    params.loss, rng)  // drum-lint: legacy-stream
                               : 0;
-        accept_bounded(replies.size(), fab, plan.bound_pull, rng,
+        accept_bounded(replies.size(), fab, plan.bound_pull, rng,  // drum-lint: legacy-stream
                        sc.accepted_, sc.picks_, sc.sample_scratch_);
         for (auto idx : sc.accepted_) {
           if (replies[idx]) new_m[t] = 1;
@@ -606,7 +607,7 @@ AggregateResult simulate_many(const SimParams& params, std::size_t runs,
   std::vector<util::Rng> rngs;
   rngs.reserve(runs);
   util::Rng master(seed);
-  for (std::size_t r = 0; r < runs; ++r) rngs.push_back(master.fork());
+  for (std::size_t r = 0; r < runs; ++r) rngs.push_back(master.fork());  // drum-lint: legacy-stream
 
   // Trials execute in chunks pulled from a shared counter (cheap dynamic
   // load balancing); each chunk accumulates into its own partial, and
@@ -618,8 +619,9 @@ AggregateResult simulate_many(const SimParams& params, std::size_t runs,
 
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<bool> failed{false};
-  std::mutex err_mu;
-  std::exception_ptr error;
+  // Function-local: guards `error` below.
+  check::Mutex err_mu;  // drum-lint: allow(mutex-annotation)
+  std::exception_ptr error;  // first failure wins; written under err_mu
   std::vector<obs::MetricsRegistry> worker_metrics(
       options.metrics != nullptr ? threads : 0);
 
@@ -661,7 +663,7 @@ AggregateResult simulate_many(const SimParams& params, std::size_t runs,
         }
       }
     } catch (...) {
-      const std::lock_guard<std::mutex> lk(err_mu);
+      const check::MutexLock lk(err_mu);
       if (!error) error = std::current_exception();
       failed.store(true, std::memory_order_relaxed);
     }

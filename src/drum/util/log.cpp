@@ -3,14 +3,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <thread>
+
+#include "drum/check/annotations.hpp"
 
 namespace drum::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+check::Mutex g_mutex;
+/// nullptr means stderr (resolved at write time: stderr is not a constant
+/// expression, so it cannot be the static initializer).
+std::FILE* g_sink DRUM_GUARDED_BY(g_mutex) = nullptr;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -26,6 +30,11 @@ const char* level_name(LogLevel l) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(std::FILE* sink) {
+  check::MutexLock lock(g_mutex);
+  g_sink = sink;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
   using namespace std::chrono;
@@ -33,8 +42,9 @@ void log_line(LogLevel level, const std::string& msg) {
                  steady_clock::now().time_since_epoch())
                  .count();
   auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFF;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s %lld.%03lld t%04zx] %s\n", level_name(level),
+  check::MutexLock lock(g_mutex);
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fprintf(out, "[%s %lld.%03lld t%04zx] %s\n", level_name(level),
                static_cast<long long>(now / 1000),
                static_cast<long long>(now % 1000), tid, msg.c_str());
 }

@@ -3,6 +3,7 @@
 // examples enable INFO/DEBUG explicitly.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -16,6 +17,10 @@ LogLevel log_level();
 
 /// Emits one line to stderr: "[level ts thread] message".
 void log_line(LogLevel level, const std::string& msg);
+
+/// Redirects log output (nullptr restores stderr). The stream must stay
+/// valid until the next set_log_sink(); tests use this to capture output.
+void set_log_sink(std::FILE* sink);
 
 namespace detail {
 class LogStream {

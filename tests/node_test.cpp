@@ -4,7 +4,10 @@
 // layer, so failures localize precisely.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <thread>
 
 #include "drum/check/check.hpp"
 #include "drum/core/node.hpp"
@@ -22,6 +25,9 @@ struct Pair {
   std::vector<std::unique_ptr<net::Transport>> transports;
   std::vector<std::unique_ptr<Node>> nodes;
   std::vector<std::vector<Node::Delivery>> got;
+  /// Optional per-delivery hook — runs on the delivering thread, inside the
+  /// node's poll(). Lets tests observe or act while a node is "entered".
+  std::function<void(std::uint32_t, const Node::Delivery&)> on_delivery;
 
   explicit Pair(std::size_t n, Variant v = Variant::kDrum) {
     // Fresh world, deliberately re-seeded: open a new nonce-tracker window
@@ -48,7 +54,10 @@ struct Pair {
       cfg.wk_pull_reply_port = dir[id].wk_pull_reply_port;
       nodes.push_back(std::make_unique<Node>(
           cfg, ids[id], dir, *transports.back(), rng.next(),
-          [this, id](const Node::Delivery& d) { got[id].push_back(d); }));
+          [this, id](const Node::Delivery& d) {
+            got[id].push_back(d);
+            if (on_delivery) on_delivery(id, d);
+          }));
     }
   }
 
@@ -116,6 +125,71 @@ TEST(Node, DeliversToAllAndExactlyOnce) {
     EXPECT_GE(p.got[i][0].hops, 1u);
   }
 }
+
+#ifdef DRUM_CHECKED
+struct EntryFailure {};
+[[noreturn]] void entry_failure_handler(check::Kind, const char*, const char*,
+                                        int, const std::string&) {
+  throw EntryFailure{};
+}
+
+// Regression for the entry guard (node.cpp EntryGuard): a second thread
+// entering a node while another thread is inside poll() must trip
+// DRUM_ASSERT instead of silently racing. The hook fires while the main
+// thread is mid-poll (delivery callbacks run inside poll()), which is
+// exactly the window the runtime's per-node mutex is supposed to close.
+TEST(Node, CrossThreadEntryTripsTheGuard) {
+  Pair p(4);
+  std::atomic<bool> tripped{false};
+  std::atomic<bool> probed{false};
+  p.on_delivery = [&](std::uint32_t id, const Node::Delivery&) {
+    if (probed.exchange(true)) return;
+    std::thread intruder([&, id] {
+      check::FailureHandler prev =
+          check::set_failure_handler(&entry_failure_handler);
+      util::Bytes data = {7};
+      try {
+        p.nodes[id]->multicast(util::ByteSpan(data));
+      } catch (const EntryFailure&) {
+        tripped.store(true);
+      }
+      check::set_failure_handler(prev);
+    });
+    intruder.join();  // main thread parks inside poll() until the probe ends
+  };
+  util::Bytes data = {1};
+  p.nodes[0]->multicast(util::ByteSpan(data));
+  p.run(4);
+  EXPECT_TRUE(probed.load()) << "delivery hook never fired";
+  EXPECT_TRUE(tripped.load())
+      << "concurrent cross-thread node entry was not detected";
+}
+
+// The legal counterpart: the SAME thread may nest — an application
+// multicasting from its delivery callback re-enters the node it is already
+// inside, and the guard must recognize the owner and wave it through.
+TEST(Node, SameThreadNestedMulticastIsLegal) {
+  Pair p(4);
+  std::atomic<bool> nested{false};
+  p.on_delivery = [&](std::uint32_t id, const Node::Delivery&) {
+    if (nested.exchange(true)) return;
+    util::Bytes reply = {'r'};
+    p.nodes[id]->multicast(util::ByteSpan(reply));  // nested entry
+  };
+  util::Bytes data = {1};
+  p.nodes[0]->multicast(util::ByteSpan(data));
+  p.run(6);
+  EXPECT_TRUE(nested.load());
+  // The nested multicast is a real message: it disseminates too.
+  std::size_t reply_copies = 0;
+  for (auto& deliveries : p.got) {
+    for (auto& d : deliveries) {
+      if (d.msg.payload == util::Bytes{'r'}) ++reply_copies;
+    }
+  }
+  EXPECT_GE(reply_copies, 1u);
+}
+#endif  // DRUM_CHECKED
 
 TEST(Node, PullOnlyAndPushOnlyAlsoDeliver) {
   for (auto v : {Variant::kPush, Variant::kPull}) {

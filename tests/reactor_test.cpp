@@ -12,6 +12,7 @@
 #include "drum/net/event_loop.hpp"
 #include "drum/net/mem_transport.hpp"
 #include "drum/net/udp_transport.hpp"
+#include "drum/check/annotations.hpp"
 #include "drum/runtime/reactor.hpp"
 
 namespace drum::runtime {
@@ -54,28 +55,28 @@ TEST(EventLoop, TimerFiresAtDeadline) {
 
 TEST(EventLoop, TimersFireInDeadlineOrder) {
   LoopFixture f;
-  std::mutex mu;
+  check::Mutex mu;
   std::vector<int> order;
   auto at = Clock::now() + 30ms;
   f.loop.add_timer(at + 20ms, [&] {
-    std::lock_guard<std::mutex> l(mu);
+    check::MutexLock l(mu);
     order.push_back(3);
   });
   f.loop.add_timer(at, [&] {
-    std::lock_guard<std::mutex> l(mu);
+    check::MutexLock l(mu);
     order.push_back(1);
   });
   f.loop.add_timer(at + 10ms, [&] {
-    std::lock_guard<std::mutex> l(mu);
+    check::MutexLock l(mu);
     order.push_back(2);
   });
   EXPECT_TRUE(eventually(
       [&] {
-        std::lock_guard<std::mutex> l(mu);
+        check::MutexLock l(mu);
         return order.size() == 3;
       },
       2000ms));
-  std::lock_guard<std::mutex> l(mu);
+  check::MutexLock l(mu);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
