@@ -103,9 +103,13 @@ int main() {
         if (m) m->service->on_round(ca.now());
       }
       for (int sweep = 0; sweep < 4; ++sweep) {
+        // The push-style ingress API: drain every member into one batch so
+        // the whole sweep's signatures verify in a single crypto pass.
+        drum::core::ingress::IngressBatch batch;
         for (auto& m : members) {
-          if (m) m->node->poll();
+          if (m) m->node->drain_ingress(batch);
         }
+        batch.dispatch();
       }
     }
   };

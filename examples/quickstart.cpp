@@ -63,12 +63,16 @@ int main() {
         reinterpret_cast<const std::uint8_t*>(text), std::strlen(text)));
   }
 
-  // 4. Drive rounds: tick every node, then let datagrams flow.
+  // 4. Drive rounds: tick every node, then let datagrams flow. Each sweep
+  // uses the push-style ingress API (DESIGN.md §12): drain all nodes into
+  // one batch, batch-verify, then push the checked frames back in.
   for (int round = 1; round <= 6; ++round) {
     std::printf("--- round %d ---\n", round);
     for (auto& n : nodes) n->on_round();
     for (int sweep = 0; sweep < 4; ++sweep) {
-      for (auto& n : nodes) n->poll();
+      drum::core::ingress::IngressBatch batch;
+      for (auto& n : nodes) n->drain_ingress(batch);
+      batch.dispatch();
     }
   }
 

@@ -17,6 +17,7 @@
 //     --alpha A        attacked fraction               (default 0.25)
 //     --x X            fabricated msgs/victim/round    (default 64)
 //     --udp            loopback UDP instead of mem net
+//     --no-verify      skip Ed25519 data-signature checks (CPU calibration)
 //     --json PATH      write BENCH_reactor.json-style report
 //     --seed S         RNG seed                        (default 1)
 //
@@ -43,6 +44,7 @@ struct Options {
   double alpha = 0.25;
   double x = 64.0;
   bool udp = false;
+  bool verify = true;
   std::string json_path;
   std::uint64_t seed = 1;
 };
@@ -67,6 +69,12 @@ std::string report_json(const char* mode, const drum::harness::SwarmReport& r) {
   out += "      \"delivered\": " + std::to_string(r.delivered) + ",\n";
   out += "      \"attack_datagrams\": " + std::to_string(r.attack_datagrams) +
          ",\n";
+  out += "      \"ingress_datagrams\": " + std::to_string(r.ingress_datagrams) +
+         ",\n";
+  out += "      \"ingress_datagrams_per_sec\": " +
+         fmt(r.ingress_datagrams_per_sec()) + ",\n";
+  out += "      \"cpu_ms_per_delivered\": " + fmt(r.cpu_ms_per_delivered()) +
+         ",\n";
   out += "      \"latency_samples\": " + std::to_string(r.latency_samples) +
          ",\n";
   out += "      \"latency_ms\": {\"mean\": " + fmt(r.latency_ms_mean) +
@@ -87,6 +95,7 @@ drum::harness::SwarmReport run_phase(const Options& opt, bool reactor) {
   cfg.round = std::chrono::milliseconds(opt.round_ms);
   cfg.rate = opt.rate;
   cfg.use_udp = opt.udp;
+  cfg.verify_signatures = opt.verify;
   cfg.reactor = reactor;
   cfg.workers = opt.workers;
 
@@ -98,14 +107,15 @@ drum::harness::SwarmReport run_phase(const Options& opt, bool reactor) {
 
   std::printf(
       "%-8s nodes=%-4zu threads=%-4zu wall=%.1fs cpu=%.2fs (%.0f%%) "
-      "rounds=%llu delivered=%llu flood=%llu lat p50/p90/p99 = "
-      "%.1f/%.1f/%.1f ms\n",
+      "rounds=%llu delivered=%llu flood=%llu ingress=%.0f/s "
+      "cpu/msg=%.3fms lat p50/p90/p99 = %.1f/%.1f/%.1f ms\n",
       reactor ? "reactor" : "threads", r.nodes, r.threads, r.wall_s,
       r.cpu_total_s(), 100.0 * r.cpu_util(),
       static_cast<unsigned long long>(r.rounds),
       static_cast<unsigned long long>(r.delivered),
-      static_cast<unsigned long long>(r.attack_datagrams), r.latency_ms_p50,
-      r.latency_ms_p90, r.latency_ms_p99);
+      static_cast<unsigned long long>(r.attack_datagrams),
+      r.ingress_datagrams_per_sec(), r.cpu_ms_per_delivered(),
+      r.latency_ms_p50, r.latency_ms_p90, r.latency_ms_p99);
   return r;
 }
 
@@ -140,6 +150,8 @@ int main(int argc, char** argv) {
       opt.x = std::atof(next());
     } else if (a == "--udp") {
       opt.udp = true;
+    } else if (a == "--no-verify") {
+      opt.verify = false;
     } else if (a == "--json") {
       opt.json_path = next();
     } else if (a == "--seed") {

@@ -36,6 +36,14 @@ stripping comments and string literals (line numbers are preserved):
                    exists only in the author's head. Function-local
                    mutexes can be suppressed with
                    `// drum-lint: allow(mutex-annotation)`.
+  single-recv      No one-at-a-time Socket::recv() calls under
+                   src/drum/core/ or src/drum/runtime/ — the protocol hot
+                   path. The flood charges the victim per datagram; the
+                   ingress pipeline (DESIGN.md §12) amortizes that cost
+                   only if every hot-path drain goes through recv_batch()
+                   (recvmmsg under UDP, one lock per chunk in mem).
+                   Transport implementations (src/drum/net/) and the
+                   low-rate membership control plane are out of scope.
   sim-determinism  Protects the Monte-Carlo bit-identity contract
                    (DESIGN.md §9): inside src/drum/sim/, every draw from —
                    or handoff of — a main-stream Rng must be either
@@ -348,6 +356,26 @@ def check_mutex_annotation(files, findings) -> None:
                     "suppress with // drum-lint: allow(mutex-annotation))")
 
 
+SINGLE_RECV_RE = re.compile(r"(?:\.|->)\s*recv\s*\(\s*\)")
+SINGLE_RECV_DIRS = ("src/drum/core/", "src/drum/runtime/")
+
+
+def check_single_recv(files, findings) -> None:
+    for f in files:
+        if not f.rel.startswith(SINGLE_RECV_DIRS):
+            continue
+        ok = f.allowed("single-recv")
+        for lineno, line in enumerate(f.code.splitlines(), 1):
+            if lineno in ok:
+                continue
+            if SINGLE_RECV_RE.search(line):
+                findings.append(
+                    f"{f.rel}:{lineno}: [single-recv] one-at-a-time recv() "
+                    "on the protocol hot path — drain through recv_batch() "
+                    "so the ingress pipeline amortizes the per-datagram "
+                    "cost (DESIGN.md §12)")
+
+
 # --- sim-determinism -------------------------------------------------------
 
 DRAW_METHODS = {"chance", "below", "between", "uniform", "normal", "next",
@@ -513,6 +541,26 @@ CHECKS = [
           "}\n"}, 0),
         # outside src/ the rule does not apply (tests hold locals)
         ({"tests/a.cpp": "check::Mutex mu;\n"}, 0),
+    ]),
+    ("single-recv", check_single_recv, [
+        # one-at-a-time drain in the hot path: finding
+        ({"src/drum/core/a.cpp":
+          "void f(Socket& s) { while (auto d = s.recv()) {} }\n"}, 1),
+        ({"src/drum/runtime/a.cpp":
+          "void f(Socket* s) { auto d = s->recv(); }\n"}, 1),
+        # batched drain: clean
+        ({"src/drum/core/a.cpp":
+          "void f(Socket& s, Datagram* out) { s.recv_batch(out, 64); }\n"},
+         0),
+        # transports and the membership control plane are out of scope
+        ({"src/drum/net/a.cpp":
+          "void f(Socket& s) { while (auto d = s.recv()) {} }\n"}, 0),
+        ({"src/drum/membership/a.cpp":
+          "void f(Socket& s) { while (auto d = s.recv()) {} }\n"}, 0),
+        # suppression syntax
+        ({"src/drum/core/a.cpp":
+          "void f(Socket& s) { s.recv(); }  "
+          "// drum-lint: allow(single-recv)\n"}, 0),
     ]),
     ("sim-determinism", check_sim_determinism, [
         # ungated, unannotated draw on the main stream: finding

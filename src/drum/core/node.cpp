@@ -9,6 +9,8 @@
 #include "drum/crypto/portbox.hpp"
 #include "drum/util/log.hpp"
 
+
+
 namespace drum::core {
 
 namespace {
@@ -201,6 +203,13 @@ void Node::update_peers(std::vector<Peer> peers) {
   if (cfg_.scoring.enabled) score_.resize(peers_.size());
 }
 
+void Node::prewarm_pair_keys() {
+  EntryGuard entry(entry_owner_);
+  for (const auto& p : peers_) {
+    if (p.present && p.id != cfg_.id) pair_key(p.id);
+  }
+}
+
 util::ByteSpan Node::pair_key(std::uint32_t peer_id) {
   auto it = pair_keys_.find(peer_id);
   if (it == pair_keys_.end()) {
@@ -224,14 +233,20 @@ std::size_t Node::channel_budget(Channel c) const {
 }
 
 bool Node::budget_available(Channel c) const {
+  return budget_remaining(c) > 0;
+}
+
+std::size_t Node::budget_remaining(Channel c) const {
   const bool control = c == Channel::kOffer || c == Channel::kPullReq ||
                        c == Channel::kPushReply;
   if (cfg_.variant == Variant::kDrumSharedBounds && control) {
-    return shared_control_used_ < cfg_.shared_control_budget();
+    const std::size_t budget = cfg_.shared_control_budget();
+    return shared_control_used_ < budget ? budget - shared_control_used_ : 0;
   }
   auto it = used_.find(static_cast<int>(c));
-  std::size_t used = it == used_.end() ? 0 : it->second;
-  return used < channel_budget(c);
+  const std::size_t used = it == used_.end() ? 0 : it->second;
+  const std::size_t budget = channel_budget(c);
+  return used < budget ? budget - used : 0;
 }
 
 void Node::consume_budget(Channel c) {
@@ -284,11 +299,25 @@ void Node::record_round_budgets() {
   }
 }
 
-void Node::poll() {
+void Node::poll() { poll_cycle(); }
+
+void Node::poll_cycle() {
+  // The single-node shape of the pipeline: everything this node's sockets
+  // hold becomes one local batch, so even a standalone driver gets the wide
+  // Ed25519/HMAC passes across every queued datagram.
+  ingress::IngressBatch batch;
+  drain_ingress(batch);
+  batch.dispatch();
+}
+
+void Node::drain_ingress(ingress::IngressBatch& batch) {
   EntryGuard entry(entry_owner_);
-  DRUM_REQUIRE(!in_poll_, "poll() re-entered (delivery callback drove node?)");
+  DRUM_REQUIRE(!in_poll_,
+               "drain_ingress() re-entered (delivery callback drove node?)");
   ReentryGuard guard(in_poll_);
+  auto& frames = batch.section_for(*this).frames;
   std::size_t drained = 0;
+  net::Datagram chunk[ingress::kRecvChunk];
   for (auto& bs : sockets_) {
     ChannelMetrics& cm = chan_[static_cast<int>(bs.channel)];
     // With scoring on, frames from greylisted peers on the well-known
@@ -310,61 +339,61 @@ void Node::poll() {
     // requester's futility signal); a valid offer is scored and dropped.
     std::size_t reads = 0;
     while (true) {
-      const bool in_budget = budget_available(bs.channel);
-      if (!in_budget && !scored) break;
-      if (scored && reads >= read_cap) break;
-      auto dgram = bs.sock->recv();
-      if (!dgram) break;
-      if (scored) {
-        ++reads;
-        auto claimed = peek_sender(util::ByteSpan(dgram->payload));
-        if (claimed && score_.greylisted(*claimed)) {
-          c_.score_greylist_drops->inc();
-          continue;
+      // Admissible-read window: never pull more out of the queue than this
+      // round's budgets (or the scored read cap) still admit — the excess
+      // stays queued for the round-end flush, exactly like the one-at-a-
+      // time loop this replaced.
+      const std::size_t window =
+          scored ? (reads < read_cap ? read_cap - reads : 0)
+                 : budget_remaining(bs.channel);
+      if (window == 0) break;
+      const std::size_t want = std::min(window, ingress::kRecvChunk);
+      const std::size_t got = bs.sock->recv_batch(chunk, want);
+      if (scored) reads += got;
+      for (std::size_t i = 0; i < got; ++i) {
+        net::Datagram& dgram = chunk[i];
+        if (scored) {
+          auto claimed = peek_sender(util::ByteSpan(dgram.payload));
+          if (claimed && score_.greylisted(*claimed)) {
+            c_.score_greylist_drops->inc();
+            continue;
+          }
         }
-      }
-      if (!in_budget) {
-        // Budget exhausted: decode + score (+ ack), budget untouched.
+        const bool in_budget = budget_available(bs.channel);
+        auto disposition = ingress::Disposition::kProcess;
+        if (!in_budget) {
+          // Budget exhausted (scored channels only — the window above is
+          // exact elsewhere): decode + score (+ ack) later, budget
+          // untouched.
+          disposition = bs.channel == Channel::kPullReq
+                            ? ingress::Disposition::kAckOnly
+                            : ingress::Disposition::kScoreOnly;
+        } else {
+          // Reading a datagram consumes the channel's budget *regardless of
+          // its validity* — processing bogus requests is precisely the
+          // resource a DoS attack burns (paper §1, §4).
+          consume_budget(bs.channel);
+          c_.datagrams_read->inc();
+          cm.read->inc();
+        }
         ++drained;
         try {
-          if (bs.channel == Channel::kPullReq) {
-            handle_pull_request(*dgram, /*ack_only=*/true);
-          } else {
-            handle_push_offer(*dgram, /*score_only=*/true);
-          }
+          parse_into(bs.channel, dgram, disposition, frames);
         } catch (const util::DecodeError&) {
           c_.decode_errors->inc();
           cm.decode_errors->inc();
-          if (auto claimed = peek_sender(util::ByteSpan(dgram->payload))) {
-            score_.on_decode_error(*claimed);
+          if (cfg_.scoring.enabled) {
+            // A malformed frame naming a known peer is weak (frameable)
+            // evidence against that peer.
+            if (auto claimed = peek_sender(util::ByteSpan(dgram.payload))) {
+              score_.on_decode_error(*claimed);
+            }
           }
           trace(obs::EventKind::kDecodeError,
                 static_cast<std::uint32_t>(bs.channel));
         }
-        continue;
       }
-      // Reading a datagram consumes the channel's budget *regardless of its
-      // validity* — processing bogus requests is precisely the resource a
-      // DoS attack burns (paper §1, §4).
-      consume_budget(bs.channel);
-      c_.datagrams_read->inc();
-      cm.read->inc();
-      ++drained;
-      try {
-        process(bs, *dgram);
-      } catch (const util::DecodeError&) {
-        c_.decode_errors->inc();
-        cm.decode_errors->inc();
-        if (cfg_.scoring.enabled) {
-          // A malformed frame naming a known peer is weak (frameable)
-          // evidence against that peer.
-          if (auto claimed = peek_sender(util::ByteSpan(dgram->payload))) {
-            score_.on_decode_error(*claimed);
-          }
-        }
-        trace(obs::EventKind::kDecodeError,
-              static_cast<std::uint32_t>(bs.channel));
-      }
+      if (got < want) break;  // queue empty
     }
   }
   // Queue drain depth: how much backlog one sweep found. Zero-drain sweeps
@@ -373,38 +402,153 @@ void Node::poll() {
   if (drained) h_poll_drained_->record(drained);
 }
 
-void Node::process(const BoundSocket& bs, const net::Datagram& dgram) {
+void Node::parse_into(Channel channel, const net::Datagram& dgram,
+                      ingress::Disposition disposition,
+                      std::vector<ingress::VerifiedFrame>& out) {
   util::ByteSpan wire(dgram.payload);
-  switch (bs.channel) {
-    case Channel::kPullReq:
-      handle_pull_request(dgram);
+  ingress::VerifiedFrame f;
+  f.channel = channel;
+  f.disposition = disposition;
+  switch (channel) {
+    case Channel::kPullReq: {
+      auto req = decode_pull_request(wire, cfg_.max_digest);
+      const Peer* peer = resolve_sender(req.sender, req.cert);
+      if (!peer) return;
+      trace(obs::EventKind::kPullReqRecv, req.sender);
+      f.sender = req.sender;
+      f.host = peer->host;
+      f.digest = std::move(req.digest);
+      f.boxed_port = std::move(req.boxed_reply_port);
       break;
-    case Channel::kOffer:
-      handle_push_offer(dgram);
+    }
+    case Channel::kOffer: {
+      auto offer = decode_push_offer(wire);
+      const Peer* peer = resolve_sender(offer.sender, offer.cert);
+      if (!peer) return;
+      trace(obs::EventKind::kOfferRecv, offer.sender);
+      f.sender = offer.sender;
+      f.host = peer->host;
+      f.boxed_port = std::move(offer.boxed_reply_port);
       break;
-    case Channel::kPushReply:
-      handle_push_reply(dgram);
+    }
+    case Channel::kPushReply: {
+      auto reply = decode_push_reply(wire, cfg_.max_digest);
+      const Peer* peer = find_peer(reply.sender);
+      if (!peer || reply.sender == cfg_.id) {
+        c_.unknown_sender->inc();
+        return;
+      }
+      trace(obs::EventKind::kPushReplyRecv, reply.sender);
+      f.sender = reply.sender;
+      f.host = peer->host;
+      f.digest = std::move(reply.digest);
+      f.boxed_port = std::move(reply.boxed_data_port);
       break;
+    }
     case Channel::kPullData:
-      handle_data(wire, /*is_pull_reply=*/true);
+    case Channel::kPushData: {
+      const bool is_pull_reply = channel == Channel::kPullData;
+      std::vector<DataMessage> msgs;
+      if (is_pull_reply) {
+        auto reply =
+            decode_pull_reply(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload);
+        f.sender = reply.sender;
+        msgs = std::move(reply.messages);
+      } else {
+        auto push =
+            decode_push_data(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload);
+        f.sender = push.sender;
+        msgs = std::move(push.messages);
+      }
+      trace(is_pull_reply ? obs::EventKind::kPullReplyRecv
+                          : obs::EventKind::kPushDataRecv,
+            f.sender, static_cast<std::uint32_t>(msgs.size()));
+      // Stage-A sanity checks (paper §4): dedupe against the buffer, then
+      // known source (possibly admitted via its §10 piggybacked
+      // certificate). Survivors become candidates for the batch-wide
+      // Ed25519 pass; ingest() re-checks `seen` so cross-frame duplicates
+      // within one batch still count as duplicates, never as forgeries.
+      f.candidates.reserve(msgs.size());
+      for (auto& msg : msgs) {
+        if (buffer_.seen(msg.id)) {
+          c_.duplicates->inc();
+          continue;
+        }
+        const Peer* source = msg.id.source == cfg_.id
+                                 ? find_peer(msg.id.source)
+                                 : resolve_sender(msg.id.source, msg.cert);
+        if (!source) continue;
+        ingress::DataCandidate cand;
+        cand.needs_verify = cfg_.verify_signatures;
+        if (cand.needs_verify) {
+          // Copied, not pointed-to: resolve_sender may admit a certificate
+          // and reallocate the peer directory before verify() runs.
+          cand.pub = source->sign_pub;
+          cand.signed_bytes = msg.signed_bytes();
+        }
+        cand.msg = std::move(msg);
+        f.candidates.push_back(std::move(cand));
+      }
       break;
-    case Channel::kPushData:
-      handle_data(wire, /*is_pull_reply=*/false);
-      break;
+    }
   }
+  if (f.channel != Channel::kPullData && f.channel != Channel::kPushData) {
+    // 32-byte copy: pair_key() hands out a span into a cache another
+    // stage-A cert admission could invalidate before verify() runs.
+    auto key = pair_key(f.sender);
+    f.box_key.assign(key.begin(), key.end());
+  }
+  out.push_back(std::move(f));
 }
 
-void Node::handle_pull_request(const net::Datagram& dgram, bool ack_only) {
-  auto req = decode_pull_request(util::ByteSpan(dgram.payload), cfg_.max_digest);
-  const Peer* peer = resolve_sender(req.sender, req.cert);
-  if (!peer) return;
-  trace(obs::EventKind::kPullReqRecv, req.sender);
-  auto port = crypto::portbox_open_port(pair_key(req.sender),
-                                        util::ByteSpan(req.boxed_reply_port));
-  if (!port) {
+void Node::ingest(std::span<ingress::VerifiedFrame> frames) {
+  EntryGuard entry(entry_owner_);
+  DRUM_REQUIRE(!in_poll_,
+               "ingest() re-entered (delivery callback drove node?)");
+  ReentryGuard guard(in_poll_);
+  for (auto& f : frames) {
+    switch (f.channel) {
+      case Channel::kPullReq:
+        apply_pull_request(f);
+        break;
+      case Channel::kOffer:
+        apply_push_offer(f);
+        break;
+      case Channel::kPushReply:
+        apply_push_reply(f);
+        break;
+      case Channel::kPullData:
+      case Channel::kPushData:
+        apply_data(f);
+        break;
+    }
+  }
+  // All replies staged by the handlers above leave in one scatter call.
+  flush_egress();
+}
+
+void Node::queue_send(const net::Address& to, util::Bytes&& payload) {
+  egress_.emplace_back(to, std::move(payload));
+}
+
+void Node::flush_egress() {
+  if (egress_.empty()) return;
+  // Small stack-friendly staging of spans over the owned payloads; the
+  // Bytes in egress_ stay alive until send_many returns.
+  std::vector<net::OutboundDatagram> out;
+  out.reserve(egress_.size());
+  for (const auto& [to, payload] : egress_) {
+    out.push_back(net::OutboundDatagram{to, util::ByteSpan(payload)});
+  }
+  sockets_.front().sock->send_many(out.data(), out.size());
+  egress_.clear();  // keeps capacity for the next cycle
+}
+
+void Node::apply_pull_request(const ingress::VerifiedFrame& f) {
+  if (!f.port) {
     c_.box_failures->inc();  // fabricated or corrupted request
-    trace(obs::EventKind::kBoxFailure, req.sender);
-    if (cfg_.scoring.enabled) score_.on_decode_error(req.sender);
+    trace(obs::EventKind::kBoxFailure, f.sender);
+    if (cfg_.scoring.enabled) score_.on_decode_error(f.sender);
     return;
   }
   if (cfg_.scoring.enabled) {
@@ -412,122 +556,91 @@ void Node::handle_pull_request(const net::Datagram& dgram, bool ack_only) {
     // beyond framing. Overuse past the per-round allowance is the
     // budget-exhaustion signal; if it just tripped the greylist, stop
     // serving immediately.
-    score_.on_control_arrival(req.sender);
-    if (score_.greylisted(req.sender)) return;
+    score_.on_control_arrival(f.sender);
+    if (score_.greylisted(f.sender)) return;
   }
-  if (ack_only) {
+  if (f.disposition == ingress::Disposition::kAckOnly) {
     // Past this round's budget: answer with the empty ack instead of data.
     // Serving is what the bound protects; the ack is a constant-size send
     // already capped by the read multiplier.
     c_.score_overflow_acks->inc();
-    sockets_.front().sock->send(net::Address{peer->host, *port},
-                                util::ByteSpan(encode_pull_reply(cfg_.id, {})));
+    queue_send(net::Address{f.host, *f.port}, encode_pull_reply(cfg_.id, {}));
     return;
   }
-  auto msgs = buffer_.select_missing(req.digest, cfg_.max_msgs_per_gossip, rng_);
+  auto msgs = buffer_.select_missing(f.digest, cfg_.max_msgs_per_gossip, rng_);
   c_.pull_requests_served->inc();
   if (msgs.empty()) {
     if (cfg_.scoring.enabled) {
       // Protocol extension: acknowledge valid pull requests even when we
       // hold nothing, so requesters' futility signal only accrues at black
       // holes and saturated victims, never at honest idle peers.
-      sockets_.front().sock->send(
-          net::Address{peer->host, *port},
-          util::ByteSpan(encode_pull_reply(cfg_.id, {})));
+      queue_send(net::Address{f.host, *f.port},
+                 encode_pull_reply(cfg_.id, {}));
     }
     return;
   }
-  trace(obs::EventKind::kPullReplySend, req.sender,
+  trace(obs::EventKind::kPullReplySend, f.sender,
         static_cast<std::uint32_t>(msgs.size()));
-  // The reply goes to the requester's random (boxed) port. We send from our
-  // own ephemeral data socket so nothing about our well-known ports leaks
-  // extra traffic; any socket may send in UDP. encode_pull_reply serializes
+  // The reply goes to the requester's random (boxed) port; it rides the
+  // cycle's scatter batch (flush_egress). encode_pull_reply serializes
   // straight from the buffer-owned messages — no copies.
-  sockets_.front().sock->send(net::Address{peer->host, *port},
-                              util::ByteSpan(encode_pull_reply(cfg_.id, msgs)));
+  queue_send(net::Address{f.host, *f.port}, encode_pull_reply(cfg_.id, msgs));
 }
 
-void Node::handle_push_offer(const net::Datagram& dgram, bool score_only) {
-  auto offer = decode_push_offer(util::ByteSpan(dgram.payload));
-  const Peer* peer = resolve_sender(offer.sender, offer.cert);
-  if (!peer) return;
-  trace(obs::EventKind::kOfferRecv, offer.sender);
-  auto port = crypto::portbox_open_port(pair_key(offer.sender),
-                                        util::ByteSpan(offer.boxed_reply_port));
-  if (!port) {
+void Node::apply_push_offer(const ingress::VerifiedFrame& f) {
+  if (!f.port) {
     c_.box_failures->inc();
-    trace(obs::EventKind::kBoxFailure, offer.sender);
-    if (cfg_.scoring.enabled) score_.on_decode_error(offer.sender);
+    trace(obs::EventKind::kBoxFailure, f.sender);
+    if (cfg_.scoring.enabled) score_.on_decode_error(f.sender);
     return;
   }
   if (cfg_.scoring.enabled) {
-    score_.on_control_arrival(offer.sender);
-    if (score_.greylisted(offer.sender)) return;
+    score_.on_control_arrival(f.sender);
+    if (score_.greylisted(f.sender)) return;
   }
-  if (score_only) return;  // over-budget arrival: attributed, never answered
+  if (f.disposition == ingress::Disposition::kScoreOnly) {
+    return;  // over-budget arrival: attributed, never answered
+  }
+  // The sender can vanish from the directory between stages (dynamic
+  // membership); sealing needs its current DH key, so re-check.
+  if (!find_peer(f.sender)) return;
   c_.push_offers_answered->inc();
-  trace(obs::EventKind::kPushReplySend, offer.sender);
+  trace(obs::EventKind::kPushReplySend, f.sender);
   PushReply reply;
   reply.sender = cfg_.id;
   reply.digest = buffer_.digest();
-  reply.boxed_data_port = crypto::portbox_seal_port(
-      pair_key(offer.sender), cur_push_data_port_, rng_);
-  sockets_.front().sock->send(net::Address{peer->host, *port},
-                              util::ByteSpan(encode(reply)));
+  reply.boxed_data_port =
+      crypto::portbox_seal_port(pair_key(f.sender), cur_push_data_port_, rng_);
+  queue_send(net::Address{f.host, *f.port}, encode(reply));
 }
 
-void Node::handle_push_reply(const net::Datagram& dgram) {
-  auto reply = decode_push_reply(util::ByteSpan(dgram.payload), cfg_.max_digest);
-  const Peer* peer = find_peer(reply.sender);
-  if (!peer || reply.sender == cfg_.id) {
-    c_.unknown_sender->inc();
-    return;
-  }
-  trace(obs::EventKind::kPushReplyRecv, reply.sender);
-  auto port = crypto::portbox_open_port(pair_key(reply.sender),
-                                        util::ByteSpan(reply.boxed_data_port));
-  if (!port) {
+void Node::apply_push_reply(const ingress::VerifiedFrame& f) {
+  if (!f.port) {
     c_.box_failures->inc();
-    trace(obs::EventKind::kBoxFailure, reply.sender);
+    trace(obs::EventKind::kBoxFailure, f.sender);
     return;
   }
-  auto msgs =
-      buffer_.select_missing(reply.digest, cfg_.max_msgs_per_gossip, rng_);
+  auto msgs = buffer_.select_missing(f.digest, cfg_.max_msgs_per_gossip, rng_);
   c_.push_replies_acted->inc();
   if (msgs.empty()) return;
-  trace(obs::EventKind::kPushDataSend, reply.sender,
+  trace(obs::EventKind::kPushDataSend, f.sender,
         static_cast<std::uint32_t>(msgs.size()));
-  sockets_.front().sock->send(net::Address{peer->host, *port},
-                              util::ByteSpan(encode_push_data(cfg_.id, msgs)));
+  queue_send(net::Address{f.host, *f.port}, encode_push_data(cfg_.id, msgs));
 }
 
-void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {
-  std::vector<DataMessage> msgs;
-  std::uint32_t frame_sender = 0;
-  if (is_pull_reply) {
-    auto reply =
-        decode_pull_reply(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload);
-    frame_sender = reply.sender;
-    msgs = std::move(reply.messages);
-  } else {
-    auto push =
-        decode_push_data(wire, cfg_.max_msgs_per_gossip, cfg_.max_payload);
-    frame_sender = push.sender;
-    msgs = std::move(push.messages);
-  }
-  trace(is_pull_reply ? obs::EventKind::kPullReplyRecv
-                      : obs::EventKind::kPushDataRecv,
-        frame_sender, static_cast<std::uint32_t>(msgs.size()));
+void Node::apply_data(ingress::VerifiedFrame& f) {
+  const bool is_pull_reply = f.channel == Channel::kPullData;
   if (is_pull_reply && cfg_.scoring.enabled) {
     // Any pull-reply frame (including the empty ack) answers this round's
     // outstanding pull to that peer — the futility streak resets.
     for (auto& [target, answered] : pending_pulls_) {
-      if (target == frame_sender && !answered) {
+      if (target == f.sender && !answered) {
         answered = true;
         break;
       }
     }
   }
+  if (f.candidates.empty()) return;
 
   auto accept = [&](DataMessage&& msg) {
     Delivery delivery{msg, msg.round_counter};
@@ -538,70 +651,43 @@ void Node::handle_data(util::ByteSpan wire, bool is_pull_reply) {
     if (on_deliver_) on_deliver_(delivery);
   };
 
-  // Pass 1 — sanity checks (paper §4): dedupe, then known source (possibly
-  // admitted via its §10 piggybacked certificate). Messages that still need
-  // a signature check are collected so the whole datagram verifies as ONE
-  // Ed25519 batch (crypto::ed25519_verify_batch), sharing the doubling
-  // ladder across all signatures.
-  struct Candidate {
-    DataMessage msg;
-    // Copied, not pointed-to: resolve_sender may admit a certificate and
-    // reallocate the peer directory mid-datagram.
-    crypto::Ed25519PublicKey pub;
-    // Owned here; the VerifyJob below only holds a view.
-    util::Bytes signed_bytes;
-  };
-  std::vector<Candidate> pending;
-  pending.reserve(msgs.size());
-  for (auto& msg : msgs) {
-    if (buffer_.seen(msg.id)) {
+  // Pass 1 — batch-window dedupe: a message accepted from an EARLIER frame
+  // of this batch (after this frame was drained) makes this copy a
+  // duplicate. The one-at-a-time path never signature-checked such copies
+  // (its per-datagram pass 1 ran after the earlier datagram delivered), so
+  // the verify() verdict is deliberately ignored here — a corrupt-signature
+  // duplicate counts as a duplicate, not a forgery, keeping blame
+  // attribution byte-identical with the unbatched path.
+  std::vector<char> dup(f.candidates.size(), 0);
+  for (std::size_t i = 0; i < f.candidates.size(); ++i) {
+    if (buffer_.seen(f.candidates[i].msg.id)) {
       c_.duplicates->inc();
-      continue;
+      dup[i] = 1;
     }
-    const Peer* source = msg.id.source == cfg_.id
-                             ? find_peer(msg.id.source)
-                             : resolve_sender(msg.id.source, msg.cert);
-    if (!source) continue;
-    if (!cfg_.verify_signatures) {
-      accept(std::move(msg));
-      continue;
-    }
-    Candidate cand;
-    cand.pub = source->sign_pub;
-    cand.signed_bytes = msg.signed_bytes();
-    cand.msg = std::move(msg);
-    pending.push_back(std::move(cand));
   }
-  if (pending.empty()) return;
 
-  // Pass 2 — batch-verify and deliver in arrival order. The verdict for
-  // each index matches what a one-by-one crypto::ed25519_verify would say
-  // (bad signatures are attributed exactly; see api.hpp).
-  std::vector<crypto::VerifyJob> jobs;
-  jobs.reserve(pending.size());
-  for (const Candidate& cand : pending) {
-    jobs.push_back(crypto::VerifyJob{
-        cand.pub, util::ByteSpan(cand.signed_bytes), cand.msg.signature});
-  }
-  const std::vector<bool> verdicts =
-      crypto::ed25519_verify_batch(std::span<const crypto::VerifyJob>(jobs));
-  for (std::size_t i = 0; i < pending.size(); ++i) {
-    if (!verdicts[i]) {
+  // Pass 2 — apply verdicts and deliver in arrival order. Each verdict
+  // matches what a one-by-one crypto::ed25519_verify would say (bad
+  // signatures are attributed exactly; see api.hpp).
+  for (std::size_t i = 0; i < f.candidates.size(); ++i) {
+    if (dup[i]) continue;
+    ingress::DataCandidate& cand = f.candidates[i];
+    if (cand.needs_verify && !cand.verified) {
       c_.sig_failures->inc();
-      trace(obs::EventKind::kSigFailure, pending[i].msg.id.source);
+      trace(obs::EventKind::kSigFailure, cand.msg.id.source);
       // Attribute the bad signature to whoever FORWARDED the frame (the
       // frame sender), not the claimed message source — the source field is
       // attacker-chosen, the forwarding peer relayed garbage.
-      if (cfg_.scoring.enabled) score_.on_decode_error(frame_sender);
+      if (cfg_.scoring.enabled) score_.on_decode_error(f.sender);
       continue;
     }
     // Re-check: the same id can appear twice in one datagram, and a
     // delivery callback may have originated messages meanwhile.
-    if (buffer_.seen(pending[i].msg.id)) {
+    if (buffer_.seen(cand.msg.id)) {
       c_.duplicates->inc();
       continue;
     }
-    accept(std::move(pending[i].msg));
+    accept(std::move(cand.msg));
   }
 }
 
@@ -668,9 +754,8 @@ void Node::send_gossip() {
           crypto::portbox_seal_port(pair_key(t), cur_pull_reply_port_, rng_);
       trace(obs::EventKind::kPullReqSend, t);
       if (cfg_.scoring.enabled) pending_pulls_.emplace_back(t, false);
-      sockets_.front().sock->send(
-          net::Address{peers_[t].host, peers_[t].wk_pull_port},
-          util::ByteSpan(encode(req)));
+      queue_send(net::Address{peers_[t].host, peers_[t].wk_pull_port},
+                 encode(req));
     }
   }
   if (cfg_.push_enabled()) {
@@ -684,11 +769,13 @@ void Node::send_gossip() {
       offer.boxed_reply_port =
           crypto::portbox_seal_port(pair_key(t), cur_push_reply_port_, rng_);
       trace(obs::EventKind::kOfferSend, t);
-      sockets_.front().sock->send(
-          net::Address{peers_[t].host, peers_[t].wk_offer_port},
-          util::ByteSpan(encode(offer)));
+      queue_send(net::Address{peers_[t].host, peers_[t].wk_offer_port},
+                 encode(offer));
     }
   }
+  // One scatter call for the whole round's fan-out: pull requests + offers
+  // leave in a single network transaction instead of one lock/syscall each.
+  flush_egress();
 }
 
 void Node::on_round() {
@@ -701,7 +788,7 @@ void Node::on_round() {
   // the last poll() is still "this round's" input and deserves its shot at
   // the remaining budgets (the Java implementation reads continuously; this
   // keeps coarse drivers that poll rarely faithful to that).
-  poll();
+  poll_cycle();
 
   record_round_budgets();
 
@@ -723,10 +810,14 @@ void Node::on_round() {
   // anything beyond this round's budgets, i.e. mostly the flood. (The
   // discard_unread=false ablation keeps the backlog instead; see config.)
   if (cfg_.discard_unread) {
+    net::Datagram chunk[ingress::kRecvChunk];
     for (auto& bs : sockets_) {
       std::uint64_t flushed = 0;
-      while (auto d = bs.sock->recv()) {
-        ++flushed;
+      while (true) {
+        const std::size_t got =
+            bs.sock->recv_batch(chunk, ingress::kRecvChunk);
+        flushed += got;
+        if (got < ingress::kRecvChunk) break;
       }
       if (flushed) {
         c_.flushed_unread->inc(flushed);

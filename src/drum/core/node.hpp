@@ -29,12 +29,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "drum/core/buffer.hpp"
 #include "drum/core/config.hpp"
+#include "drum/core/ingress.hpp"
 #include "drum/core/message.hpp"
 #include "drum/core/scoring.hpp"
 #include "drum/crypto/keys.hpp"
@@ -82,8 +84,30 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  /// Drains sockets, processing within this round's remaining budgets.
+  /// DEPRECATED compat shim (one release cycle, same convention as the
+  /// PR-3 NodeRunner and PR-5 scalar-verify retirements): drains, verifies,
+  /// and ingests on a private single-node batch. New drivers use the
+  /// push-style pair below — drain_ingress() + ingress::IngressBatch::
+  /// dispatch() — so verification can batch ACROSS nodes. Will be removed
+  /// next cycle; only tests and the examples' teaching loops may keep it.
   void poll();
+
+  /// Ingress stage A (DESIGN.md §12): drains this node's sockets into
+  /// `batch` with recv_batch, charging reception budgets and greylist
+  /// peek-drops at read time exactly as poll() did, and decoding every
+  /// admitted datagram into typed frames. No signature or port-box check
+  /// happens here — the caller runs batch.verify() (ideally after draining
+  /// several co-scheduled nodes) and then pushes the checked frames back
+  /// through ingest(). Must be serialized with every other entry into this
+  /// node.
+  void drain_ingress(ingress::IngressBatch& batch);
+
+  /// Ingress stage B: applies crypto-checked frames — scoring, greylist,
+  /// serving, dedupe, delivery — without re-verifying anything. `frames`
+  /// must come from this node's own drain_ingress() section, after
+  /// IngressBatch::verify() filled in the verdicts, in drain order. Must be
+  /// serialized with every other entry into this node.
+  void ingest(std::span<ingress::VerifiedFrame> frames);
 
   /// Local gossip round tick.
   void on_round();
@@ -96,6 +120,14 @@ class Node {
   /// directory must still be indexed by id (use Peer::present = false for
   /// holes) and must keep this node's own entry present.
   void update_peers(std::vector<Peer> peers);
+
+  /// Derives the X25519 pair key for every present peer now instead of on
+  /// first contact. Drum assumes pairwise keys are established by the
+  /// membership layer at join time (paper §2); without prewarming, the lazy
+  /// cache pays ~n scalar multiplications during the first rounds of
+  /// traffic — under an attack benchmark that books bootstrap CPU to the
+  /// attack window. Harnesses call this once after construction.
+  void prewarm_pair_keys();
 
   /// §10 certificate piggybacking. `own_cert` (an encoded, CA-signed
   /// certificate) is attached to every message this node originates and
@@ -160,8 +192,6 @@ class Node {
   void check_invariants() const;
 
  private:
-  enum class Channel { kOffer, kPullReq, kPushReply, kPullData, kPushData };
-
   struct BoundSocket {
     std::unique_ptr<net::Socket> sock;
     Channel channel;
@@ -169,20 +199,38 @@ class Node {
     bool well_known = false;
   };
 
-  void process(const BoundSocket& bs, const net::Datagram& dgram);
-  /// `ack_only`: the request arrived past this round's pull-request budget.
-  /// It is decoded and scored but NOT served — a valid one just gets the
-  /// empty pull-reply ack so the requester's futility signal stays clean
-  /// (bound overflow at a busy correct node is not misbehavior).
-  void handle_pull_request(const net::Datagram& dgram, bool ack_only = false);
-  /// `score_only`: over-budget offer — decoded and scored for attribution
-  /// (the simulator's receiver sees every arrival pre-bound; this is the
-  /// live equivalent, capped by the read multiplier) but never answered.
-  void handle_push_offer(const net::Datagram& dgram, bool score_only = false);
-  void handle_push_reply(const net::Datagram& dgram);
-  void handle_data(util::ByteSpan wire, bool is_pull_reply);
+  /// One full local ingress cycle: drain → verify → ingest on a private
+  /// batch. The body behind the poll() shim; on_round()'s final processing
+  /// pass uses it directly.
+  void poll_cycle();
+
+  /// Stage-A decode: parses one budget-admitted datagram into typed frames
+  /// appended to `out`. Throws util::DecodeError on malformed wire bytes
+  /// (the caller charges the blame). `disposition` carries the over-budget
+  /// ack-only / score-only marking for the scored control channels.
+  void parse_into(Channel channel, const net::Datagram& dgram,
+                  ingress::Disposition disposition,
+                  std::vector<ingress::VerifiedFrame>& out);
+
+  // Stage-B appliers — the old handle_* bodies minus decode and crypto,
+  // which stages A and verify() already did.
+  /// Over-budget requests (Disposition::kAckOnly) are scored and answered
+  /// with the constant-size empty ack, never served — bound overflow at a
+  /// busy correct node is not misbehavior, and the requester's futility
+  /// signal stays clean.
+  void apply_pull_request(const ingress::VerifiedFrame& f);
+  /// Over-budget offers (Disposition::kScoreOnly) are scored for
+  /// attribution (the simulator's receiver sees every arrival pre-bound;
+  /// this is the live equivalent, capped by the read multiplier) but never
+  /// answered.
+  void apply_push_offer(const ingress::VerifiedFrame& f);
+  void apply_push_reply(const ingress::VerifiedFrame& f);
+  void apply_data(ingress::VerifiedFrame& f);
 
   bool budget_available(Channel c) const;
+  /// How many more datagrams this channel may read this round — the
+  /// admissible recv_batch window for stage A.
+  std::size_t budget_remaining(Channel c) const;
   void consume_budget(Channel c);
   std::size_t channel_budget(Channel c) const;
   std::size_t budget_used(Channel c) const;
@@ -198,6 +246,13 @@ class Node {
   util::ByteSpan pair_key(std::uint32_t peer_id);
   void rotate_random_ports();
   void send_gossip();
+
+  /// Stage one outgoing datagram for the current cycle; flushed as a single
+  /// Socket::send_many scatter call (one network lock / one sendmmsg for
+  /// the whole gossip fan-out) by flush_egress() at the end of ingest() and
+  /// send_gossip().
+  void queue_send(const net::Address& to, util::Bytes&& payload);
+  void flush_egress();
 
   NodeConfig cfg_;
   crypto::Identity identity_;
@@ -237,6 +292,11 @@ class Node {
 
   std::unordered_map<std::uint32_t, util::Bytes> pair_keys_;
   util::Bytes own_cert_;
+
+  /// Egress staging buffer (queue_send/flush_egress). Member, not a local,
+  /// so its capacity survives across cycles instead of reallocating every
+  /// round.
+  std::vector<std::pair<net::Address, util::Bytes>> egress_;
 
   // Peer-scoring layer (cfg_.scoring.enabled; DESIGN.md §10). The table
   // scores peers from attributable events; pending_pulls_ tracks this

@@ -5,7 +5,9 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "drum/crypto/sha256.hpp"
 #include "drum/crypto/sha512.hpp"
@@ -15,6 +17,15 @@ namespace drum::crypto {
 
 /// HMAC-SHA256(key, data).
 Sha256::Digest hmac_sha256(util::ByteSpan key, util::ByteSpan data);
+
+/// HMAC-SHA256 over many independent (key, data) pairs at once. Runs the
+/// inner and outer hashes as two sha256_batch passes (8-lane AVX2 when
+/// available), so a flood of port-boxed control frames authenticates at
+/// multi-buffer throughput. `keys.size()` must equal `datas.size()`; digest
+/// i is exactly hmac_sha256(keys[i], datas[i]).
+std::vector<Sha256::Digest> hmac_sha256_batch(
+    std::span<const util::ByteSpan> keys,
+    std::span<const util::ByteSpan> datas);
 
 /// HMAC-SHA512(key, data).
 Sha512::Digest hmac_sha512(util::ByteSpan key, util::ByteSpan data);

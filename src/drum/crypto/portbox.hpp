@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "drum/util/bytes.hpp"
 #include "drum/util/rng.hpp"
@@ -40,5 +42,20 @@ util::Bytes portbox_seal_port(util::ByteSpan key, std::uint16_t port,
                               util::Rng& rng);
 std::optional<std::uint16_t> portbox_open_port(util::ByteSpan key,
                                                util::ByteSpan box);
+
+/// One box to open under one pairwise key. Both spans are views; the caller
+/// keeps the backing storage alive across the batch call.
+struct PortBoxOpenJob {
+  util::ByteSpan key;
+  util::ByteSpan box;
+};
+
+/// Opens many port boxes at once. The HMAC tags are recomputed via
+/// hmac_sha256_batch (multi-buffer SHA-256), so a batch of boxed control
+/// frames costs two wide hash passes instead of 2·n scalar ones. Result i is
+/// exactly portbox_open_port(jobs[i].key, jobs[i].box): nullopt on a bad tag,
+/// malformed box, or non-port plaintext size.
+std::vector<std::optional<std::uint16_t>> portbox_open_port_batch(
+    std::span<const PortBoxOpenJob> jobs);
 
 }  // namespace drum::crypto

@@ -362,7 +362,14 @@ void Cluster::run_for_us(std::int64_t duration_us, bool workload) {
       fire_workload();
       next_send_us_ = now_us_ + send_interval;
     }
-    for (auto& live : nodes_) live.node->poll();
+    // One ingress batch across the whole cluster per sweep: every node's
+    // backlog drains first, then a single wide crypto pass verifies all of
+    // it, then each node ingests its verified frames (DESIGN.md §12).
+    {
+      core::ingress::IngressBatch batch;
+      for (auto& live : nodes_) live.node->drain_ingress(batch);
+      batch.dispatch();
+    }
     maybe_sample_series();
   }
   check_invariants();

@@ -124,6 +124,10 @@ Swarm::Swarm(SwarmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
     live.node = std::make_unique<core::Node>(
         ncfg, identities[id], directory_, *live.transport, rng_.next(),
         [this, id](const core::Node::Delivery& d) { on_delivery(id, d); });
+    // Pairwise keys are a join-time cost (the membership layer hands them
+    // out in the paper's model); derive them here so the measured attack
+    // window is not billed n-1 X25519 exchanges per node.
+    live.node->prewarm_pair_keys();
     nodes_.push_back(std::move(live));
   }
 
@@ -388,6 +392,9 @@ SwarmReport Swarm::report() const {
   r.polls = merged.counter_value("runner.polls");
   r.delivered = merged.counter_value("node.delivered");
   r.attack_datagrams = attack_sent_.load();
+  r.ingress_datagrams = merged.counter_value("node.datagrams_read") +
+                        merged.counter_value("node.flushed_unread") +
+                        merged.counter_value("score.greylist_drops");
   r.colluders = colluder_ids_.size();
   if (cfg_.scoring.enabled) {
     r.greylist_drops = merged.counter_value("score.greylist_drops");

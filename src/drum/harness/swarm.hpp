@@ -99,6 +99,10 @@ struct SwarmReport {
   std::uint64_t polls = 0;      ///< sum of poll() invocations
   std::uint64_t delivered = 0;  ///< application deliveries (all nodes)
   std::uint64_t attack_datagrams = 0;
+  /// Datagrams the ingress path disposed of: budgeted reads + round-end
+  /// flushes + greylist peek-drops. The numerator of the pipeline's
+  /// datagrams/sec figure — it counts work retired, not work offered.
+  std::uint64_t ingress_datagrams = 0;
   /// Scoring layer (zero when disabled): frames dropped pre-budget because
   /// the claimed sender was greylisted, cumulative greylist entries across
   /// all nodes, and peers still greylisted at the end of the window.
@@ -119,6 +123,16 @@ struct SwarmReport {
   /// Process CPU utilization over the window (1.0 = one saturated core).
   [[nodiscard]] double cpu_util() const {
     return wall_s > 0 ? cpu_total_s() / wall_s : 0.0;
+  }
+  /// Ingress throughput over the window (compare_bench: higher is better).
+  [[nodiscard]] double ingress_datagrams_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(ingress_datagrams) / wall_s : 0.0;
+  }
+  /// CPU milliseconds burned per delivered message (lower is better) — the
+  /// paper's cost-of-defense lens: a flood wins by inflating this.
+  [[nodiscard]] double cpu_ms_per_delivered() const {
+    return delivered > 0 ? cpu_total_s() * 1e3 / static_cast<double>(delivered)
+                         : 0.0;
   }
 };
 

@@ -37,4 +37,8 @@ void Socket::send_batch(const Address& to, const util::ByteSpan* payloads,
   for (std::size_t i = 0; i < count; ++i) send(to, payloads[i]);
 }
 
+void Socket::send_many(const OutboundDatagram* msgs, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) send(msgs[i].to, msgs[i].payload);
+}
+
 }  // namespace drum::net

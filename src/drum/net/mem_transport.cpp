@@ -1,6 +1,7 @@
 #include "drum/net/mem_transport.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "drum/check/check.hpp"
 
@@ -29,8 +30,41 @@ class MemSocket final : public Socket {
     return d;
   }
 
+  // One network lock per chunk instead of the base class's lock per
+  // datagram — the mem-transport analogue of recvmmsg. Everything popped
+  // must already be deliverable (ready_at <= now), exactly as if recv() had
+  // been called `max` times; in-flight datagrams stay queued.
+  std::size_t recv_batch(Datagram* out, std::size_t max) override {
+    check::MutexLock lock(net_.mu_);
+    auto it = net_.queues_.find(local_);
+    if (it == net_.queues_.end()) return 0;
+    auto& q = it->second.q;
+    std::size_t n = 0;
+    while (n < max && !q.empty()) {
+      auto first = q.begin();
+      if (first->first > net_.now_us_) break;  // still in flight
+      out[n++] = std::move(first->second);
+      q.erase(first);
+    }
+#if DRUM_CHECKED
+    // The batch must stop for exactly one of three reasons: the caller's
+    // window filled, the queue drained, or the head is still in flight. A
+    // queue past its bound here means deliver()'s admission control broke.
+    DRUM_INVARIANT(q.size() <= net_.opts_.queue_capacity,
+                   "receive queue exceeded its capacity after batch pop: ",
+                   q.size(), "/", net_.opts_.queue_capacity);
+    DRUM_INVARIANT(n == max || q.empty() || q.begin()->first > net_.now_us_,
+                   "recv_batch stopped with deliverable datagrams pending");
+#endif
+    return n;
+  }
+
   void send(const Address& to, util::ByteSpan payload) override {
     net_.deliver(local_, to, payload);
+  }
+
+  void send_many(const OutboundDatagram* msgs, std::size_t count) override {
+    net_.deliver_many(local_, msgs, count);
   }
 
   [[nodiscard]] Address local() const override { return local_; }
@@ -102,6 +136,48 @@ void MemNetwork::set_registry(obs::MetricsRegistry* registry) {
   m_queue_depth_ = &registry->histogram("net.queue_depth");
 }
 
+MemNetwork::Queue* MemNetwork::deliver_locked(const Address& from,
+                                              const Address& to,
+                                              util::ByteSpan payload) {
+  if (opts_.loss > 0 && rng_.chance(opts_.loss)) {
+    ++dropped_;
+    if (m_dropped_loss_) m_dropped_loss_->inc();
+    return nullptr;
+  }
+  auto it = queues_.find(to);
+  if (it == queues_.end()) {
+    ++dropped_;  // no listener: silently dropped, like UDP
+    if (m_dropped_no_listener_) m_dropped_no_listener_->inc();
+    return nullptr;
+  }
+  if (it->second.q.size() >= opts_.queue_capacity) {
+    ++dropped_;  // queue overflow: the flood's direct effect
+    if (m_dropped_overflow_) m_dropped_overflow_->inc();
+    return nullptr;
+  }
+  std::int64_t ready_at = now_us_;
+  if (opts_.latency_us > 0) {
+    double jitter = 1.0 + opts_.latency_jitter * (2.0 * rng_.uniform() - 1.0);
+    ready_at += static_cast<std::int64_t>(
+        static_cast<double>(opts_.latency_us) * jitter);
+  }
+  DRUM_ASSERT(ready_at >= now_us_, "datagram scheduled in the past");
+  it->second.q.emplace(ready_at,
+                       Datagram{from, util::Bytes(payload.begin(),
+                                                  payload.end())});
+  // The overflow branch above is the only admission control; a queue past
+  // its capacity means the bounded-socket-buffer model is broken.
+  DRUM_INVARIANT(it->second.q.size() <= opts_.queue_capacity,
+                 "receive queue exceeded its capacity: ",
+                 it->second.q.size(), "/", opts_.queue_capacity);
+  ++delivered_;
+  if (m_delivered_) {
+    m_delivered_->inc();
+    m_queue_depth_->record(it->second.q.size());
+  }
+  return &it->second;
+}
+
 void MemNetwork::deliver(const Address& from, const Address& to,
                          util::ByteSpan payload) {
   // The ready callback fires outside the lock: it typically reaches into an
@@ -110,46 +186,31 @@ void MemNetwork::deliver(const Address& from, const Address& to,
   std::function<void()> notify;
   {
     check::MutexLock lock(mu_);
-    if (opts_.loss > 0 && rng_.chance(opts_.loss)) {
-      ++dropped_;
-      if (m_dropped_loss_) m_dropped_loss_->inc();
-      return;
+    if (Queue* q = deliver_locked(from, to, payload)) {
+      notify = q->on_ready;  // copy: the queue may die after unlock
     }
-    auto it = queues_.find(to);
-    if (it == queues_.end()) {
-      ++dropped_;  // no listener: silently dropped, like UDP
-      if (m_dropped_no_listener_) m_dropped_no_listener_->inc();
-      return;
-    }
-    if (it->second.q.size() >= opts_.queue_capacity) {
-      ++dropped_;  // queue overflow: the flood's direct effect
-      if (m_dropped_overflow_) m_dropped_overflow_->inc();
-      return;
-    }
-    std::int64_t ready_at = now_us_;
-    if (opts_.latency_us > 0) {
-      double jitter =
-          1.0 + opts_.latency_jitter * (2.0 * rng_.uniform() - 1.0);
-      ready_at += static_cast<std::int64_t>(
-          static_cast<double>(opts_.latency_us) * jitter);
-    }
-    DRUM_ASSERT(ready_at >= now_us_, "datagram scheduled in the past");
-    it->second.q.emplace(ready_at,
-                         Datagram{from, util::Bytes(payload.begin(),
-                                                    payload.end())});
-    // The overflow branch above is the only admission control; a queue past
-    // its capacity means the bounded-socket-buffer model is broken.
-    DRUM_INVARIANT(it->second.q.size() <= opts_.queue_capacity,
-                   "receive queue exceeded its capacity: ",
-                   it->second.q.size(), "/", opts_.queue_capacity);
-    ++delivered_;
-    if (m_delivered_) {
-      m_delivered_->inc();
-      m_queue_depth_->record(it->second.q.size());
-    }
-    notify = it->second.on_ready;  // copy: the queue may die after unlock
   }
   if (notify) notify();
+}
+
+void MemNetwork::deliver_many(const Address& from, const OutboundDatagram* msgs,
+                              std::size_t count) {
+  // One lock for the whole fan-out, and one readiness edge per distinct
+  // destination queue: the EventLoop bridge is level-triggered (flag +
+  // eventfd), so a second callback for the same queue is a wasted wakeup.
+  std::vector<std::function<void()>> notifies;
+  {
+    check::MutexLock lock(mu_);
+    std::vector<const Queue*> seen;
+    for (std::size_t i = 0; i < count; ++i) {
+      Queue* q = deliver_locked(from, msgs[i].to, msgs[i].payload);
+      if (!q || !q->on_ready) continue;
+      if (std::find(seen.begin(), seen.end(), q) != seen.end()) continue;
+      seen.push_back(q);
+      notifies.push_back(q->on_ready);  // copy: queues may die after unlock
+    }
+  }
+  for (auto& notify : notifies) notify();
 }
 
 void MemNetwork::advance_to(std::int64_t now_us) {

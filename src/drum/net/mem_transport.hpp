@@ -85,6 +85,17 @@ class MemNetwork {
   };
 
   void deliver(const Address& from, const Address& to, util::ByteSpan payload);
+  /// Scatter delivery: per-datagram admission identical to deliver(), but
+  /// one lock acquisition for the whole batch and one readiness edge per
+  /// distinct destination queue (Socket::send_many's mem-transport leg).
+  void deliver_many(const Address& from, const OutboundDatagram* msgs,
+                    std::size_t count);
+  /// Admission + enqueue of one datagram under mu_. Returns the destination
+  /// queue on success, nullptr when the datagram was dropped (loss, no
+  /// listener, overflow) — the caller fires the queue's readiness callback
+  /// outside the lock.
+  Queue* deliver_locked(const Address& from, const Address& to,
+                        util::ByteSpan payload) DRUM_REQUIRES(mu_);
   bool bind_queue(const Address& at);
   void unbind_queue(const Address& at);
   void set_queue_ready_callback(const Address& at, std::function<void()> cb);

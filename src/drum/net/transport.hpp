@@ -48,6 +48,14 @@ struct Datagram {
   util::Bytes payload;
 };
 
+/// One destination + payload pair for a scatter send (Socket::send_many).
+/// The payload is a view; the caller keeps the bytes alive until the call
+/// returns.
+struct OutboundDatagram {
+  Address to;
+  util::ByteSpan payload;
+};
+
 /// A bound datagram socket. recv()/send() are not thread-safe; one node owns
 /// and polls the socket. set_ready_callback() is the one cross-thread entry
 /// point (see below).
@@ -73,6 +81,14 @@ class Socket {
   /// generator reaches line rate.
   virtual void send_batch(const Address& to, const util::ByteSpan* payloads,
                           std::size_t count);
+
+  /// Batched fire-and-forget send to possibly DISTINCT destinations — the
+  /// egress mirror of recv_batch. A gossip round fans out to view_push +
+  /// view_pull peers plus the round's control replies; sent one at a time
+  /// that is a lock acquisition (MemTransport) or a syscall (UDP) per
+  /// datagram. The default loops send(); MemSocket takes the network lock
+  /// once for the whole fan-out and UdpSocket issues one sendmmsg.
+  virtual void send_many(const OutboundDatagram* msgs, std::size_t count);
 
   /// The local address this socket is bound to.
   [[nodiscard]] virtual Address local() const = 0;

@@ -165,6 +165,41 @@ class UdpSocket final : public Socket {
     }
   }
 
+  void send_many(const OutboundDatagram* msgs, std::size_t count) override {
+    std::array<mmsghdr, kSendSlots> hdrs{};
+    std::array<iovec, kSendSlots> iovs{};
+    std::array<sockaddr_in, kSendSlots> names{};
+    std::size_t i = 0;
+    while (i < count) {
+      const auto batch = static_cast<unsigned>(
+          std::min(kSendSlots, count - i));
+      for (unsigned k = 0; k < batch; ++k) {
+        const OutboundDatagram& m = msgs[i + k];
+        names[k] = make_sockaddr(m.to);
+        // sendmmsg never writes through msg_iov; the const_cast is the
+        // API's, not ours.
+        iovs[k] = {const_cast<std::uint8_t*>(m.payload.data()),
+                   m.payload.size()};
+        hdrs[k] = {};
+        hdrs[k].msg_hdr.msg_iov = &iovs[k];
+        hdrs[k].msg_hdr.msg_iovlen = 1;
+        hdrs[k].msg_hdr.msg_name = &names[k];
+        hdrs[k].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      }
+      int sent = ::sendmmsg(fd_, hdrs.data(), batch, 0);
+      if (sent <= 0) {
+        if (m_.send_errors) m_.send_errors->inc(batch);
+        if (errno != EAGAIN && errno != ECONNREFUSED) {
+          DRUM_DEBUG << "udp sendmmsg (scatter) failed: "
+                     << std::strerror(errno);
+        }
+        return;  // remaining datagrams dropped, like UDP under pressure
+      }
+      if (m_.sent) m_.sent->inc(static_cast<std::uint64_t>(sent));
+      i += static_cast<std::size_t>(sent);
+    }
+  }
+
   [[nodiscard]] Address local() const override { return local_; }
 
   [[nodiscard]] int native_handle() const override { return fd_; }

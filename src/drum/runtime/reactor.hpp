@@ -11,9 +11,14 @@
 // adversary fit in one Release process (examples/swarm.cpp).
 //
 // Serialization contract: a core::Node stays single-threaded. Every entry
-// into a node — poll(), on_round(), multicast(), with_node() — happens under
-// that node's own mutex; the scheduled/ready/round_due flags ensure at most
-// one worker drains a node at a time and no readiness edge is lost. Delivery
+// into a node — drain_ingress(), ingest(), on_round(), multicast(),
+// with_node() — happens under that node's own mutex; the
+// scheduled/ready/round_due flags ensure at most one worker drains a node at
+// a time and no readiness edge is lost. Workers pop nodes in small batches
+// and run the DESIGN.md §12 ingress pipeline across them: drain each node
+// under its lock, run ONE wide crypto pass (Ed25519 + port-box HMAC batches
+// spanning every co-scheduled node) with no lock held, then re-lock each
+// node to ingest its verified frames. Delivery
 // callbacks therefore run on whichever thread is currently driving the node
 // (a worker, or the loop thread when workers == 0) and must never re-enter
 // poll()/on_round() — the same `in_poll_`/`in_round_` invariant the node
@@ -148,7 +153,15 @@ class ReactorRuntime {
   void run_node(NodeState& st);
   /// Drains one node: poll / on_round until both flags are clear. Split
   /// from run_node so the analysis can prove every node entry holds st.mu.
+  /// Inline (workers == 0) path only; workers run run_batch() instead.
   void drain_node(NodeState& st) DRUM_REQUIRES(st.mu);
+  /// The worker-path ingress pipeline (DESIGN.md §12): drain every popped
+  /// node under its own lock into one core::ingress::IngressBatch, run the
+  /// accumulated crypto once with NO node lock held, then re-lock each
+  /// drained node to push its verified frames back in. Round ticks stay
+  /// self-contained under a single lock hold.
+  void run_batch(const std::vector<NodeState*>& sts,
+                 core::ingress::IngressBatch& batch);
   void worker_main();
   void install_hooks(NodeState& st);
 

@@ -359,6 +359,137 @@ TEST(Node, ForgedDataSignatureRejected) {
   EXPECT_EQ(q.node->registry().counter_value("node.delivered"), 0u);
 }
 
+// Two identical single-node worlds fed the same forged/valid data frames:
+// one drains a whole round's backlog in one ingress batch (a single poll),
+// the other polls after every datagram so each batch holds one frame. Blame
+// attribution — who gets the sig-failure penalty, what the counters say —
+// must not depend on the batching window (DESIGN.md §12).
+TEST(Node, BatchVerifyBlameAttributionMatchesSingleFrameVerify) {
+  struct World {
+    util::Rng rng{5};
+    net::MemNetwork net;
+    std::vector<crypto::Identity> ids;
+    std::vector<Peer> dir;
+    std::unique_ptr<net::Transport> transport;
+    std::unique_ptr<Node> node;
+    std::vector<Node::Delivery> got;
+
+    World() {
+      check::reset_nonce_tracker();  // fresh deliberately re-seeded world
+      dir.resize(3);
+      for (std::uint32_t id = 0; id < 3; ++id) {
+        ids.push_back(crypto::Identity::generate(rng));
+        dir[id] = {id,
+                   id,
+                   static_cast<std::uint16_t>(3000 + 3 * id),
+                   static_cast<std::uint16_t>(3001 + 3 * id),
+                   static_cast<std::uint16_t>(3002 + 3 * id),
+                   ids[id].sign_public(),
+                   ids[id].dh_public(),
+                   true};
+      }
+      transport = net.transport(0);
+      // wk-ports variant: the data port is pinned, so forged frames can be
+      // aimed without knowing the rotating random port. Scoring on: the
+      // test's whole point is that penalties land identically.
+      NodeConfig cfg = make_node_config(Variant::kDrumWkPorts, 0);
+      cfg.wk_pull_port = 3000;
+      cfg.wk_offer_port = 3001;
+      cfg.wk_pull_reply_port = 3002;
+      cfg.scoring.enabled = true;
+      node = std::make_unique<Node>(
+          cfg, ids[0], dir, *transport, rng.next(),
+          [this](const Node::Delivery& d) { got.push_back(d); });
+    }
+  };
+
+  // Drives one world through `kRounds` rounds of 4 frames x 3 messages.
+  // Frame f's corruption mask = f % 8, so every combination of corrupt
+  // positions within a frame (none, first, middle, last, pairs, all) occurs
+  // at every batch position across the run. Round 2 additionally repeats
+  // one message id across two frames of the same batch — the copy in the
+  // later frame carries a BAD signature, and must still count as a
+  // duplicate (never a forgery): the single-frame path deduped it at parse
+  // time without ever checking the signature.
+  constexpr int kRounds = 6;
+  constexpr int kFramesPerRound = 4;  // = the pull_data reception budget
+  constexpr int kMsgsPerFrame = 3;
+  auto drive = [&](World& w, bool batched) {
+    std::uint64_t seqno = 0;
+    for (int r = 0; r < kRounds; ++r) {
+      w.node->on_round();
+      for (int j = 0; j < kFramesPerRound; ++j) {
+        const int f = r * kFramesPerRound + j;
+        const std::uint32_t frame_sender = 1 + (f % 2);
+        PullReply reply;
+        reply.sender = frame_sender;
+        for (int m = 0; m < kMsgsPerFrame; ++m) {
+          DataMessage msg;
+          const std::uint32_t source = 1 + ((f + m) % 2);
+          const bool dup_in_batch = r == 2 && j == 1 && m == 0;
+          // The duplicate reuses round-2 frame-0 message-0's id (seqno
+          // arithmetic: frames are filled in order, 3 msgs each).
+          msg.id = {dup_in_batch ? 1u + ((f - 1) % 2) : source,
+                    dup_in_batch ? seqno - kMsgsPerFrame : seqno};
+          ++seqno;
+          msg.round_counter = 1;
+          msg.payload = {static_cast<std::uint8_t>(f),
+                         static_cast<std::uint8_t>(m)};
+          const bool corrupt = dup_in_batch || ((f % 8) >> m) & 1;
+          if (!corrupt) {
+            msg.signature =
+                w.ids[msg.id.source].sign(util::ByteSpan(msg.signed_bytes()));
+          }  // else: zeroed signature, invalid
+          reply.messages.push_back(std::move(msg));
+        }
+        w.net.send_raw(net::Address{frame_sender, 9}, net::Address{0, 3002},
+                       util::ByteSpan(encode(reply)));
+        if (!batched) w.node->poll();  // one-frame batches
+      }
+      if (batched) w.node->poll();  // the whole round's backlog in one batch
+    }
+  };
+
+  World batched;
+  World single;
+  drive(batched, true);
+  drive(single, false);
+
+  // Deliveries byte-identical, in the same order.
+  ASSERT_EQ(batched.got.size(), single.got.size());
+  for (std::size_t i = 0; i < batched.got.size(); ++i) {
+    EXPECT_EQ(batched.got[i].msg.id, single.got[i].msg.id);
+    EXPECT_EQ(batched.got[i].msg.payload, single.got[i].msg.payload);
+  }
+
+  // Counters byte-identical.
+  for (const char* name :
+       {"node.delivered", "node.duplicates", "node.sig_failures",
+        "node.decode_errors", "node.box_failures", "node.datagrams_read",
+        "node.flushed_unread", "node.unknown_sender"}) {
+    EXPECT_EQ(batched.node->registry().counter_value(name),
+              single.node->registry().counter_value(name))
+        << name;
+  }
+  // Sanity: the run actually exercised forgeries, dupes and deliveries.
+  EXPECT_GT(batched.node->registry().counter_value("node.sig_failures"), 0u);
+  EXPECT_GT(batched.node->registry().counter_value("node.duplicates"), 0u);
+  EXPECT_GT(batched.node->registry().counter_value("node.delivered"), 0u);
+
+  // Blame attribution identical: per-peer scores and penalty tallies.
+  auto& bs = batched.node->score_table();
+  auto& ss = single.node->score_table();
+  for (std::uint32_t p = 1; p <= 2; ++p) {
+    EXPECT_EQ(bs.score(p), ss.score(p)) << "peer " << p;
+    EXPECT_EQ(bs.greylisted(p), ss.greylisted(p)) << "peer " << p;
+  }
+  EXPECT_EQ(bs.penalties_decode(), ss.penalties_decode());
+  EXPECT_EQ(bs.penalties_overuse(), ss.penalties_overuse());
+  EXPECT_EQ(bs.penalties_futility(), ss.penalties_futility());
+  EXPECT_EQ(bs.greylist_entries(), ss.greylist_entries());
+  EXPECT_GT(bs.penalties_decode(), 0u);  // forgeries actually drew blame
+}
+
 TEST(Node, CarryOverKeepsBacklogAcrossRounds) {
   // discard_unread=false ablation: the flood survives the round boundary
   // and keeps eating future budgets (why §4's discard matters).

@@ -18,10 +18,27 @@
 #include "drum/runtime/reactor.hpp"
 #include "drum/runtime/runner.hpp"
 
+// Sanitizer instrumentation slows the hot path ~10x; throughput-sensitive
+// tests scale their flood pacing and deadlines by this factor so the TSan
+// leg keeps the race coverage without the wall-clock expectation.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DRUM_TEST_SANITIZED 1
+#endif
+#elif defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define DRUM_TEST_SANITIZED 1
+#endif
+
 namespace drum::runtime {
 namespace {
 
 using namespace std::chrono_literals;
+
+#if defined(DRUM_TEST_SANITIZED)
+constexpr int kSanSlowdown = 8;
+#else
+constexpr int kSanSlowdown = 1;
+#endif
 
 struct Fleet {
   util::Rng rng{77};
@@ -273,6 +290,107 @@ TEST(Stress, ReactorConcurrentMulticastFloodAndChurn) {
       10000ms));
   reactor.stop();
   EXPECT_EQ(delivered.load(), expect + int(kNodes) - 1);
+}
+
+// Cross-node ingress batching under TSan: with more runnable nodes than
+// workers, each worker pops a batch of nodes and runs the DESIGN.md §12
+// pipeline across them — drain A under A.mu, drain B under B.mu, one
+// lock-free crypto pass over both nodes' frames, then re-lock each to
+// ingest. A hard flood with NO inter-send sleep keeps every node's ready
+// flag hot so batches overlap: worker 1 can be verifying frames it drained
+// from node A while worker 2 re-drains A's next backlog. TSan checks that
+// the drained IngressBatch really is private to its worker and that every
+// node entry stays under st.mu.
+TEST(Stress, ReactorCrossNodeBatchAccumulation) {
+  constexpr std::size_t kNodes = 12;
+  util::Rng rng{101};
+  net::MemNetwork mem;
+  std::vector<crypto::Identity> ids;
+  std::vector<core::Peer> dir(kNodes);
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<core::Node>> nodes;
+  std::atomic<int> delivered{0};
+  for (std::uint32_t id = 0; id < kNodes; ++id) {
+    ids.push_back(crypto::Identity::generate(rng));
+    dir[id] = {id,
+               id,
+               static_cast<std::uint16_t>(9700 + 2 * id),
+               static_cast<std::uint16_t>(9700 + 2 * id + 1),
+               0,
+               ids[id].sign_public(),
+               ids[id].dh_public(),
+               true};
+  }
+  ReactorConfig rc;
+  rc.round = 20ms;
+  rc.workers = 3;
+  ReactorRuntime reactor(rc);
+  for (std::uint32_t id = 0; id < kNodes; ++id) {
+    transports.push_back(mem.transport(id));
+    core::NodeConfig cfg = core::make_node_config(core::Variant::kDrum, id);
+    cfg.wk_pull_port = dir[id].wk_pull_port;
+    cfg.wk_offer_port = dir[id].wk_offer_port;
+    nodes.push_back(std::make_unique<core::Node>(
+        cfg, ids[id], dir, *transports.back(), rng.next(),
+        [&delivered](const core::Node::Delivery&) {
+          delivered.fetch_add(1);
+        }));
+    reactor.add_node(*nodes.back(), rng.next());
+  }
+  reactor.start();
+
+  // Two attacker threads sweep ALL nodes back-to-back so the run queue
+  // holds many ready nodes at once — the precondition for a worker popping
+  // a multi-node batch.
+  std::atomic<bool> flood_stop{false};
+  std::vector<std::thread> attackers;
+  for (int a = 0; a < 2; ++a) {
+    attackers.emplace_back([&, a] {
+      util::Rng arng{500u + static_cast<unsigned>(a)};
+      util::Bytes junk(48);
+      while (!flood_stop.load()) {
+        for (auto& b : junk) b = static_cast<std::uint8_t>(arng.below(256));
+        for (std::uint32_t victim = 0; victim < kNodes; ++victim) {
+          mem.send_raw({0xBAD00000u | victim,
+                        static_cast<std::uint16_t>(1024 + arng.below(60000))},
+                       {victim, a == 0 ? dir[victim].wk_offer_port
+                                       : dir[victim].wk_pull_port},
+                       util::ByteSpan(junk));
+        }
+        // Burst-then-pause: the all-nodes burst is what piles the run
+        // queue up (multi-node worker batches); the pause leaves honest
+        // control traffic enough budget to finish in test time.
+        std::this_thread::sleep_for(3ms * kSanSlowdown);
+      }
+    });
+  }
+
+  // Multicast churn from two app threads: real signed data flows through
+  // the same batched verify as the flood's garbage.
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> apps;
+  for (int t = 0; t < kThreads; ++t) {
+    apps.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto which = static_cast<std::size_t>(t + 2 * i) % kNodes;
+        const std::uint8_t payload[2] = {static_cast<std::uint8_t>(t),
+                                         static_cast<std::uint8_t>(i)};
+        reactor.multicast(which, util::ByteSpan(payload, sizeof payload));
+        std::this_thread::sleep_for(2ms);
+      }
+    });
+  }
+  for (auto& t : apps) t.join();
+
+  const int expect = kThreads * kPerThread * (int(kNodes) - 1);
+  EXPECT_TRUE(
+      eventually([&] { return delivered.load() >= expect; },
+                 20000ms * kSanSlowdown));
+  flood_stop.store(true);
+  for (auto& t : attackers) t.join();
+  reactor.stop();
+  EXPECT_EQ(delivered.load(), expect);
 }
 
 }  // namespace
