@@ -12,17 +12,25 @@
 //     --seconds S      measurement window              (default 10)
 //     --mode M         reactor | threads | both        (default both)
 //     --workers W      reactor worker threads          (default 2)
+//     --shards LIST    comma-separated reactor shard counts; one reactor
+//                      phase per entry (1 = single loop + workers, 0 = one
+//                      shard per core; DESIGN.md §13)     (default "1")
 //     --round MS       mean round duration, ms         (default 200)
 //     --rate R         source multicasts per round     (default 10)
 //     --alpha A        attacked fraction               (default 0.25)
 //     --x X            fabricated msgs/victim/round    (default 64)
 //     --udp            loopback UDP instead of mem net
 //     --no-verify      skip Ed25519 data-signature checks (CPU calibration)
+//     --no-prewarm     lazy pairwise-key derivation (mandatory at 10k nodes:
+//                      prewarming is O(n^2) X25519 exchanges)
 //     --json PATH      write BENCH_reactor.json-style report
 //     --seed S         RNG seed                        (default 1)
 //
-// Each mode runs in its own sequential phase so getrusage CPU deltas are
-// attributable; the JSON document carries one entry per phase.
+// Each mode (and each shard count) runs in its own sequential phase so
+// getrusage CPU deltas are attributable; the JSON document carries one entry
+// per phase. Reactor phases at shards=1 keep the plain "reactor" label so
+// existing compare_bench baselines stay addressable; sharded phases are
+// "reactor-s<K>".
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,15 +47,32 @@ struct Options {
   int seconds = 10;
   std::string mode = "both";
   std::size_t workers = 2;
+  std::vector<std::size_t> shards = {1};
   int round_ms = 200;
   std::size_t rate = 10;
   double alpha = 0.25;
   double x = 64.0;
   bool udp = false;
   bool verify = true;
+  bool prewarm = true;
   std::string json_path;
   std::uint64_t seed = 1;
 };
+
+std::vector<std::size_t> parse_size_list(const char* s) {
+  std::vector<std::size_t> out;
+  std::string cur;
+  for (const char* p = s;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) out.push_back(std::strtoull(cur.c_str(), nullptr, 10));
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  return out;
+}
 
 std::string fmt(double v) {
   char buf[64];
@@ -55,11 +80,13 @@ std::string fmt(double v) {
   return buf;
 }
 
-std::string report_json(const char* mode, const drum::harness::SwarmReport& r) {
+std::string report_json(const std::string& mode,
+                        const drum::harness::SwarmReport& r) {
   std::string out = "    {\n";
-  out += "      \"mode\": \"" + std::string(mode) + "\",\n";
+  out += "      \"mode\": \"" + mode + "\",\n";
   out += "      \"nodes\": " + std::to_string(r.nodes) + ",\n";
   out += "      \"threads\": " + std::to_string(r.threads) + ",\n";
+  out += "      \"shards\": " + std::to_string(r.shards) + ",\n";
   out += "      \"wall_s\": " + fmt(r.wall_s) + ",\n";
   out += "      \"cpu_user_s\": " + fmt(r.cpu_user_s) + ",\n";
   out += "      \"cpu_sys_s\": " + fmt(r.cpu_sys_s) + ",\n";
@@ -86,7 +113,9 @@ std::string report_json(const char* mode, const drum::harness::SwarmReport& r) {
   return out;
 }
 
-drum::harness::SwarmReport run_phase(const Options& opt, bool reactor) {
+drum::harness::SwarmReport run_phase(const Options& opt, bool reactor,
+                                     std::size_t shards,
+                                     const std::string& label) {
   drum::harness::SwarmConfig cfg;
   cfg.n = opt.nodes;
   cfg.alpha = opt.alpha;
@@ -98,6 +127,8 @@ drum::harness::SwarmReport run_phase(const Options& opt, bool reactor) {
   cfg.verify_signatures = opt.verify;
   cfg.reactor = reactor;
   cfg.workers = opt.workers;
+  cfg.shards = shards;
+  cfg.prewarm = opt.prewarm;
 
   drum::harness::Swarm swarm(cfg);
   swarm.start();
@@ -106,10 +137,10 @@ drum::harness::SwarmReport run_phase(const Options& opt, bool reactor) {
   auto r = swarm.report();
 
   std::printf(
-      "%-8s nodes=%-4zu threads=%-4zu wall=%.1fs cpu=%.2fs (%.0f%%) "
+      "%-12s nodes=%-5zu threads=%-4zu wall=%.1fs cpu=%.2fs (%.0f%%) "
       "rounds=%llu delivered=%llu flood=%llu ingress=%.0f/s "
       "cpu/msg=%.3fms lat p50/p90/p99 = %.1f/%.1f/%.1f ms\n",
-      reactor ? "reactor" : "threads", r.nodes, r.threads, r.wall_s,
+      label.c_str(), r.nodes, r.threads, r.wall_s,
       r.cpu_total_s(), 100.0 * r.cpu_util(),
       static_cast<unsigned long long>(r.rounds),
       static_cast<unsigned long long>(r.delivered),
@@ -140,6 +171,12 @@ int main(int argc, char** argv) {
       opt.mode = next();
     } else if (a == "--workers") {
       opt.workers = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--shards") {
+      opt.shards = parse_size_list(next());
+      if (opt.shards.empty()) {
+        std::fprintf(stderr, "--shards needs at least one count\n");
+        return 2;
+      }
     } else if (a == "--round") {
       opt.round_ms = std::atoi(next());
     } else if (a == "--rate") {
@@ -152,6 +189,8 @@ int main(int argc, char** argv) {
       opt.udp = true;
     } else if (a == "--no-verify") {
       opt.verify = false;
+    } else if (a == "--no-prewarm") {
+      opt.prewarm = false;
     } else if (a == "--json") {
       opt.json_path = next();
     } else if (a == "--seed") {
@@ -173,10 +212,15 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> entries;
   if (opt.mode == "reactor" || opt.mode == "both") {
-    entries.push_back(report_json("reactor", run_phase(opt, true)));
+    for (std::size_t sh : opt.shards) {
+      const std::string label =
+          sh == 1 ? "reactor" : "reactor-s" + std::to_string(sh);
+      entries.push_back(report_json(label, run_phase(opt, true, sh, label)));
+    }
   }
   if (opt.mode == "threads" || opt.mode == "both") {
-    entries.push_back(report_json("threads", run_phase(opt, false)));
+    entries.push_back(
+        report_json("threads", run_phase(opt, false, 1, "threads")));
   }
 
   if (!opt.json_path.empty()) {
@@ -188,6 +232,11 @@ int main(int argc, char** argv) {
     out += ", \"alpha\": " + fmt(opt.alpha);
     out += ", \"x\": " + fmt(opt.x);
     out += ", \"workers\": " + std::to_string(opt.workers);
+    out += ", \"shards\": [";
+    for (std::size_t i = 0; i < opt.shards.size(); ++i) {
+      out += (i ? ", " : "") + std::to_string(opt.shards[i]);
+    }
+    out += "], \"prewarm\": " + std::string(opt.prewarm ? "true" : "false");
     out += ", \"transport\": \"" + std::string(opt.udp ? "udp" : "mem");
     out += "\", \"seed\": " + std::to_string(opt.seed) + "},\n";
     out += "  \"phases\": [\n";

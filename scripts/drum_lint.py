@@ -44,6 +44,15 @@ stripping comments and string literals (line numbers are preserved):
                    (recvmmsg under UDP, one lock per chunk in mem).
                    Transport implementations (src/drum/net/) and the
                    low-rate membership control plane are out of scope.
+  shard-affinity   No mutex acquisition — check:: wrappers included — in
+                   shard-confined hot paths: the whole of
+                   src/drum/util/spsc_ring.hpp (the SPSC ring IS the
+                   lock-free alternative), plus any region bracketed by
+                   `// drum-lint: shard-local` ... `// drum-lint:
+                   shard-local end` (the sharded reactor's per-shard
+                   dispatch/drain paths, DESIGN.md §13). A lock inside one
+                   of these sections would silently reintroduce the
+                   cross-thread serialization the sharding removed.
   sim-determinism  Protects the Monte-Carlo bit-identity contract
                    (DESIGN.md §9): inside src/drum/sim/, every draw from —
                    or handoff of — a main-stream Rng must be either
@@ -376,6 +385,57 @@ def check_single_recv(files, findings) -> None:
                     "cost (DESIGN.md §12)")
 
 
+# --- shard-affinity --------------------------------------------------------
+
+# Files that are shard-local in their entirety.
+SHARD_LOCAL_FILES = {"src/drum/util/spsc_ring.hpp"}
+SHARD_LOCAL_MARK_RE = re.compile(r"//\s*drum-lint:\s*shard-local(\s+end)?\b")
+# Anything that acquires (or is) a mutex: the drum::check capability
+# wrappers, the raw std types (redundant with raw-mutex, but this check
+# carries its own message), and naked .lock() calls.
+SHARD_LOCK_RE = re.compile(
+    r"\b(?:drum::)?check::(?:Mutex|SharedMutex|MutexLock|SharedMutexLock|"
+    r"SharedLock)\b"
+    r"|\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable)\b"
+    r"|(?:\.|->)\s*(?:try_)?lock(?:_shared)?\s*\(")
+
+
+def shard_local_lines(raw: str) -> set[int]:
+    """Line numbers inside `// drum-lint: shard-local` ... `shard-local end`
+    regions (markers live in comments, so they are read from the raw text)."""
+    lines: set[int] = set()
+    inside = False
+    for lineno, line in enumerate(raw.splitlines(), 1):
+        m = SHARD_LOCAL_MARK_RE.search(line)
+        if m:
+            inside = not m.group(1)  # begin opens, `end` closes
+            continue
+        if inside:
+            lines.add(lineno)
+    return lines
+
+
+def check_shard_affinity(files, findings) -> None:
+    for f in files:
+        ok = f.allowed("shard-affinity")
+        whole_file = f.rel in SHARD_LOCAL_FILES
+        region = set() if whole_file else shard_local_lines(f.raw)
+        if not whole_file and not region:
+            continue
+        for lineno, line in enumerate(f.code.splitlines(), 1):
+            if lineno in ok:
+                continue
+            if not whole_file and lineno not in region:
+                continue
+            if SHARD_LOCK_RE.search(line):
+                findings.append(
+                    f"{f.rel}:{lineno}: [shard-affinity] mutex acquisition "
+                    "in a shard-local section — this path is single-thread-"
+                    "confined by construction (DESIGN.md §13); a lock here "
+                    "reintroduces cross-shard serialization")
+
+
 # --- sim-determinism -------------------------------------------------------
 
 DRAW_METHODS = {"chance", "below", "between", "uniform", "normal", "next",
@@ -561,6 +621,35 @@ CHECKS = [
         ({"src/drum/core/a.cpp":
           "void f(Socket& s) { s.recv(); }  "
           "// drum-lint: allow(single-recv)\n"}, 0),
+    ]),
+    ("shard-affinity", check_shard_affinity, [
+        # the ring header is shard-local in its entirety
+        ({"src/drum/util/spsc_ring.hpp":
+          "void f(check::Mutex& m) { check::MutexLock l(m); }\n"}, 1),
+        ({"src/drum/util/spsc_ring.hpp":
+          "void f() { std::lock_guard<std::mutex> l(mu_); }\n"}, 1),
+        ({"src/drum/util/spsc_ring.hpp":
+          "void f(std::atomic<int>& a) { a.store(1); }\n"}, 0),
+        # marked region in any file: lock inside flagged, outside clean
+        ({"src/drum/runtime/r.cpp":
+          "void f(check::Mutex& m) {\n"
+          "  // drum-lint: shard-local\n"
+          "  check::MutexLock bad(m);\n"
+          "  // drum-lint: shard-local end\n"
+          "  check::MutexLock fine(m);\n}\n"}, 1),
+        # naked .lock() counts as an acquisition too
+        ({"src/drum/runtime/r.cpp":
+          "void f() {\n"
+          "  // drum-lint: shard-local\n"
+          "  mu_.lock();\n"
+          "  // drum-lint: shard-local end\n}\n"}, 1),
+        # unmarked files are out of scope
+        ({"src/drum/runtime/r.cpp":
+          "void f(check::Mutex& m) { check::MutexLock l(m); }\n"}, 0),
+        # suppression syntax
+        ({"src/drum/util/spsc_ring.hpp":
+          "void f(check::Mutex& m) { check::MutexLock l(m); }  "
+          "// drum-lint: allow(shard-affinity)\n"}, 0),
     ]),
     ("sim-determinism", check_sim_determinism, [
         # ungated, unannotated draw on the main stream: finding

@@ -13,11 +13,11 @@
 //                 ──► Node::ingest(frames)         stage B, node serialized
 //                      scoring, greylist, serve/ack, dedupe, delivery
 //
-// The seam between A and B is the redesigned push-style ingress API: a
-// runtime DRAINS frames out of many nodes, verifies everything it is holding
-// in one crypto pass (across frames AND across co-scheduled nodes), then
-// PUSHES the verified frames back in. Node::poll() survives one cycle as a
-// compat shim that runs the three stages back-to-back on a private batch.
+// The seam between A and B is the push-style ingress API: a runtime DRAINS
+// frames out of many nodes, verifies everything it is holding in one crypto
+// pass (across frames AND across co-scheduled nodes), then PUSHES the
+// verified frames back in. Single-node drivers run the three stages
+// back-to-back on a private batch (drain_ingress + dispatch()).
 //
 // Budgets are charged at stage A (reading is what the paper's bound meters,
 // valid or not), so nothing here lets a node process more than its per-round
@@ -116,9 +116,9 @@ class IngressBatch {
   /// while in here; that is the point.
   void verify();
 
-  /// Convenience for single-threaded drivers (poll() shim, Cluster,
-  /// examples): verify, then ingest every section into its node, then
-  /// clear. Callers that interleave their own locking call the pieces.
+  /// Convenience for single-threaded drivers (Cluster, tests, examples):
+  /// verify, then ingest every section into its node, then clear. Callers
+  /// that interleave their own locking call the pieces.
   void dispatch();
 
   [[nodiscard]] std::deque<NodeSection>& sections() { return sections_; }

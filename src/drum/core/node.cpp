@@ -61,6 +61,13 @@ struct EntryGuard {
 Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
            net::Transport& transport, std::uint64_t rng_seed,
            DeliverFn on_deliver)
+    : Node(cfg, std::move(identity),
+           std::make_shared<const std::vector<Peer>>(std::move(peers)),
+           transport, rng_seed, std::move(on_deliver)) {}
+
+Node::Node(NodeConfig cfg, crypto::Identity identity, PeerDirectory peers,
+           net::Transport& transport, std::uint64_t rng_seed,
+           DeliverFn on_deliver)
     : cfg_(cfg),
       identity_(std::move(identity)),
       peers_(std::move(peers)),
@@ -68,11 +75,14 @@ Node::Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
       rng_(rng_seed),
       on_deliver_(std::move(on_deliver)),
       buffer_(cfg.buffer_rounds, cfg.seen_rounds) {
-  if (cfg_.id >= peers_.size() || peers_[cfg_.id].id != cfg_.id) {
+  if (!peers_) {
+    throw std::invalid_argument("peer directory must not be null");
+  }
+  if (cfg_.id >= dir().size() || dir()[cfg_.id].id != cfg_.id) {
     throw std::invalid_argument("peer directory must be indexed by id");
   }
   if (cfg_.scoring.enabled) {
-    score_.reset(peers_.size(), cfg_.scoring, cfg_.id);
+    score_.reset(dir().size(), cfg_.scoring, cfg_.id);
   }
   init_metrics();
   auto bind_wk = [&](std::uint16_t port, Channel ch) {
@@ -146,8 +156,8 @@ void Node::set_socket_hook(SocketHook hook) {
 }
 
 const Peer* Node::find_peer(std::uint32_t id) const {
-  if (id >= peers_.size() || !peers_[id].present) return nullptr;
-  return &peers_[id];
+  if (id >= dir().size() || !dir()[id].present) return nullptr;
+  return &dir()[id];
 }
 
 // Looks up the sender; if unknown, tries to admit it via a piggybacked
@@ -167,18 +177,24 @@ const Peer* Node::resolve_sender(std::uint32_t id, const util::Bytes& cert) {
     c_.unknown_sender->inc();
     return nullptr;
   }
-  if (admitted->id >= peers_.size()) {
-    std::size_t old = peers_.size();
-    peers_.resize(admitted->id + 1);
-    for (std::size_t i = old; i < peers_.size(); ++i) {
-      peers_[i].id = static_cast<std::uint32_t>(i);
-      peers_[i].present = false;
+  // Copy-on-write admission: the directory may be shared across a whole
+  // swarm, so this node installs its own amended copy instead of mutating
+  // in place. Admission is rare (once per newly met member), the copy cost
+  // is dwarfed by the certificate check that preceded it.
+  std::vector<Peer> d = dir_mutable();
+  if (admitted->id >= d.size()) {
+    std::size_t old = d.size();
+    d.resize(admitted->id + 1);
+    for (std::size_t i = old; i < d.size(); ++i) {
+      d[i].id = static_cast<std::uint32_t>(i);
+      d[i].present = false;
     }
   }
-  peers_[admitted->id] = *admitted;
+  d[admitted->id] = *admitted;
+  set_dir(std::move(d));
   c_.certs_admitted->inc();
-  if (cfg_.scoring.enabled) score_.resize(peers_.size());
-  return &peers_[id];
+  if (cfg_.scoring.enabled) score_.resize(dir().size());
+  return &dir()[id];
 }
 
 void Node::update_peers(std::vector<Peer> peers) {
@@ -195,17 +211,17 @@ void Node::update_peers(std::vector<Peer> peers) {
   for (auto it = pair_keys_.begin(); it != pair_keys_.end();) {
     std::uint32_t id = it->first;
     bool keep = id < peers.size() && peers[id].present &&
-                id < peers_.size() && peers_[id].present &&
-                peers[id].dh_pub == peers_[id].dh_pub;
+                id < dir().size() && dir()[id].present &&
+                peers[id].dh_pub == dir()[id].dh_pub;
     it = keep ? std::next(it) : pair_keys_.erase(it);
   }
-  peers_ = std::move(peers);
-  if (cfg_.scoring.enabled) score_.resize(peers_.size());
+  set_dir(std::move(peers));
+  if (cfg_.scoring.enabled) score_.resize(dir().size());
 }
 
 void Node::prewarm_pair_keys() {
   EntryGuard entry(entry_owner_);
-  for (const auto& p : peers_) {
+  for (const auto& p : dir()) {
     if (p.present && p.id != cfg_.id) pair_key(p.id);
   }
 }
@@ -215,7 +231,7 @@ util::ByteSpan Node::pair_key(std::uint32_t peer_id) {
   if (it == pair_keys_.end()) {
     it = pair_keys_
              .emplace(peer_id,
-                      identity_.derive_pair_key(peers_[peer_id].dh_pub))
+                      identity_.derive_pair_key(dir()[peer_id].dh_pub))
              .first;
   }
   return util::ByteSpan(it->second);
@@ -298,8 +314,6 @@ void Node::record_round_budgets() {
     }
   }
 }
-
-void Node::poll() { poll_cycle(); }
 
 void Node::poll_cycle() {
   // The single-node shape of the pipeline: everything this node's sockets
@@ -725,15 +739,15 @@ void Node::send_gossip() {
   // no gossip slots from us); if that would empty the candidate set, fall
   // back to the unfiltered directory rather than going silent.
   std::vector<std::uint32_t> candidates;
-  candidates.reserve(peers_.size());
+  candidates.reserve(dir().size());
   const bool filter = cfg_.scoring.enabled;
-  for (const auto& p : peers_) {
+  for (const auto& p : dir()) {
     if (!p.present || p.id == cfg_.id) continue;
     if (filter && score_.greylisted(p.id)) continue;
     candidates.push_back(p.id);
   }
   if (candidates.empty() && filter) {
-    for (const auto& p : peers_) {
+    for (const auto& p : dir()) {
       if (p.present && p.id != cfg_.id) candidates.push_back(p.id);
     }
   }
@@ -754,7 +768,7 @@ void Node::send_gossip() {
           crypto::portbox_seal_port(pair_key(t), cur_pull_reply_port_, rng_);
       trace(obs::EventKind::kPullReqSend, t);
       if (cfg_.scoring.enabled) pending_pulls_.emplace_back(t, false);
-      queue_send(net::Address{peers_[t].host, peers_[t].wk_pull_port},
+      queue_send(net::Address{dir()[t].host, dir()[t].wk_pull_port},
                  encode(req));
     }
   }
@@ -769,7 +783,7 @@ void Node::send_gossip() {
       offer.boxed_reply_port =
           crypto::portbox_seal_port(pair_key(t), cur_push_reply_port_, rng_);
       trace(obs::EventKind::kOfferSend, t);
-      queue_send(net::Address{peers_[t].host, peers_[t].wk_offer_port},
+      queue_send(net::Address{dir()[t].host, dir()[t].wk_offer_port},
                  encode(offer));
     }
   }
@@ -785,9 +799,10 @@ void Node::on_round() {
   ReentryGuard guard(in_round_);
 
   // Final processing pass for the ending round: anything that arrived since
-  // the last poll() is still "this round's" input and deserves its shot at
-  // the remaining budgets (the Java implementation reads continuously; this
-  // keeps coarse drivers that poll rarely faithful to that).
+  // the last ingress sweep is still "this round's" input and deserves its
+  // shot at the remaining budgets (the Java implementation reads
+  // continuously; this keeps coarse drivers that drain rarely faithful to
+  // that).
   poll_cycle();
 
   record_round_budgets();
@@ -866,11 +881,12 @@ void Node::check_invariants() const {
   DRUM_INVARIANT(shared_control_used_ <= cfg_.shared_control_budget(),
                  "joint control budget over-spent");
 
-  // Directory: indexed by id, our own entry present.
-  DRUM_INVARIANT(cfg_.id < peers_.size() && peers_[cfg_.id].present,
+  // Directory: non-null, indexed by id, our own entry present.
+  DRUM_INVARIANT(peers_ != nullptr, "peer directory must never be null");
+  DRUM_INVARIANT(cfg_.id < dir().size() && dir()[cfg_.id].present,
                  "own directory entry missing");
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    DRUM_INVARIANT(!peers_[i].present || peers_[i].id == i,
+  for (std::size_t i = 0; i < dir().size(); ++i) {
+    DRUM_INVARIANT(!dir()[i].present || dir()[i].id == i,
                    "directory not indexed by id at slot ", i);
   }
 
@@ -891,7 +907,7 @@ void Node::check_invariants() const {
   }
 
   if (cfg_.scoring.enabled) {
-    DRUM_INVARIANT(score_.size() >= peers_.size(),
+    DRUM_INVARIANT(score_.size() >= dir().size(),
                    "score table lags the peer directory");
     score_.check_invariants();
   }

@@ -1,9 +1,13 @@
 // The real Drum protocol node (paper §4, §8) and its variants.
 //
 // A Node is a passive, single-threaded object driven by its runner:
-//   poll()      — drain sockets, processing datagrams within per-round,
-//                 per-channel budgets (excess stays queued and is discarded
-//                 at the end of the round, exactly as the paper prescribes);
+//   drain_ingress() + ingest()
+//               — the two-stage ingress pipeline (DESIGN.md §12): stage A
+//                 drains sockets into an ingress::IngressBatch within
+//                 per-round, per-channel budgets (excess stays queued and is
+//                 discarded at the end of the round, exactly as the paper
+//                 prescribes); the runner batch-verifies, then stage B
+//                 applies the checked frames;
 //   on_round()  — the local gossip round tick: purge + age the buffer,
 //                 flush unread queues, rotate random ports, reset budgets,
 //                 then send this round's pull-requests and push-offers;
@@ -73,10 +77,21 @@ class Node {
   };
   using DeliverFn = std::function<void(const Delivery&)>;
 
+  /// Immutable shared peer directory. A 10k-node swarm hands every node the
+  /// SAME directory object (one copy instead of n, ~n² Peer entries saved);
+  /// nodes never mutate it in place — directory changes (certificate
+  /// admission, update_peers) swap in a fresh copy, copy-on-write.
+  using PeerDirectory = std::shared_ptr<const std::vector<Peer>>;
+
   /// `peers` must contain one entry per group member including this node
   /// (index == id). Binds the node's well-known ports on `transport`
   /// immediately; throws std::runtime_error if they are taken.
   Node(NodeConfig cfg, crypto::Identity identity, std::vector<Peer> peers,
+       net::Transport& transport, std::uint64_t rng_seed,
+       DeliverFn on_deliver);
+  /// Shared-directory overload: `peers` must be non-null and is never
+  /// mutated through this handle. Prefer this in large swarms.
+  Node(NodeConfig cfg, crypto::Identity identity, PeerDirectory peers,
        net::Transport& transport, std::uint64_t rng_seed,
        DeliverFn on_deliver);
   ~Node();
@@ -84,18 +99,11 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  /// DEPRECATED compat shim (one release cycle, same convention as the
-  /// PR-3 NodeRunner and PR-5 scalar-verify retirements): drains, verifies,
-  /// and ingests on a private single-node batch. New drivers use the
-  /// push-style pair below — drain_ingress() + ingress::IngressBatch::
-  /// dispatch() — so verification can batch ACROSS nodes. Will be removed
-  /// next cycle; only tests and the examples' teaching loops may keep it.
-  void poll();
-
   /// Ingress stage A (DESIGN.md §12): drains this node's sockets into
   /// `batch` with recv_batch, charging reception budgets and greylist
-  /// peek-drops at read time exactly as poll() did, and decoding every
-  /// admitted datagram into typed frames. No signature or port-box check
+  /// peek-drops at read time exactly as the one-at-a-time loop did, and
+  /// decoding every admitted datagram into typed frames. No signature or
+  /// port-box check
   /// happens here — the caller runs batch.verify() (ideally after draining
   /// several co-scheduled nodes) and then pushes the checked frames back
   /// through ingest(). Must be serialized with every other entry into this
@@ -200,8 +208,7 @@ class Node {
   };
 
   /// One full local ingress cycle: drain → verify → ingest on a private
-  /// batch. The body behind the poll() shim; on_round()'s final processing
-  /// pass uses it directly.
+  /// batch. on_round()'s final processing pass for the ending round.
   void poll_cycle();
 
   /// Stage-A decode: parses one budget-admitted datagram into typed frames
@@ -254,9 +261,21 @@ class Node {
   void queue_send(const net::Address& to, util::Bytes&& payload);
   void flush_egress();
 
+  /// Read access to the directory.
+  [[nodiscard]] const std::vector<Peer>& dir() const { return *peers_; }
+  /// Copy-on-write access: clones the directory (even if notionally unique —
+  /// directory changes are rare and cheap relative to the crypto they
+  /// accompany), for the caller to mutate and then install via set_dir().
+  [[nodiscard]] std::vector<Peer> dir_mutable() const { return *peers_; }
+  void set_dir(std::vector<Peer>&& d) {
+    peers_ = std::make_shared<const std::vector<Peer>>(std::move(d));
+  }
+
   NodeConfig cfg_;
   crypto::Identity identity_;
-  std::vector<Peer> peers_;
+  /// Never null. Shared (possibly by every node in a swarm) and immutable;
+  /// mutations go through a local copy + pointer swap (see dir_mutable()).
+  PeerDirectory peers_;
   net::Transport& transport_;
   util::Rng rng_;
   DeliverFn on_deliver_;
@@ -266,8 +285,9 @@ class Node {
   std::uint64_t next_seqno_ = 0;
 
   // Round-state machine legality (drum::check): a Node is single-threaded
-  // and neither poll() nor on_round() may re-enter — a delivery callback
-  // that drives the same node again would corrupt budgets mid-flight.
+  // and neither the ingress stages nor on_round() may re-enter — a delivery
+  // callback that drives the same node again would corrupt budgets
+  // mid-flight.
   // multicast() from a callback is legal. Maintained unconditionally
   // (two bools), asserted only in checked builds.
   bool in_poll_ = false;

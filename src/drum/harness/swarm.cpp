@@ -107,6 +107,11 @@ Swarm::Swarm(SwarmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 
   activity_ = std::vector<std::atomic<std::uint32_t>>(n_live);
   nodes_.reserve(n_live);
+  // One immutable directory shared by every node (Node::PeerDirectory).
+  // Passing the vector by value instead would hand each of n nodes its own
+  // n-entry copy — O(n²) Peer storage, ~8 GB at 10k nodes.
+  auto shared_dir =
+      std::make_shared<const std::vector<core::Peer>>(directory_);
   for (std::uint32_t id = 0; id < n_live; ++id) {
     LiveNode live;
     live.id = id;
@@ -122,12 +127,13 @@ Swarm::Swarm(SwarmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
     ncfg.verify_signatures = cfg_.verify_signatures;
     ncfg.scoring = cfg_.scoring;
     live.node = std::make_unique<core::Node>(
-        ncfg, identities[id], directory_, *live.transport, rng_.next(),
+        ncfg, identities[id], shared_dir, *live.transport, rng_.next(),
         [this, id](const core::Node::Delivery& d) { on_delivery(id, d); });
     // Pairwise keys are a join-time cost (the membership layer hands them
     // out in the paper's model); derive them here so the measured attack
-    // window is not billed n-1 X25519 exchanges per node.
-    live.node->prewarm_pair_keys();
+    // window is not billed n-1 X25519 exchanges per node. Optional because
+    // it is O(n²) across the group (see SwarmConfig::prewarm).
+    if (cfg_.prewarm) live.node->prewarm_pair_keys();
     nodes_.push_back(std::move(live));
   }
 
@@ -136,6 +142,7 @@ Swarm::Swarm(SwarmConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
     rc.round = cfg_.round;
     rc.jitter = cfg_.jitter;
     rc.workers = cfg_.workers;
+    rc.shards = cfg_.shards;
     reactor_ = std::make_unique<runtime::ReactorRuntime>(rc);
     for (auto& live : nodes_) reactor_->add_node(*live.node, rng_.next());
   } else {
@@ -382,7 +389,13 @@ void Swarm::attacker_main() {
 SwarmReport Swarm::report() const {
   SwarmReport r;
   r.nodes = nodes_.size();
-  r.threads = cfg_.reactor ? 1 + cfg_.workers : nodes_.size();
+  if (cfg_.reactor) {
+    const std::size_t sh = std::max<std::size_t>(1, reactor_->shard_count());
+    r.shards = sh;
+    r.threads = sh >= 2 ? sh : 1 + cfg_.workers;
+  } else {
+    r.threads = nodes_.size();
+  }
   r.wall_s = wall_s_;
   r.cpu_user_s = cpu_user_s_;
   r.cpu_sys_s = cpu_sys_s_;

@@ -6,8 +6,9 @@
 // with what delivery latency — the ReactorRuntime's reason to exist. Two
 // execution modes over identical node code:
 //
-//  * reactor (default): one ReactorRuntime — a single event loop plus a small
-//    worker pool — hosts every node;
+//  * reactor (default): one ReactorRuntime hosts every node — a single event
+//    loop plus a small worker pool, or (shards >= 2, DESIGN.md §13) one
+//    independent event-loop shard per core with SPSC cross-shard handoff;
 //  * thread-per-node baseline: one NodeRunner (and thus one thread) per node,
 //    the deployment shape the paper's per-machine JVMs imply.
 //
@@ -65,6 +66,18 @@ struct SwarmConfig {
   std::uint16_t udp_base_port = 31000;
   bool reactor = true;          ///< false: thread-per-node baseline
   std::size_t workers = 2;      ///< reactor worker threads (0 = loop only)
+  /// Reactor shards (DESIGN.md §13): 1 = single event loop + `workers`
+  /// worker pool (the legacy shape); 0 = one shard per hardware core;
+  /// >= 2 = that many shards, each an independent event-loop thread owning
+  /// a disjoint slice of the nodes (`workers` is ignored then).
+  std::size_t shards = 1;
+  /// Derive every pairwise key at construction (a join-time cost in the
+  /// paper's model, so benchmarks do not bill X25519 bootstrap to the
+  /// measured window). Disable for very large swarms: prewarming is O(n²)
+  /// scalar multiplications across the group (a 10k swarm would pay 10^8),
+  /// while lazy derivation touches only the partners a node actually
+  /// gossips with.
+  bool prewarm = true;
   /// Flood pacing: each burst delivers 1 / bursts of the round's planned
   /// datagrams.
   std::size_t attacker_bursts_per_round = 20;
@@ -89,9 +102,12 @@ struct SwarmConfig {
 struct SwarmReport {
   std::size_t nodes = 0;
   /// Threads the runtime spawned to execute protocol nodes (loop + workers
-  /// for the reactor; n for the baseline). Excludes the attacker and the
-  /// caller.
+  /// for the single-loop reactor; one per shard when sharded; n for the
+  /// baseline). Excludes the attacker and the caller.
   std::size_t threads = 0;
+  /// Reactor shards that actually ran (after auto-resolution); 0 in
+  /// baseline mode.
+  std::size_t shards = 0;
   double wall_s = 0.0;
   double cpu_user_s = 0.0;  ///< getrusage(RUSAGE_SELF) delta over the window
   double cpu_sys_s = 0.0;

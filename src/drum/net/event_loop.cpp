@@ -74,6 +74,12 @@ void EventLoop::wake() {
   [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof one);
 }
 
+void EventLoop::set_cycle_callback(Callback fn) {
+  DRUM_REQUIRE(!running_.load(),
+               "set_cycle_callback while the loop is running");
+  cycle_cb_ = std::move(fn);
+}
+
 EventLoop::SourceId EventLoop::add_socket(Socket& sock, Callback on_ready) {
   DRUM_REQUIRE(on_ready != nullptr, "add_socket requires a callback");
   const bool has_fd = sock.native_handle() >= 0;
@@ -285,6 +291,12 @@ void EventLoop::run() {
       if (m_timers_fired_) m_timers_fired_->inc();
       t.fn();
     }
+
+    // End-of-iteration hook: everything the cycle produced (ready sockets,
+    // posts, due timers) has been dispatched; the owner can now run its
+    // batched per-cycle work (the sharded reactor's drain-verify-ingest
+    // pass) exactly once per wakeup.
+    if (cycle_cb_) cycle_cb_();
   }
   running_.store(false);
 }

@@ -75,6 +75,21 @@ class EventLoop {
   /// Runs `fn` on the loop thread at the next iteration.
   void post(Callback fn);
 
+  /// Forces the loop through one more iteration (epoll_wait returns even if
+  /// no fd is ready). Thread-safe and async-signal-cheap: one eventfd write.
+  /// The sharded reactor uses this to nudge a peer shard after pushing onto
+  /// its SPSC ring — the data travels through the ring, only the wakeup
+  /// travels through the loop.
+  void wake();
+
+  /// Installs a callback the loop thread invokes at the END of every
+  /// iteration, after socket readiness, posts, and timers have all been
+  /// dispatched. Call only while the loop is not running (same rule as
+  /// set_registry); pass nullptr to detach. The sharded reactor drains its
+  /// shard-local ready list and inbound rings here, so per-cycle work is
+  /// batched across everything the iteration produced.
+  void set_cycle_callback(Callback fn);
+
   /// Blocks, dispatching events until stop(). Call from exactly one thread.
   /// A stop() issued before run() is entered still takes effect (the request
   /// is sticky): run() returns immediately. Reuse after a stop requires
@@ -103,7 +118,6 @@ class EventLoop {
   };
 
   void notify_source(SourceId id);  // mem bridge, any thread
-  void wake();
   void arm_timerfd() DRUM_REQUIRES(mu_);
 
   int epoll_fd_ = -1;
@@ -127,6 +141,9 @@ class EventLoop {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+
+  /// Set before run(), invoked by the loop thread only (like registry_).
+  Callback cycle_cb_;
 
   obs::MetricsRegistry* registry_ = nullptr;
   obs::Counter* m_wakeups_ = nullptr;

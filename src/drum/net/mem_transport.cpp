@@ -20,40 +20,48 @@ class MemSocket final : public Socket {
   ~MemSocket() override { net_.unbind_queue(local_); }
 
   std::optional<Datagram> recv() override {
-    check::MutexLock lock(net_.mu_);
+    check::SharedLock map(net_.map_mu_);
     auto it = net_.queues_.find(local_);
-    if (it == net_.queues_.end() || it->second.q.empty()) return std::nullopt;
-    auto first = it->second.q.begin();
-    if (first->first > net_.now_us_) return std::nullopt;  // still in flight
+    if (it == net_.queues_.end()) return std::nullopt;
+    MemNetwork::Queue& dst = it->second;
+    check::MutexLock lock(dst.mu);
+    if (dst.q.empty()) return std::nullopt;
+    auto first = dst.q.begin();
+    if (first->first > net_.now_us_.load(std::memory_order_relaxed)) {
+      return std::nullopt;  // still in flight
+    }
     Datagram d = std::move(first->second);
-    it->second.q.erase(first);
+    dst.q.erase(first);
     return d;
   }
 
-  // One network lock per chunk instead of the base class's lock per
+  // One queue lock per chunk instead of the base class's lock per
   // datagram — the mem-transport analogue of recvmmsg. Everything popped
   // must already be deliverable (ready_at <= now), exactly as if recv() had
   // been called `max` times; in-flight datagrams stay queued.
   std::size_t recv_batch(Datagram* out, std::size_t max) override {
-    check::MutexLock lock(net_.mu_);
+    check::SharedLock map(net_.map_mu_);
     auto it = net_.queues_.find(local_);
     if (it == net_.queues_.end()) return 0;
-    auto& q = it->second.q;
+    MemNetwork::Queue& dst = it->second;
+    check::MutexLock lock(dst.mu);
+    auto& q = dst.q;
+    const std::int64_t now = net_.now_us_.load(std::memory_order_relaxed);
     std::size_t n = 0;
     while (n < max && !q.empty()) {
       auto first = q.begin();
-      if (first->first > net_.now_us_) break;  // still in flight
+      if (first->first > now) break;  // still in flight
       out[n++] = std::move(first->second);
       q.erase(first);
     }
 #if DRUM_CHECKED
     // The batch must stop for exactly one of three reasons: the caller's
     // window filled, the queue drained, or the head is still in flight. A
-    // queue past its bound here means deliver()'s admission control broke.
+    // queue past its bound here means admit()'s admission control broke.
     DRUM_INVARIANT(q.size() <= net_.opts_.queue_capacity,
                    "receive queue exceeded its capacity after batch pop: ",
                    q.size(), "/", net_.opts_.queue_capacity);
-    DRUM_INVARIANT(n == max || q.empty() || q.begin()->first > net_.now_us_,
+    DRUM_INVARIANT(n == max || q.empty() || q.begin()->first > now,
                    "recv_batch stopped with deliverable datagrams pending");
 #endif
     return n;
@@ -101,7 +109,7 @@ class MemTransport final : public Transport {
 };
 
 MemNetwork::MemNetwork() : MemNetwork(Options{}) {}
-MemNetwork::MemNetwork(Options opts) : opts_(opts), rng_(opts.seed) {
+MemNetwork::MemNetwork(Options opts) : opts_(opts), bind_rng_(opts.seed) {
   DRUM_REQUIRE(opts.loss >= 0.0 && opts.loss <= 1.0,
                "loss must be a probability: ", opts.loss);
   DRUM_REQUIRE(opts.latency_jitter >= 0.0 && opts.latency_jitter <= 1.0,
@@ -120,8 +128,9 @@ void MemNetwork::send_raw(const Address& from, const Address& to,
 }
 
 void MemNetwork::set_registry(obs::MetricsRegistry* registry) {
-  check::MutexLock lock(mu_);
+  check::MutexLock lock(stats_mu_);
   if (!registry) {
+    has_stats_.store(false, std::memory_order_relaxed);
     m_delivered_ = nullptr;
     m_dropped_loss_ = nullptr;
     m_dropped_no_listener_ = nullptr;
@@ -134,60 +143,90 @@ void MemNetwork::set_registry(obs::MetricsRegistry* registry) {
   m_dropped_no_listener_ = &registry->counter("net.dropped_no_listener");
   m_dropped_overflow_ = &registry->counter("net.dropped_overflow");
   m_queue_depth_ = &registry->histogram("net.queue_depth");
+  has_stats_.store(true, std::memory_order_relaxed);
 }
 
-MemNetwork::Queue* MemNetwork::deliver_locked(const Address& from,
-                                              const Address& to,
-                                              util::ByteSpan payload) {
-  if (opts_.loss > 0 && rng_.chance(opts_.loss)) {
-    ++dropped_;
-    if (m_dropped_loss_) m_dropped_loss_->inc();
-    return nullptr;
-  }
-  auto it = queues_.find(to);
-  if (it == queues_.end()) {
-    ++dropped_;  // no listener: silently dropped, like UDP
+void MemNetwork::seed_queue(Queue& dst, std::uint64_t seed,
+                            const Address& at) {
+  // SplitMix decorrelates adjacent addresses; the queue's stream depends
+  // only on (network seed, destination), never on bind order.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(at.host) << 16) | at.port;
+  check::MutexLock lock(dst.mu);
+  dst.rng = util::Rng(util::SplitMix64(seed ^ key).next());
+}
+
+void MemNetwork::drop_no_listener() {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (has_stats_.load(std::memory_order_relaxed)) {
+    check::MutexLock stats(stats_mu_);
     if (m_dropped_no_listener_) m_dropped_no_listener_->inc();
-    return nullptr;
   }
-  if (it->second.q.size() >= opts_.queue_capacity) {
-    ++dropped_;  // queue overflow: the flood's direct effect
-    if (m_dropped_overflow_) m_dropped_overflow_->inc();
-    return nullptr;
+}
+
+bool MemNetwork::admit(Queue& dst, const Address& from,
+                       util::ByteSpan payload) {
+  if (opts_.loss > 0 && dst.rng.chance(opts_.loss)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (has_stats_.load(std::memory_order_relaxed)) {
+      check::MutexLock stats(stats_mu_);
+      if (m_dropped_loss_) m_dropped_loss_->inc();
+    }
+    return false;
   }
-  std::int64_t ready_at = now_us_;
+  if (dst.q.size() >= opts_.queue_capacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // the flood's effect
+    if (has_stats_.load(std::memory_order_relaxed)) {
+      check::MutexLock stats(stats_mu_);
+      if (m_dropped_overflow_) m_dropped_overflow_->inc();
+    }
+    return false;
+  }
+  const std::int64_t now = now_us_.load(std::memory_order_relaxed);
+  std::int64_t ready_at = now;
   if (opts_.latency_us > 0) {
-    double jitter = 1.0 + opts_.latency_jitter * (2.0 * rng_.uniform() - 1.0);
+    double jitter =
+        1.0 + opts_.latency_jitter * (2.0 * dst.rng.uniform() - 1.0);
     ready_at += static_cast<std::int64_t>(
         static_cast<double>(opts_.latency_us) * jitter);
   }
-  DRUM_ASSERT(ready_at >= now_us_, "datagram scheduled in the past");
-  it->second.q.emplace(ready_at,
-                       Datagram{from, util::Bytes(payload.begin(),
-                                                  payload.end())});
+  DRUM_ASSERT(ready_at >= now, "datagram scheduled in the past");
+  dst.q.emplace(ready_at,
+                Datagram{from, util::Bytes(payload.begin(), payload.end())});
   // The overflow branch above is the only admission control; a queue past
   // its capacity means the bounded-socket-buffer model is broken.
-  DRUM_INVARIANT(it->second.q.size() <= opts_.queue_capacity,
-                 "receive queue exceeded its capacity: ",
-                 it->second.q.size(), "/", opts_.queue_capacity);
-  ++delivered_;
-  if (m_delivered_) {
-    m_delivered_->inc();
-    m_queue_depth_->record(it->second.q.size());
+  DRUM_INVARIANT(dst.q.size() <= opts_.queue_capacity,
+                 "receive queue exceeded its capacity: ", dst.q.size(), "/",
+                 opts_.queue_capacity);
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (has_stats_.load(std::memory_order_relaxed)) {
+    check::MutexLock stats(stats_mu_);
+    if (m_delivered_) {
+      m_delivered_->inc();
+      m_queue_depth_->record(dst.q.size());
+    }
   }
-  return &it->second;
+  return true;
 }
 
 void MemNetwork::deliver(const Address& from, const Address& to,
                          util::ByteSpan payload) {
-  // The ready callback fires outside the lock: it typically reaches into an
-  // EventLoop (its own mutex + eventfd), and holding the network lock across
-  // foreign code invites lock-order cycles.
+  // The ready callback fires outside every lock: it typically reaches into
+  // a reactor shard (an SPSC ring push, or an EventLoop's own mutex +
+  // eventfd), and holding network locks across foreign code invites
+  // lock-order cycles.
   std::function<void()> notify;
   {
-    check::MutexLock lock(mu_);
-    if (Queue* q = deliver_locked(from, to, payload)) {
-      notify = q->on_ready;  // copy: the queue may die after unlock
+    check::SharedLock map(map_mu_);
+    auto it = queues_.find(to);
+    if (it == queues_.end()) {
+      drop_no_listener();  // no listener: silently dropped, like UDP
+      return;
+    }
+    Queue& dst = it->second;
+    check::MutexLock lock(dst.mu);
+    if (admit(dst, from, payload)) {
+      notify = dst.on_ready;  // copy: the queue may die after unlock
     }
   }
   if (notify) notify();
@@ -195,69 +234,72 @@ void MemNetwork::deliver(const Address& from, const Address& to,
 
 void MemNetwork::deliver_many(const Address& from, const OutboundDatagram* msgs,
                               std::size_t count) {
-  // One lock for the whole fan-out, and one readiness edge per distinct
-  // destination queue: the EventLoop bridge is level-triggered (flag +
-  // eventfd), so a second callback for the same queue is a wasted wakeup.
+  // One map lock for the whole fan-out, and one readiness edge per distinct
+  // destination queue: readiness bridges are level-triggered, so a second
+  // callback for the same queue is a wasted wakeup.
   std::vector<std::function<void()>> notifies;
   {
-    check::MutexLock lock(mu_);
+    check::SharedLock map(map_mu_);
     std::vector<const Queue*> seen;
     for (std::size_t i = 0; i < count; ++i) {
-      Queue* q = deliver_locked(from, msgs[i].to, msgs[i].payload);
-      if (!q || !q->on_ready) continue;
-      if (std::find(seen.begin(), seen.end(), q) != seen.end()) continue;
-      seen.push_back(q);
-      notifies.push_back(q->on_ready);  // copy: queues may die after unlock
+      auto it = queues_.find(msgs[i].to);
+      if (it == queues_.end()) {
+        drop_no_listener();
+        continue;
+      }
+      Queue& dst = it->second;
+      check::MutexLock lock(dst.mu);
+      if (!admit(dst, from, msgs[i].payload) || !dst.on_ready) continue;
+      if (std::find(seen.begin(), seen.end(), &dst) != seen.end()) continue;
+      seen.push_back(&dst);
+      notifies.push_back(dst.on_ready);  // copy: queues may die after unlock
     }
   }
   for (auto& notify : notifies) notify();
 }
 
 void MemNetwork::advance_to(std::int64_t now_us) {
-  check::MutexLock lock(mu_);
-  now_us_ = std::max(now_us_, now_us);
+  std::int64_t cur = now_us_.load(std::memory_order_relaxed);
+  while (now_us > cur &&
+         !now_us_.compare_exchange_weak(cur, now_us,
+                                        std::memory_order_relaxed)) {
+  }
 }
 
 bool MemNetwork::bind_queue(const Address& at) {
-  check::MutexLock lock(mu_);
+  check::SharedMutexLock lock(map_mu_);
   auto [it, inserted] = queues_.try_emplace(at);
-  (void)it;
+  if (inserted) seed_queue(it->second, opts_.seed, at);
   return inserted;
 }
 
 void MemNetwork::unbind_queue(const Address& at) {
-  check::MutexLock lock(mu_);
+  check::SharedMutexLock lock(map_mu_);
   queues_.erase(at);
 }
 
 void MemNetwork::set_queue_ready_callback(const Address& at,
                                           std::function<void()> cb) {
-  check::MutexLock lock(mu_);
+  check::SharedLock map(map_mu_);
   auto it = queues_.find(at);
-  if (it != queues_.end()) it->second.on_ready = std::move(cb);
+  if (it == queues_.end()) return;
+  check::MutexLock lock(it->second.mu);
+  it->second.on_ready = std::move(cb);
 }
 
 std::uint16_t MemNetwork::pick_ephemeral(std::uint32_t host) {
-  check::MutexLock lock(mu_);
+  check::SharedMutexLock lock(map_mu_);
   for (int attempt = 0; attempt < 64; ++attempt) {
     auto port = static_cast<std::uint16_t>(kEphemeralBase +
-                                           rng_.below(kEphemeralCount));
+                                           bind_rng_.below(kEphemeralCount));
     Address addr{host, port};
     auto [it, inserted] = queues_.try_emplace(addr);
-    (void)it;
-    if (inserted) return port;
+    if (inserted) {
+      seed_queue(it->second, opts_.seed, addr);
+      return port;
+    }
   }
   return 0;
-}
-
-std::uint64_t MemNetwork::dropped() const {
-  check::MutexLock lock(mu_);
-  return dropped_;
-}
-
-std::uint64_t MemNetwork::delivered() const {
-  check::MutexLock lock(mu_);
-  return delivered_;
 }
 
 }  // namespace drum::net

@@ -1,5 +1,7 @@
 #include "drum/runtime/reactor.hpp"
 
+#include <atomic>
+
 #include "drum/check/check.hpp"
 
 namespace drum::runtime {
@@ -7,6 +9,32 @@ namespace drum::runtime {
 using Clock = net::EventLoop::Clock;
 using std::chrono::duration_cast;
 using std::chrono::microseconds;
+
+namespace {
+
+/// Nodes popped per queue critical section (shards == 1 worker path).
+/// Bounding the batch keeps other workers fed under load while still giving
+/// verify() a cross-node window: 8 nodes × a few frames each already fills
+/// the Ed25519 batch ladder.
+constexpr std::size_t kWorkerBatch = 8;
+
+/// Nodes per drain/verify/ingest pass on a shard thread. Wider than the
+/// worker batch (there are no co-workers to feed), narrower than "everything
+/// this cycle" so a flood against one shard still bounds per-pass latency
+/// and batch memory.
+constexpr std::size_t kShardBatch = 64;
+
+/// Which shard's loop thread we are on, if any. dispatch() keys the
+/// same-shard fast path and the ring producer index off this; the owner
+/// check keeps two coexisting runtimes (tests tear fleets up and down) from
+/// misrouting each other's handoffs.
+struct TlsShard {
+  const void* owner = nullptr;
+  std::size_t index = 0;
+};
+thread_local TlsShard tls_shard;
+
+}  // namespace
 
 ReactorRuntime::ReactorRuntime(ReactorConfig cfg) : cfg_(cfg) {
   DRUM_REQUIRE(cfg.round.count() > 0, "round duration must be positive");
@@ -42,6 +70,11 @@ Clock::duration ReactorRuntime::jittered_round(NodeState& st) {
   return duration_cast<Clock::duration>(cfg_.round * j);
 }
 
+net::EventLoop& ReactorRuntime::home_loop(NodeState& st) {
+  return sharded_.load(std::memory_order_relaxed) ? shards_[st.shard]->loop
+                                                  : loop_;
+}
+
 void ReactorRuntime::install_hooks(NodeState& st) {
   NodeState* stp = &st;
   check::MutexLock node_lock(st.mu);
@@ -69,11 +102,61 @@ void ReactorRuntime::install_hooks(NodeState& st) {
   });
 }
 
+void ReactorRuntime::install_hooks_sharded(NodeState& st) {
+  NodeState* stp = &st;
+  Shard* sh = shards_[st.shard].get();
+  check::MutexLock node_lock(st.mu);
+  st.node->set_socket_hook([this, stp, sh](net::Socket& sock, bool added) {
+    if (added) {
+      if (sock.native_handle() >= 0) {
+        // Real fd: epoll on the home shard's loop — readiness fires on the
+        // home thread with no cross-thread structure at all.
+        auto id = sh->loop.add_socket(sock, [this, stp] {
+          stp->ready.store(true);
+          dispatch(*stp);
+        });
+        check::MutexLock lock(sh->sources_mu);
+        sh->sources[&sock] = id;
+      } else {
+        // MemSocket: bypass the loop's mem bridge (whose notify path takes
+        // the consumer loop's mutex from the sender's thread) and route the
+        // readiness edge through dispatch() directly — same-shard sends
+        // stay thread-local, cross-shard sends ride the SPSC ring.
+        {
+          check::MutexLock lock(sh->sources_mu);
+          sh->sources[&sock] = 0;  // 0: no loop registration to undo
+        }
+        sock.set_ready_callback([this, stp] {
+          stp->ready.store(true);
+          dispatch(*stp);
+        });
+        // Datagrams may have been delivered before the callback attached.
+        stp->ready.store(true);
+        dispatch(*stp);
+      }
+    } else {
+      net::EventLoop::SourceId id = 0;
+      {
+        check::MutexLock lock(sh->sources_mu);
+        auto it = sh->sources.find(&sock);
+        if (it == sh->sources.end()) return;
+        id = it->second;
+        sh->sources.erase(it);
+      }
+      if (id != 0) {
+        sh->loop.remove_socket(id);
+      } else {
+        sock.set_ready_callback(nullptr);
+      }
+    }
+  });
+}
+
 void ReactorRuntime::arm_first_tick(NodeState& st) {
   st.next_deadline = Clock::now() + jittered_round(st);
   st.last_tick = Clock::now();
-  st.timer_id =
-      loop_.add_timer(st.next_deadline, [this, &st] { on_round_timer(st); });
+  st.timer_id = home_loop(st).add_timer(st.next_deadline,
+                                        [this, &st] { on_round_timer(st); });
 }
 
 void ReactorRuntime::on_round_timer(NodeState& st) {
@@ -89,84 +172,81 @@ void ReactorRuntime::on_round_timer(NodeState& st) {
   auto now = Clock::now();
   if (st.next_deadline <= now) {
     st.next_deadline = now + jittered_round(st);
-    m_resyncs_->inc();
+    if (sharded_.load(std::memory_order_relaxed)) {
+      shards_[st.shard]->m_resyncs->inc();
+    } else {
+      m_resyncs_->inc();
+    }
   }
-  st.timer_id =
-      loop_.add_timer(st.next_deadline, [this, &st] { on_round_timer(st); });
+  st.timer_id = home_loop(st).add_timer(st.next_deadline,
+                                        [this, &st] { on_round_timer(st); });
 }
 
 void ReactorRuntime::dispatch(NodeState& st) {
-  // `scheduled` only dedups queue entries. A notifier that loses this race
-  // is covered: the winner clears `scheduled` before draining the flags, so
-  // any flag set after that drain finds `scheduled` false and re-enqueues.
+  // `scheduled` only dedups queue/ring entries. A notifier that loses this
+  // race is covered: the winner clears `scheduled` before draining the
+  // flags, so any flag set after that drain finds `scheduled` false and
+  // re-enqueues.
   if (st.scheduled.exchange(true)) return;
-  if (inline_dispatch_.load(std::memory_order_relaxed)) {
-    run_node(st);
+  if (!sharded_.load(std::memory_order_relaxed)) {
+    if (inline_dispatch_.load(std::memory_order_relaxed)) {
+      run_node(st);
+      return;
+    }
+    {
+      check::MutexLock lock(queue_mu_);
+      queue_.push_back(&st);
+    }
+    queue_cv_.notify_one();
     return;
   }
-  {
-    check::MutexLock lock(queue_mu_);
-    queue_.push_back(&st);
+
+  Shard& home = *shards_[st.shard];
+  if (tls_shard.owner == this) {
+    const std::size_t from = tls_shard.index;
+    if (from == st.shard) {
+      // drum-lint: shard-local
+      // Same shard: the node is drained later this cycle (or next — the
+      // cycle hook self-wakes when it leaves work behind). Pure
+      // thread-local push.
+      home.ready.push_back(&st);
+      return;
+      // drum-lint: shard-local end
+    }
+    Shard& prod = *shards_[from];
+    util::SpscRing<NodeState*>& ring = *home.inbound[from];
+    ring.assume_producer();  // shard `from`'s thread is the sole pusher
+    if (ring.try_push(&st)) {
+      prod.m_handoffs->inc();
+      // Dekker handshake with shard_cycle(): our push must be visible to
+      // the consumer's post-idle ring re-scan OR its idle=true must be
+      // visible to us — the paired seq_cst fences guarantee at least one.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (home.idle.exchange(false, std::memory_order_relaxed)) {
+        home.loop.wake();
+        prod.m_wakes->inc();
+      }
+      return;
+    }
+    prod.m_ring_full->inc();
+    // Fall through: the ring is transiently overfull — the loop's post queue
+    // is the unbounded safety valve.
   }
-  queue_cv_.notify_one();
+  // External threads (harness, attacker, with_node-triggered rotations) and
+  // ring-full fallbacks go through the home loop's post queue.
+  home.loop.post([this, &st] { shards_[st.shard]->ready.push_back(&st); });
 }
 
 void ReactorRuntime::run_node(NodeState& st) {
-  st.scheduled.store(false);
-  check::MutexLock lock(st.mu);
-  drain_node(st);
+  NodeState* stp = &st;
+  run_batch(std::span<NodeState* const>(&stp, 1), inline_batch_,
+            inline_scratch_);
 }
 
-void ReactorRuntime::drain_node(NodeState& st) {
-  for (;;) {
-    const bool r = st.ready.exchange(false);
-    const bool rd = st.round_due.exchange(false);
-    if (!r && !rd) break;
-    if (r) {
-      if (st.m_polls) {
-        auto t0 = Clock::now();
-        st.node->poll();
-        auto dt = duration_cast<microseconds>(Clock::now() - t0).count();
-        st.m_polls->inc();
-        st.m_poll_us->record(static_cast<std::uint64_t>(dt));
-      } else {
-        st.node->poll();
-      }
-    }
-    if (rd) {
-      auto now = Clock::now();
-      st.node->on_round();
-      if (st.m_ticks) {
-        st.m_ticks->inc();
-        auto gap = duration_cast<microseconds>(now - st.last_tick).count();
-        st.m_tick_interval_us->record(static_cast<std::uint64_t>(gap));
-        auto now_us =
-            duration_cast<microseconds>(now.time_since_epoch()).count();
-        auto slop = now_us - st.fire_us.load();
-        st.m_dispatch_us->record(
-            static_cast<std::uint64_t>(slop < 0 ? 0 : slop));
-        st.last_tick = now;
-      }
-    }
-  }
-}
-
-namespace {
-/// Nodes popped per queue critical section. Bounding the batch keeps other
-/// workers fed under load while still giving verify() a cross-node window:
-/// 8 nodes × a few frames each already fills the Ed25519 batch ladder.
-constexpr std::size_t kWorkerBatch = 8;
-}  // namespace
-
-void ReactorRuntime::run_batch(const std::vector<NodeState*>& sts,
-                               core::ingress::IngressBatch& batch) {
-  struct Drained {
-    NodeState* st;
-    core::Node* node;  // captured under st->mu during the drain phase
-    std::int64_t drain_us;
-  };
-  Drained drained[kWorkerBatch];
-  std::size_t n_drained = 0;
+void ReactorRuntime::run_batch(std::span<NodeState* const> sts,
+                               core::ingress::IngressBatch& batch,
+                               std::vector<Drained>& scratch) {
+  scratch.clear();
 
   // Phase 1 — drain. Each node is held only long enough to move its backlog
   // (budget-charged, greylist-peeked, decoded) into the shared batch.
@@ -200,12 +280,13 @@ void ReactorRuntime::run_batch(const std::vector<NodeState*>& sts,
     if (st.ready.exchange(false)) {
       auto t0 = Clock::now();
       st.node->drain_ingress(batch);
-      drained[n_drained++] = Drained{
-          stp, st.node, duration_cast<microseconds>(Clock::now() - t0).count()};
+      scratch.push_back(Drained{
+          stp, st.node,
+          duration_cast<microseconds>(Clock::now() - t0).count()});
     }
   }
 
-  if (n_drained == 0) return;
+  if (scratch.empty()) return;
 
   // Phase 2 — the wide crypto pass: every signature and every port box the
   // drain produced, across ALL nodes, in one batch. No node lock is held
@@ -213,8 +294,7 @@ void ReactorRuntime::run_batch(const std::vector<NodeState*>& sts,
   batch.verify();
 
   // Phase 3 — push the verified frames back in, per node, serialized again.
-  for (std::size_t i = 0; i < n_drained; ++i) {
-    Drained& d = drained[i];
+  for (Drained& d : scratch) {
     NodeState& st = *d.st;
     check::MutexLock lock(st.mu);
     auto t0 = Clock::now();
@@ -234,6 +314,8 @@ void ReactorRuntime::run_batch(const std::vector<NodeState*>& sts,
 void ReactorRuntime::worker_main() {
   std::vector<NodeState*> popped;
   popped.reserve(kWorkerBatch);
+  std::vector<Drained> scratch;
+  scratch.reserve(kWorkerBatch);
   core::ingress::IngressBatch batch;
   for (;;) {
     popped.clear();
@@ -248,13 +330,84 @@ void ReactorRuntime::worker_main() {
         queue_.pop_front();
       }
     }
-    run_batch(popped, batch);
+    run_batch(popped, batch, scratch);
   }
+}
+
+void ReactorRuntime::drain_rings(Shard& sh) {
+  // drum-lint: shard-local
+  for (auto& ring : sh.inbound) {
+    if (!ring) continue;
+    ring->assume_consumer();  // this shard's thread is the sole popper
+    NodeState* st = nullptr;
+    while (ring->try_pop(st)) sh.ready.push_back(st);
+  }
+  // drum-lint: shard-local end
+}
+
+void ReactorRuntime::shard_cycle(Shard& sh) {
+  // We are demonstrably awake; claim active so producers stop nudging.
+  sh.idle.store(false, std::memory_order_relaxed);
+  drain_rings(sh);
+  if (!sh.ready.empty()) {
+    // drum-lint: shard-local
+    // Swap before processing: run_batch re-enters dispatch() (a node's
+    // sends wake same-shard peers), which appends to sh.ready — never to
+    // the vector being iterated.
+    sh.proc.clear();
+    sh.proc.swap(sh.ready);
+    std::size_t i = 0;
+    while (i < sh.proc.size()) {
+      const std::size_t n = std::min(kShardBatch, sh.proc.size() - i);
+      run_batch(std::span<NodeState* const>(sh.proc.data() + i, n), sh.batch,
+                sh.drain_scratch);
+      sh.m_batches->inc();
+      i += n;
+    }
+    sh.proc.clear();
+    // drum-lint: shard-local end
+  }
+  if (!sh.ready.empty()) {
+    // Processing produced more same-shard work. Return through epoll (so fd
+    // readiness and timers are not starved) but make it come straight back.
+    sh.loop.wake();
+    return;
+  }
+  // Nothing local. Declare idle, then re-scan the rings: a producer whose
+  // push raced our drain either sees idle == true (and nudges us) or its
+  // push is visible to this scan — the fence pairs with dispatch()'s.
+  sh.idle.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  for (auto& ring : sh.inbound) {
+    if (ring && !ring->empty()) {
+      sh.idle.store(false, std::memory_order_relaxed);
+      sh.loop.wake();
+      return;
+    }
+  }
+  // Truly idle: block in epoll until a producer's nudge, fd readiness, or
+  // the next round timer. (A lost wake cannot stall the shard forever —
+  // every node re-arms a round timer on this loop.)
 }
 
 void ReactorRuntime::start() {
   check::MutexLock lifecycle(lifecycle_mu_);
   if (running_.exchange(true)) return;
+  std::size_t n = cfg_.shards;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  n_shards_.store(n, std::memory_order_relaxed);
+  sharded_.store(n >= 2, std::memory_order_relaxed);
+  if (n >= 2) {
+    start_sharded(n);
+  } else {
+    start_single();
+  }
+}
+
+void ReactorRuntime::start_single() {
   {
     check::MutexLock lock(queue_mu_);
     workers_stop_ = false;
@@ -279,9 +432,60 @@ void ReactorRuntime::start() {
   loop_thread_ = std::thread([this] { loop_.run(); });
 }
 
+void ReactorRuntime::start_sharded(std::size_t n_shards) {
+  shards_.clear();
+  const std::size_t per_shard = (nodes_.size() + n_shards - 1) / n_shards;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    Shard& sh = *shards_.back();
+    sh.index = s;
+    sh.loop.set_registry(&sh.registry);
+    sh.m_handoffs = &sh.registry.counter("reactor.shard.ring_handoffs");
+    sh.m_wakes = &sh.registry.counter("reactor.shard.wakeups");
+    sh.m_ring_full = &sh.registry.counter("reactor.shard.ring_full_fallbacks");
+    sh.m_batches = &sh.registry.counter("reactor.shard.batches");
+    sh.m_resyncs = &sh.registry.counter("reactor.timer_resyncs");
+    sh.ready.reserve(per_shard + kShardBatch);
+    sh.proc.reserve(per_shard + kShardBatch);
+    sh.drain_scratch.reserve(kShardBatch);
+    sh.inbound.resize(n_shards);
+    for (std::size_t p = 0; p < n_shards; ++p) {
+      if (p == s) continue;
+      sh.inbound[p] = std::make_unique<util::SpscRing<NodeState*>>(
+          std::max<std::size_t>(64, per_shard + 1));
+    }
+    Shard* shp = &sh;
+    sh.loop.set_cycle_callback([this, shp] { shard_cycle(*shp); });
+  }
+  std::size_t id = 0;
+  for (auto& st : nodes_) {
+    st.shard = id++ % n_shards;
+    install_hooks_sharded(st);
+    arm_first_tick(st);
+  }
+  for (auto& shp : shards_) {
+    Shard* sh = shp.get();
+    sh->loop.reset();
+    sh->thread = std::thread([this, sh] {
+      tls_shard = TlsShard{this, sh->index};
+      sh->loop.run();
+      tls_shard = TlsShard{};
+    });
+  }
+}
+
 void ReactorRuntime::stop() {
   check::MutexLock lifecycle(lifecycle_mu_);
   if (!running_.load()) return;
+  if (sharded_.load(std::memory_order_relaxed)) {
+    stop_sharded();
+  } else {
+    stop_single();
+  }
+  running_.store(false);
+}
+
+void ReactorRuntime::stop_single() {
   loop_.stop();
   if (loop_thread_.joinable()) loop_thread_.join();
   {
@@ -306,7 +510,43 @@ void ReactorRuntime::stop() {
     for (auto& [sock, id] : sources_) loop_.remove_socket(id);
     sources_.clear();
   }
-  running_.store(false);
+}
+
+void ReactorRuntime::stop_sharded() {
+  for (auto& sh : shards_) sh->loop.stop();
+  for (auto& sh : shards_) {
+    if (sh->thread.joinable()) sh->thread.join();
+  }
+  // All shard threads quiesced. Cancel timers, detach hooks, clear the
+  // scheduling flags (rings and ready lists may hold stale entries that die
+  // with the shards below), and unregister sockets.
+  for (auto& st : nodes_) {
+    shards_[st.shard]->loop.cancel_timer(st.timer_id);
+    {
+      check::MutexLock node_lock(st.mu);
+      st.node->set_socket_hook(nullptr);
+    }
+    st.scheduled.store(false);
+    st.ready.store(false);
+    st.round_due.store(false);
+  }
+  for (auto& sh : shards_) {
+    check::MutexLock lock(sh->sources_mu);
+    for (auto& [sock, id] : sh->sources) {
+      if (id != 0) {
+        sh->loop.remove_socket(id);
+      } else {
+        sock->set_ready_callback(nullptr);
+      }
+    }
+    sh->sources.clear();
+  }
+  // Fold every shard's loop + reactor.shard.* telemetry into the runtime
+  // registry, then tear the shards down (a restart builds fresh ones).
+  for (auto& sh : shards_) loop_registry_.merge(sh->registry);
+  loop_registry_.gauge("reactor.shards")
+      .set(static_cast<double>(shards_.size()));
+  shards_.clear();
 }
 
 core::MessageId ReactorRuntime::multicast(NodeId id, util::ByteSpan payload) {

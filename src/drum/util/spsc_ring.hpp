@@ -1,0 +1,140 @@
+// drum::util::SpscRing — a bounded single-producer/single-consumer queue for
+// cross-shard handoff in the sharded reactor (DESIGN.md §13).
+//
+// One ring exists per *ordered* shard pair: shard A pushes, shard B pops, and
+// nobody else touches either end. That pairing is what lets the ring be two
+// atomics and a buffer instead of a mutex: the producer owns the tail index,
+// the consumer owns the head index, and each side publishes its progress with
+// a release store that the other side reads with an acquire load. Indices are
+// monotonically increasing (masked only on slot access), so full/empty never
+// needs a reserved slot: size == tail - head.
+//
+// The producer and consumer each keep a *cached* copy of the other side's
+// index and only re-read the shared atomic when the cache says the ring looks
+// full (or empty). In steady state a push is therefore one relaxed load, one
+// slot write and one release store — no shared-line ping-pong. Head and tail
+// live on separate cache lines (alignas of the hardware destructive
+// interference size) so the two sides never false-share.
+//
+// The SPSC contract is compiler-enforced the same way the rest of the tree
+// enforces locking (DESIGN.md §11): the ring exposes two zero-size capability
+// members, `producer` and `consumer`; try_push requires the former, try_pop
+// the latter. A thread claims its role once with assume_producer() /
+// assume_consumer() (a DRUM_ASSERT_CAPABILITY no-op whose correctness is the
+// shard wiring's responsibility: the reactor gives each ring exactly one
+// pushing shard and one popping shard). Under `-Wthread-safety` a call from
+// an unclaimed context fails to compile.
+//
+// Wakeup is deliberately NOT the ring's job. "Signal eventfd on
+// empty→non-empty" is unsound with cached indices — the producer's stale view
+// of head can claim non-empty when the consumer already drained and went to
+// sleep. The reactor layers a per-consumer idle flag over the ring instead
+// (see ReactorRuntime::Shard::idle); the ring stays pure memory.
+//
+// This header is a shard-local hot path: scripts/drum_lint.py's
+// `shard-affinity` check bans any mutex acquisition in this file.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "drum/check/annotations.hpp"
+#include "drum/check/check.hpp"
+
+namespace drum::util {
+
+// Fixed 64, not std::hardware_destructive_interference_size: the standard
+// constant varies with -mtune and compiler version (GCC warns about exactly
+// that), and 64 is the destructive-interference granularity on every
+// x86-64/AArch64 machine this builds for.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// An empty capability type naming one end of the ring. Instances carry no
+  /// state; they exist so the thread-safety analysis can prove each end is
+  /// entered only by the thread that claimed it.
+  struct DRUM_CAPABILITY("role") Role {};
+
+  /// `capacity` is rounded up to the next power of two (minimum 2) so the
+  /// slot index is a mask, not a modulo.
+  explicit SpscRing(std::size_t capacity) {
+    DRUM_REQUIRE(capacity > 0, "SpscRing capacity must be positive");
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// The producing thread calls this once before its first try_push. The
+  /// caller vouches that no other thread will ever push.
+  void assume_producer() const DRUM_ASSERT_CAPABILITY(producer) {}
+  /// The consuming thread calls this once before its first try_pop.
+  void assume_consumer() const DRUM_ASSERT_CAPABILITY(consumer) {}
+
+  /// False iff the ring is full. Producer thread only.
+  bool try_push(const T& v) DRUM_REQUIRES(producer) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ >= capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ >= capacity()) return false;
+    }
+    buf_[t & mask_] = v;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False iff the ring is empty. Consumer thread only.
+  bool try_pop(T& out) DRUM_REQUIRES(consumer) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;
+    }
+    out = buf_[h & mask_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot emptiness. Exact only for the consumer (new items may arrive
+  /// immediately after); any other thread gets a racy hint.
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot occupancy; same caveat as empty().
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return t - h;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  Role producer;  ///< capability: held by the (single) pushing thread
+  Role consumer;  ///< capability: held by the (single) popping thread
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+
+  // Producer-owned line: tail plus the producer's cached view of head.
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+
+  // Consumer-owned line: head plus the consumer's cached view of tail.
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+
+  // Trailing pad so an adjacent object cannot share the consumer's line.
+  char pad_[kCacheLine - sizeof(std::atomic<std::size_t>) -
+            sizeof(std::size_t)]{};
+};
+
+}  // namespace drum::util

@@ -13,6 +13,14 @@
 namespace drum::membership {
 namespace {
 
+// One full ingress cycle (drain → verify → ingest) on a private batch — the
+// standalone-driver shape of the DESIGN.md §12 pipeline.
+void poll_node(core::Node& n) {
+  core::ingress::IngressBatch batch;
+  n.drain_ingress(batch);
+  batch.dispatch();
+}
+
 struct CaFixture {
   util::Rng rng{7};
   CertificationAuthority ca{rng, /*default_ttl=*/100};
@@ -310,7 +318,7 @@ struct TwoNodeFixture {
         services[i]->on_round(ca.now());
       }
       for (int sweep = 0; sweep < 4; ++sweep) {
-        for (auto& n : nodes) n->poll();
+        for (auto& n : nodes) poll_node(*n);
       }
     }
   }

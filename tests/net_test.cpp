@@ -298,6 +298,40 @@ TEST(UdpTransport, EphemeralBindsAreDistinctPorts) {
   EXPECT_NE(a->local().port, b->local().port);
 }
 
+// Per-shard ingress sockets (DESIGN.md §13): with set_reuse_port every
+// shard binds the SAME well-known port and the kernel flow-hashes incoming
+// datagrams across them. Sockets that did not opt in must still collide.
+TEST(UdpTransport, ReusePortAllowsPerShardSharedBinding) {
+  UdpTransport tr;
+  tr.set_reuse_port(true);
+  EXPECT_TRUE(tr.reuse_port());
+  auto shard0 = tr.bind(0);  // kernel picks a free port, REUSEPORT set
+  ASSERT_TRUE(shard0);
+  const std::uint16_t port = shard0->local().port;
+  auto shard1 = tr.bind(port);
+  ASSERT_TRUE(shard1.ok()) << to_string(shard1.error());
+  EXPECT_EQ(shard1->local().port, port);
+
+  // A third binder WITHOUT the option cannot squat on the shared port.
+  UdpTransport plain;
+  auto squatter = plain.bind(port);
+  EXPECT_FALSE(squatter.ok());
+  EXPECT_EQ(squatter.error(), BindError::kPortTaken);
+
+  // Datagrams to the shared port land on exactly one of the shard sockets.
+  auto sender = plain.bind(0);
+  ASSERT_TRUE(sender);
+  auto msg = bytes_of("sharded ingress");
+  sender->send(shard0->local(), util::ByteSpan(msg));
+  std::optional<Datagram> got;
+  for (int i = 0; i < 1000 && !got; ++i) {
+    got = shard0->recv();
+    if (!got) got = shard1->recv();
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, msg);
+}
+
 TEST(UdpTransport, RebindAfterCloseSucceeds) {
   UdpTransport tr;
   std::uint16_t port = 0;

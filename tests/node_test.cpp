@@ -17,6 +17,14 @@
 namespace drum::core {
 namespace {
 
+// One full ingress cycle, the way a standalone driver runs the DESIGN.md §12
+// pipeline: drain this node's sockets into a private batch, verify, ingest.
+void poll_node(Node& n) {
+  ingress::IngressBatch batch;
+  n.drain_ingress(batch);
+  batch.dispatch();
+}
+
 struct Pair {
   util::Rng rng{5};
   net::MemNetwork net;
@@ -26,7 +34,7 @@ struct Pair {
   std::vector<std::unique_ptr<Node>> nodes;
   std::vector<std::vector<Node::Delivery>> got;
   /// Optional per-delivery hook — runs on the delivering thread, inside the
-  /// node's poll(). Lets tests observe or act while a node is "entered".
+  /// node's ingest(). Lets tests observe or act while a node is "entered".
   std::function<void(std::uint32_t, const Node::Delivery&)> on_delivery;
 
   explicit Pair(std::size_t n, Variant v = Variant::kDrum) {
@@ -65,7 +73,7 @@ struct Pair {
     for (std::size_t r = 0; r < rounds; ++r) {
       for (auto& n : nodes) n->on_round();
       for (int s = 0; s < sweeps; ++s) {
-        for (auto& n : nodes) n->poll();
+        for (auto& n : nodes) poll_node(*n);
       }
     }
   }
@@ -134,9 +142,9 @@ struct EntryFailure {};
 }
 
 // Regression for the entry guard (node.cpp EntryGuard): a second thread
-// entering a node while another thread is inside poll() must trip
+// entering a node while another thread is inside the ingress cycle must trip
 // DRUM_ASSERT instead of silently racing. The hook fires while the main
-// thread is mid-poll (delivery callbacks run inside poll()), which is
+// thread is mid-ingest (delivery callbacks run inside ingest()), which is
 // exactly the window the runtime's per-node mutex is supposed to close.
 TEST(Node, CrossThreadEntryTripsTheGuard) {
   Pair p(4);
@@ -155,7 +163,7 @@ TEST(Node, CrossThreadEntryTripsTheGuard) {
       }
       check::set_failure_handler(prev);
     });
-    intruder.join();  // main thread parks inside poll() until the probe ends
+    intruder.join();  // main thread parks inside ingest() until probe ends
   };
   util::Bytes data = {1};
   p.nodes[0]->multicast(util::ByteSpan(data));
@@ -269,7 +277,7 @@ TEST(Node, FloodedChannelIsBudgetBoundedPerRound) {
     p.net.send_raw(net::Address{77, 1}, net::Address{0, 3000},
                    util::ByteSpan(junk));
   }
-  p.node->poll();
+  poll_node(*p.node);
   // Budget for pull-requests in Drum with F=4 is 2.
   EXPECT_EQ(p.node->registry().counter_value("node.datagrams_read"), 2u);
   EXPECT_EQ(p.node->registry().counter_value("node.decode_errors"), 2u);
@@ -281,7 +289,7 @@ TEST(Node, FloodedChannelIsBudgetBoundedPerRound) {
     p.net.send_raw(net::Address{77, 1}, net::Address{0, 3000},
                    util::ByteSpan(junk));
   }
-  p.node->poll();
+  poll_node(*p.node);
   EXPECT_EQ(p.node->registry().counter_value("node.datagrams_read"), 4u);
 }
 
@@ -294,7 +302,7 @@ TEST(Node, FloodOnPullPortDoesNotConsumeOfferBudget) {
     p.net.send_raw(net::Address{77, 1}, net::Address{0, 3000},
                    util::ByteSpan(junk));
   }
-  p.node->poll();
+  poll_node(*p.node);
   EXPECT_EQ(p.node->registry().counter_value("node.push_offers_answered"),
             0u);
   // A genuine push-offer from node 1 (who targets node 0 via its own round
@@ -306,7 +314,7 @@ TEST(Node, FloodOnPullPortDoesNotConsumeOfferBudget) {
       crypto::portbox_seal_port(util::ByteSpan(key), 49999, p.rng);
   p.net.send_raw(net::Address{1, 60000}, net::Address{0, 3001},
                  util::ByteSpan(encode(offer)));
-  p.node->poll();
+  poll_node(*p.node);
   EXPECT_EQ(p.node->registry().counter_value("node.push_offers_answered"), 1u);
 }
 
@@ -317,7 +325,7 @@ TEST(Node, FabricatedControlCountsAsBoxFailure) {
   offer.boxed_reply_port = util::Bytes(crypto::kPortBoxOverhead + 2, 0xAB);
   p.net.send_raw(net::Address{9, 9}, net::Address{0, 3001},
                  util::ByteSpan(encode(offer)));
-  p.node->poll();
+  poll_node(*p.node);
   EXPECT_EQ(p.node->registry().counter_value("node.box_failures"), 1u);
   EXPECT_EQ(p.node->registry().counter_value("node.push_offers_answered"), 0u);
 }
@@ -332,7 +340,7 @@ TEST(Node, UnknownOrSelfSenderRejected) {
   offer.sender = 0;  // claims to be the receiver itself
   p.net.send_raw(net::Address{9, 9}, net::Address{0, 3001},
                  util::ByteSpan(encode(offer)));
-  p.node->poll();
+  poll_node(*p.node);
   EXPECT_EQ(p.node->registry().counter_value("node.unknown_sender"), 2u);
 }
 
@@ -354,7 +362,7 @@ TEST(Node, ForgedDataSignatureRejected) {
   Solo q(Variant::kDrumWkPorts);
   q.net.send_raw(net::Address{9, 9}, net::Address{0, 3002},
                  util::ByteSpan(encode(reply)));
-  q.node->poll();
+  poll_node(*q.node);
   EXPECT_EQ(q.node->registry().counter_value("node.sig_failures"), 1u);
   EXPECT_EQ(q.node->registry().counter_value("node.delivered"), 0u);
 }
@@ -444,9 +452,10 @@ TEST(Node, BatchVerifyBlameAttributionMatchesSingleFrameVerify) {
         }
         w.net.send_raw(net::Address{frame_sender, 9}, net::Address{0, 3002},
                        util::ByteSpan(encode(reply)));
-        if (!batched) w.node->poll();  // one-frame batches
+        if (!batched) poll_node(*w.node);  // one-frame batches
       }
-      if (batched) w.node->poll();  // the whole round's backlog in one batch
+      // The whole round's backlog in one batch.
+      if (batched) poll_node(*w.node);
     }
   };
 
@@ -512,13 +521,13 @@ TEST(Node, CarryOverKeepsBacklogAcrossRounds) {
     net.send_raw(net::Address{66, 6}, net::Address{0, 3000},
                  util::ByteSpan(junk));
   }
-  node.poll();
+  poll_node(node);
   auto read_r1 = node.registry().counter_value("node.datagrams_read");
   EXPECT_EQ(read_r1, 2u);  // budget
   node.on_round();
   EXPECT_EQ(node.registry().counter_value("node.flushed_unread"),
             0u);  // nothing discarded
-  node.poll();
+  poll_node(node);
   // The stale backlog is read (and burns budget) in the new round too.
   EXPECT_EQ(node.registry().counter_value("node.datagrams_read"),
             read_r1 + 2);
@@ -552,7 +561,7 @@ TEST(Node, RemovedPeerNoLongerAccepted) {
       crypto::portbox_seal_port(util::ByteSpan(key), 50000, p.rng);
   p.net.send_raw(net::Address{1, 60000}, net::Address{0, 3001},
                  util::ByteSpan(encode(offer)));
-  p.node->poll();
+  poll_node(*p.node);
   EXPECT_EQ(p.node->registry().counter_value("node.unknown_sender"), 1u);
 }
 
@@ -631,7 +640,7 @@ TEST(Node, SurvivesRandomGarbageOnEveryChannel) {
       p.net.send_raw(net::Address{0xBAD, 1}, net::Address{0, port},
                      util::ByteSpan(junk));
     }
-    p.node->poll();
+    poll_node(*p.node);
     p.node->on_round();
   }
   const auto& reg = p.node->registry();

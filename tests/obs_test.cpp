@@ -22,6 +22,14 @@
 namespace drum::obs {
 namespace {
 
+// One full ingress cycle (drain → verify → ingest) on a private batch — the
+// standalone-driver shape of the DESIGN.md §12 pipeline.
+void poll_node(core::Node& n) {
+  core::ingress::IngressBatch batch;
+  n.drain_ingress(batch);
+  batch.dispatch();
+}
+
 TEST(Histogram, BucketBoundsContainTheirValues) {
   for (std::uint64_t v :
        {0ull, 1ull, 63ull, 64ull, 65ull, 100ull, 127ull, 128ull, 1000ull,
@@ -230,7 +238,7 @@ TEST(NodeTrace, PushHandshakeAppearsInOrder) {
   for (int round = 0; round < 4 && delivered == 0; ++round) {
     for (auto& n : nodes) n->on_round();
     for (int sweep = 0; sweep < 4; ++sweep) {
-      for (auto& n : nodes) n->poll();
+      for (auto& n : nodes) poll_node(*n);
     }
   }
   ASSERT_EQ(delivered, 1u);

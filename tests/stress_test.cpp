@@ -17,6 +17,7 @@
 #include "drum/net/mem_transport.hpp"
 #include "drum/runtime/reactor.hpp"
 #include "drum/runtime/runner.hpp"
+#include "drum/util/spsc_ring.hpp"
 
 // Sanitizer instrumentation slows the hot path ~10x; throughput-sensitive
 // tests scale their flood pacing and deadlines by this factor so the TSan
@@ -391,6 +392,227 @@ TEST(Stress, ReactorCrossNodeBatchAccumulation) {
   for (auto& t : attackers) t.join();
   reactor.stop();
   EXPECT_EQ(delivered.load(), expect);
+}
+
+// Two-thread SpscRing hammer: one producer pushing a strictly increasing
+// sequence, one consumer asserting it pops exactly that sequence — no loss,
+// no duplication, no reordering. A small capacity forces constant
+// full/empty transitions, which is where the cached-index fast path hands
+// over to the acquire reload; TSan checks the release/acquire pairing is
+// the whole story.
+TEST(Stress, SpscRingTwoThreadFifoHammer) {
+  constexpr std::uint64_t kItems = 200000 / kSanSlowdown;
+  util::SpscRing<std::uint64_t> ring(16);
+  std::thread producer([&ring] {
+    ring.assume_producer();
+    for (std::uint64_t i = 0; i < kItems;) {
+      if (ring.try_push(i)) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::uint64_t expected = 0;
+  ring.assume_consumer();
+  while (expected < kItems) {
+    std::uint64_t v = 0;
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// The sharded reactor's handoff mesh in miniature: S "shards", one ring per
+// ordered pair, each shard thread both produces into its S-1 outbound rings
+// and consumes from its S-1 inbound rings. The property under test is the
+// guarantee cross-shard dispatch relies on for per-sender FIFO delivery:
+// every (producer, consumer) stream arrives in push order, regardless of
+// how the mesh interleaves globally.
+TEST(Stress, SpscHandoffMeshPreservesPerProducerFifo) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::uint64_t kPerStream = 20000 / kSanSlowdown;
+
+  struct Item {
+    std::uint32_t producer = 0;
+    std::uint64_t seq = 0;
+  };
+  // rings[p][c] carries p -> c traffic (diagonal unused, same-shard work
+  // never touches a ring).
+  std::vector<std::vector<std::unique_ptr<util::SpscRing<Item>>>> rings(
+      kShards);
+  for (std::size_t p = 0; p < kShards; ++p) {
+    for (std::size_t c = 0; c < kShards; ++c) {
+      rings[p].push_back(p == c ? nullptr
+                                : std::make_unique<util::SpscRing<Item>>(64));
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> shards;
+  for (std::size_t me = 0; me < kShards; ++me) {
+    shards.emplace_back([&, me] {
+      for (std::size_t other = 0; other < kShards; ++other) {
+        if (other == me) continue;
+        rings[me][other]->assume_producer();
+        rings[other][me]->assume_consumer();
+      }
+      std::uint64_t sent[kShards];       // per-outbound-stream seq pushed
+      std::uint64_t last_seen[kShards];  // per-inbound-stream high water
+      std::uint64_t received[kShards];   // per-inbound-stream count
+      for (std::size_t i = 0; i < kShards; ++i) {
+        sent[i] = 0;
+        last_seen[i] = 0;
+        received[i] = 0;
+      }
+      const std::uint64_t want_in = kPerStream * (kShards - 1);
+      std::uint64_t total_in = 0;
+      bool done_out = false;
+      while (!done_out || total_in < want_in) {
+        // Advance every outbound stream by one where there is room (a full
+        // ring just retries later — the reactor's real fallback is
+        // loop.post). Streams progress independently, exercising full-ring
+        // back-pressure without coupling consumers to each other.
+        done_out = true;
+        for (std::size_t other = 0; other < kShards; ++other) {
+          if (other == me || sent[other] >= kPerStream) continue;
+          Item it{static_cast<std::uint32_t>(me), sent[other] + 1};
+          if (rings[me][other]->try_push(it)) ++sent[other];
+          if (sent[other] < kPerStream) done_out = false;
+        }
+        // Drain every inbound ring, asserting per-producer monotonicity.
+        for (std::size_t other = 0; other < kShards; ++other) {
+          if (other == me) continue;
+          Item it;
+          while (rings[other][me]->try_pop(it)) {
+            if (it.producer != other || it.seq != last_seen[other] + 1) {
+              failures.fetch_add(1);
+            }
+            last_seen[other] = it.seq;
+            ++received[other];
+            ++total_in;
+          }
+        }
+        std::this_thread::yield();
+      }
+      for (std::size_t other = 0; other < kShards; ++other) {
+        if (other != me && received[other] != kPerStream) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : shards) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// The sharded twin of ReactorConcurrentMulticastFloodAndChurn: four
+// independent event-loop shards (forced even on a 1-core host), so every
+// multicast fans out through the cross-shard SPSC rings while a spoofed
+// flood hammers the well-known ports and app threads multicast and read
+// telemetry concurrently. Ends with the same stop pile-up + restart, which
+// in sharded mode tears down and rebuilds the whole handoff mesh.
+TEST(Stress, ReactorShardedFloodAndChurn) {
+  constexpr std::size_t kNodes = 8;
+  util::Rng rng{77};
+  net::MemNetwork mem;
+  std::vector<crypto::Identity> ids;
+  std::vector<core::Peer> dir(kNodes);
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<core::Node>> nodes;
+  std::atomic<int> delivered{0};
+  for (std::uint32_t id = 0; id < kNodes; ++id) {
+    ids.push_back(crypto::Identity::generate(rng));
+    dir[id] = {id,
+               id,
+               static_cast<std::uint16_t>(9800 + 2 * id),
+               static_cast<std::uint16_t>(9800 + 2 * id + 1),
+               0,
+               ids[id].sign_public(),
+               ids[id].dh_public(),
+               true};
+  }
+  ReactorConfig rc;
+  rc.round = 30ms;
+  rc.shards = 4;  // 2 nodes per shard: most gossip crosses a shard boundary
+  ReactorRuntime reactor(rc);
+  for (std::uint32_t id = 0; id < kNodes; ++id) {
+    transports.push_back(mem.transport(id));
+    core::NodeConfig cfg = core::make_node_config(core::Variant::kDrum, id);
+    cfg.wk_pull_port = dir[id].wk_pull_port;
+    cfg.wk_offer_port = dir[id].wk_offer_port;
+    nodes.push_back(std::make_unique<core::Node>(
+        cfg, ids[id], dir, *transports.back(), rng.next(),
+        [&delivered](const core::Node::Delivery&) {
+          delivered.fetch_add(1);
+        }));
+    reactor.add_node(*nodes.back(), rng.next());
+  }
+  reactor.start();
+  EXPECT_EQ(reactor.shard_count(), 4u);
+
+  std::atomic<bool> flood_stop{false};
+  std::thread attacker([&] {
+    util::Rng arng{321};
+    util::Bytes junk(40);
+    while (!flood_stop.load()) {
+      for (auto& b : junk) b = static_cast<std::uint8_t>(arng.below(256));
+      const auto victim = static_cast<std::uint32_t>(arng.below(kNodes));
+      mem.send_raw(
+          {0xBAD00000u | static_cast<std::uint32_t>(arng.below(4096)),
+           static_cast<std::uint16_t>(1024 + arng.below(60000))},
+          {victim, dir[victim].wk_offer_port}, util::ByteSpan(junk));
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 6;
+  std::vector<std::thread> apps;
+  std::atomic<std::uint64_t> rounds_seen{0};
+  for (int t = 0; t < kThreads; ++t) {
+    apps.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto which = static_cast<std::size_t>(t + i) % kNodes;
+        const std::uint8_t payload[2] = {static_cast<std::uint8_t>(t),
+                                         static_cast<std::uint8_t>(i)};
+        reactor.multicast(which, util::ByteSpan(payload, sizeof payload));
+        reactor.with_node((which + 1) % kNodes,
+                          [&rounds_seen](core::Node& n) {
+                            rounds_seen.fetch_add(
+                                n.registry().counter_value("node.rounds"));
+                          });
+      }
+    });
+  }
+  for (auto& t : apps) t.join();
+
+  const int expect = kThreads * kPerThread * (kNodes - 1);
+  EXPECT_TRUE(
+      eventually([&] { return delivered.load() >= expect; },
+                 15000ms * kSanSlowdown));
+  flood_stop.store(true);
+  attacker.join();
+
+  // Concurrent stop pile-up, then restart with the same shard plan.
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 4; ++t) {
+    stoppers.emplace_back([&reactor] { reactor.stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  EXPECT_FALSE(reactor.running());
+  reactor.start();
+  EXPECT_EQ(reactor.shard_count(), 4u);
+  reactor.multicast(0, util::ByteSpan(
+      reinterpret_cast<const std::uint8_t*>("z"), 1));
+  EXPECT_TRUE(eventually(
+      [&] { return delivered.load() >= expect + int(kNodes) - 1; },
+      10000ms * kSanSlowdown));
+  reactor.stop();
+  EXPECT_EQ(delivered.load(), expect + int(kNodes) - 1);
 }
 
 }  // namespace
